@@ -1,0 +1,45 @@
+// Fig 1(d): LUT utilization of HERQULES, the FNN design, and the proposed
+// method on the xczu7ev. Paper shape: FNN ~420% (does not fit),
+// HERQULES ~28%, OURS ~7% (60x less than FNN).
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "fpga/resource_model.h"
+#include "readout/design_presets.h"
+
+int main() {
+  using namespace mlqr;
+
+  const FpgaDevice dev = FpgaDevice::xczu7ev();
+  const DesignSpec specs[] = {
+      herqules_design_spec(5, 3, 500),
+      fnn_design_spec(5, 3, 500),
+      proposed_design_spec(5, 3, 500),
+  };
+
+  Table table("Fig 1(d) — LUT utilization on " + dev.name);
+  table.set_header({"Design", "LUTs", "Utilization", "Fits"});
+  CsvWriter csv("fig1d_lut.csv");
+  csv.write_row(std::vector<std::string>{"design", "lut_pct"});
+  for (const DesignSpec& spec : specs) {
+    const ResourceEstimate est = estimate_design(spec);
+    const Utilization util = utilization(est, dev);
+    table.add_row({spec.name, Table::num(est.luts, 0), Table::pct(util.lut),
+                   util.fits() ? "yes" : "NO"});
+    csv.write_row(std::vector<std::string>{
+        spec.name, Table::num(util.lut * 100.0, 1)});
+  }
+  table.print();
+
+  const double ours =
+      utilization(estimate_design(specs[2]), dev).lut;
+  const double fnn = utilization(estimate_design(specs[1]), dev).lut;
+  const double herq = utilization(estimate_design(specs[0]), dev).lut;
+  std::cout << "\nFNN/OURS LUT ratio:      " << Table::num(fnn / ours, 1)
+            << "x  (paper: ~60x)\n"
+            << "FNN/HERQULES LUT ratio:  " << Table::num(fnn / herq, 1)
+            << "x  (paper: ~15x)\n"
+            << "Series written to fig1d_lut.csv\n";
+  return 0;
+}

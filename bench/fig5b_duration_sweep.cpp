@@ -1,0 +1,56 @@
+// Fig 5(b): mean readout accuracy vs readout duration. The proposed design
+// is retrained at each duration; the paper reports ~no accuracy loss down
+// to 800 ns (a 20% readout-time reduction).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "qec/cycle_time.h"
+
+int main() {
+  using namespace mlqr;
+  using namespace mlqr::bench;
+
+  DatasetConfig dcfg;
+  dcfg.shots_per_basis_state = default_shots_per_state();
+  {
+    SuiteConfig probe;  // Reuse the fast-mode shrink rules.
+    probe.dataset = dcfg;
+    probe.apply_fast_mode();
+    dcfg = probe.dataset;
+  }
+  std::cout << "[fig5b] generating dataset ("
+            << dcfg.shots_per_basis_state << " shots/state)...\n";
+  const ReadoutDataset ds = generate_dataset(dcfg);
+
+  Table table("Fig 5(b) — mean accuracy vs readout duration (proposed)");
+  table.set_header(
+      {"Duration (ns)", "F5Q", "Mean F", "Mean F (excl Q2)", "QEC cycle cut"});
+  CsvWriter csv("fig5b_duration.csv");
+  csv.write_row(std::vector<std::string>{"duration_ns", "f5q", "mean_f",
+                                         "mean_f_excl_q2"});
+  const QecCycleSchedule schedule;
+  const std::size_t exclude[] = {1};
+
+  for (double duration : {1000.0, 900.0, 800.0, 700.0, 600.0, 500.0}) {
+    ProposedConfig pcfg;
+    pcfg.duration_ns = duration;
+    const ProposedDiscriminator d = ProposedDiscriminator::train(
+        ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
+    const FidelityReport r = evaluate_on_test(
+        [&](const IqTrace& t) { return d.classify(t); }, ds);
+    const double mean_f = r.mean_fidelity_excluding({});
+    const double mean_f_x = r.mean_fidelity_excluding(exclude);
+    table.add_row({Table::num(duration, 0),
+                   Table::num(r.geometric_mean_fidelity()),
+                   Table::num(mean_f), Table::num(mean_f_x),
+                   Table::pct(cycle_time_reduction(schedule, duration))});
+    csv.write_row(std::vector<double>{duration, r.geometric_mean_fidelity(),
+                                      mean_f, mean_f_x});
+  }
+  table.print();
+  std::cout << "\nPaper claim: accuracy flat to ~800 ns (20% faster readout "
+               "-> ~17% shorter surface-17 QEC cycle).\n"
+               "Series written to fig5b_duration.csv\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Google-benchmark microbenchmarks of the software inference path: digital
+// down-conversion, matched-filter scoring, per-qubit head inference, and
+// whole-shot classification for each design. (FPGA latency is modeled in
+// fpga/latency.h; these numbers characterize the reference implementation.)
+#include <benchmark/benchmark.h>
+
+#include "discrim/fnn_baseline.h"
+#include "discrim/proposed.h"
+#include "dsp/demodulator.h"
+#include "readout/dataset.h"
+#include "readout/experiment.h"
+
+namespace {
+
+using namespace mlqr;
+
+/// Shared lazily-built state: a small dataset + trained designs.
+struct BenchState {
+  ReadoutDataset ds;
+  ProposedDiscriminator proposed;
+  FnnDiscriminator fnn;
+  Demodulator demod;
+
+  static const BenchState& get() {
+    static const BenchState state = [] {
+      DatasetConfig cfg;
+      cfg.shots_per_basis_state = 60;
+      cfg.seed = 9;
+      ReadoutDataset ds = generate_dataset(cfg);
+      ProposedConfig pcfg;
+      pcfg.trainer.epochs = 10;
+      ProposedDiscriminator p = ProposedDiscriminator::train(
+          ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
+      FnnConfig fcfg;
+      fcfg.trainer.epochs = 1;
+      FnnDiscriminator f = FnnDiscriminator::train(
+          ds.shots, ds.training_labels, ds.train_idx, ds.chip, fcfg);
+      Demodulator d(ds.chip);
+      return BenchState{std::move(ds), std::move(p), std::move(f),
+                        std::move(d)};
+    }();
+    return state;
+  }
+};
+
+void BM_Demodulate(benchmark::State& state) {
+  const BenchState& s = BenchState::get();
+  const IqTrace& trace = s.ds.shots.traces[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.demod.demodulate(trace, 0, 0));
+  }
+}
+BENCHMARK(BM_Demodulate);
+
+void BM_MfFeatures45(benchmark::State& state) {
+  const BenchState& s = BenchState::get();
+  const IqTrace& trace = s.ds.shots.traces[1];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.proposed.features(trace));
+  }
+}
+BENCHMARK(BM_MfFeatures45);
+
+void BM_PerQubitHeadInference(benchmark::State& state) {
+  const BenchState& s = BenchState::get();
+  const std::vector<float> feats = s.proposed.features(s.ds.shots.traces[2]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.proposed.qubit_model(0).predict(feats));
+  }
+}
+BENCHMARK(BM_PerQubitHeadInference);
+
+void BM_ProposedClassifyShot(benchmark::State& state) {
+  const BenchState& s = BenchState::get();
+  const IqTrace& trace = s.ds.shots.traces[3];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.proposed.classify(trace));
+  }
+}
+BENCHMARK(BM_ProposedClassifyShot);
+
+void BM_FnnClassifyShot(benchmark::State& state) {
+  const BenchState& s = BenchState::get();
+  const IqTrace& trace = s.ds.shots.traces[4];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.fnn.classify(trace));
+  }
+}
+BENCHMARK(BM_FnnClassifyShot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

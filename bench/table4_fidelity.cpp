@@ -1,0 +1,40 @@
+// Table IV: three-level readout fidelity of the FNN baseline vs the
+// proposed design over all 3^5 states (F5Q = geometric mean across qubits).
+// Paper: FNN 0.8985, OURS 0.9052 — a 6.6% relative improvement.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace mlqr;
+  using namespace mlqr::bench;
+
+  SuiteConfig cfg;
+  cfg.dataset.shots_per_basis_state = default_shots_per_state();
+  cfg.train_herqules = false;
+  cfg.train_gaussian = false;
+
+  const SuiteResult result = run_suite(cfg);
+
+  Table table("Table IV — three-level readout fidelity (macro, vs ground truth)");
+  table.set_header(fidelity_header(5));
+  add_paper_row(table, "FNN", {0.967, 0.728, 0.928, 0.932, 0.962, 0.8985});
+  add_fidelity_row(table, "FNN", *result.fnn_report);
+  add_paper_row(table, "OURS", {0.971, 0.745, 0.923, 0.939, 0.969, 0.9052});
+  add_fidelity_row(table, "OURS", *result.proposed_report);
+  table.print();
+
+  const double f_fnn = result.fnn_report->geometric_mean_fidelity();
+  const double f_ours = result.proposed_report->geometric_mean_fidelity();
+  const double rel = (f_ours - f_fnn) / (1.0 - f_fnn);
+  std::cout << "\nRelative improvement over FNN: " << Table::pct(rel)
+            << " (paper: 6.6%)\n"
+            << "Model size: FNN " << result.fnn->parameter_count()
+            << " params vs OURS " << result.proposed->parameter_count()
+            << " params (ratio "
+            << Table::num(static_cast<double>(result.fnn->parameter_count()) /
+                              result.proposed->parameter_count(),
+                          1)
+            << "x, paper: ~100x)\n";
+  return 0;
+}

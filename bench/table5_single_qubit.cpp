@@ -1,0 +1,49 @@
+// Table V: single-qutrit readout fidelity of discriminant-analysis methods
+// vs NN variants on the excitation-prone qubits 3 and 4.
+// Paper (qubit 3): LDA 0.8966, QDA 0.914, NN 0.939, OURS 0.959;
+//       (qubit 4): LDA 0.9181, QDA 0.921, NN 0.926, OURS 0.930.
+// "NN" is the proposed architecture without the error matched filters
+// (QMF-only input) — the gap to OURS is the relaxation/excitation info.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace mlqr;
+  using namespace mlqr::bench;
+
+  SuiteConfig cfg;
+  cfg.dataset.shots_per_basis_state = default_shots_per_state();
+  cfg.train_fnn = false;
+  cfg.train_herqules = false;
+  const SuiteResult result = run_suite(cfg);
+  const ReadoutDataset& ds = result.dataset;
+
+  // The QMF-only ablation ("NN" in the paper's Table V).
+  ProposedConfig nn_cfg;
+  nn_cfg.mf.use_rmf = false;
+  nn_cfg.mf.use_emf = false;
+  const ProposedDiscriminator nn_only = ProposedDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, nn_cfg);
+  const FidelityReport nn_report = evaluate_on_test(
+      [&](const IqTrace& t) { return nn_only.classify(t); }, ds);
+
+  Table table("Table V — single-qutrit fidelity, excitation-prone qubits");
+  table.set_header({"Design", "Qubit 3", "Qubit 4"});
+  table.add_row({"LDA (paper)", "0.8966", "0.9181"});
+  table.add_row({"LDA", Table::num(result.lda_report->qubit_fidelity(3)),
+                 Table::num(result.lda_report->qubit_fidelity(4))});
+  table.add_row({"QDA (paper)", "0.914", "0.921"});
+  table.add_row({"QDA", Table::num(result.qda_report->qubit_fidelity(3)),
+                 Table::num(result.qda_report->qubit_fidelity(4))});
+  table.add_row({"NN (paper)", "0.939", "0.926"});
+  table.add_row({"NN (QMF-only)", Table::num(nn_report.qubit_fidelity(3)),
+                 Table::num(nn_report.qubit_fidelity(4))});
+  table.add_row({"OURS (paper)", "0.959", "0.930"});
+  table.add_row({"OURS", Table::num(result.proposed_report->qubit_fidelity(3)),
+                 Table::num(result.proposed_report->qubit_fidelity(4))});
+  table.print();
+  std::cout << "\nPaper shape: OURS > NN > QDA ~ LDA; the improvement is "
+               "attributed to the relaxation/excitation matched filters.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate a synthetic five-qubit readout dataset, mine natural
+// leakage with spectral clustering, train the proposed matched-filter +
+// modular-NN discriminator, and print per-qubit three-level fidelities.
+//
+//   ./quickstart [shots_per_basis_state]
+//
+// With MLQR_FAST=1 the run shrinks to CI scale.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "readout/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace mlqr;
+
+  SuiteConfig cfg;
+  cfg.dataset.shots_per_basis_state = argc > 1 ? std::atoi(argv[1]) : 400;
+  cfg.train_fnn = false;       // Keep the quickstart snappy; see the
+  cfg.train_herqules = false;  // table benches for the full comparison.
+  cfg.train_gaussian = true;
+
+  SuiteResult result = run_suite(cfg);
+
+  Table table("Quickstart: three-level readout fidelity (proposed design)");
+  table.set_header({"Qubit", "F (macro)", "P(0|0)", "P(1|1)", "P(2|2)",
+                    "mined |2> traces", "label acc"});
+  const FidelityReport& report = *result.proposed_report;
+  for (std::size_t q = 0; q < report.per_qubit.size(); ++q) {
+    const QubitConfusion& c = report.per_qubit[q];
+    table.add_row({"Q" + std::to_string(q + 1),
+                   Table::num(c.macro_fidelity()),
+                   Table::num(c.per_level_accuracy(0)),
+                   Table::num(c.per_level_accuracy(1)),
+                   Table::num(c.per_level_accuracy(2)),
+                   std::to_string(result.dataset.mined_leakage_per_qubit[q]),
+                   Table::num(result.dataset.label_accuracy_per_qubit[q])});
+  }
+  table.print();
+  std::cout << "\nF5Q (geometric mean) = "
+            << Table::num(report.geometric_mean_fidelity()) << '\n'
+            << "LDA F5Q = "
+            << Table::num(result.lda_report->geometric_mean_fidelity())
+            << ", QDA F5Q = "
+            << Table::num(result.qda_report->geometric_mean_fidelity())
+            << '\n'
+            << "NN parameters (all 5 heads): "
+            << result.proposed->parameter_count() << '\n';
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+namespace {
+
+double sq_dist(const double* a, const double* b, std::size_t dim) {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < dim; ++c) {
+    const double d = a[c] - b[c];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<double> kmeanspp_init(std::span<const double> points,
+                                  std::size_t dim, std::size_t k, Rng& rng) {
+  const std::size_t n = points.size() / dim;
+  std::vector<double> centroids;
+  centroids.reserve(k * dim);
+
+  // First centroid uniformly at random.
+  const std::size_t first = rng.uniform_index(n);
+  centroids.insert(centroids.end(), points.begin() + first * dim,
+                   points.begin() + (first + 1) * dim);
+
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+  while (centroids.size() < k * dim) {
+    const double* last = centroids.data() + centroids.size() - dim;
+    double total = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      d2[p] = std::min(d2[p], sq_dist(points.data() + p * dim, last, dim));
+      total += d2[p];
+    }
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      chosen = rng.uniform_index(n);  // All points coincide with centroids.
+    } else {
+      double r = rng.uniform() * total;
+      for (std::size_t p = 0; p < n; ++p) {
+        r -= d2[p];
+        if (r <= 0.0) {
+          chosen = p;
+          break;
+        }
+      }
+    }
+    centroids.insert(centroids.end(), points.begin() + chosen * dim,
+                     points.begin() + (chosen + 1) * dim);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::vector<int> assign_to_centroids(std::span<const double> points,
+                                     std::size_t dim,
+                                     std::span<const double> centroids) {
+  MLQR_CHECK(dim > 0 && points.size() % dim == 0 &&
+             centroids.size() % dim == 0);
+  const std::size_t n = points.size() / dim;
+  const std::size_t k = centroids.size() / dim;
+  MLQR_CHECK(k > 0);
+  std::vector<int> labels(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d =
+          sq_dist(points.data() + p * dim, centroids.data() + c * dim, dim);
+      if (d < best) {
+        best = d;
+        labels[p] = static_cast<int>(c);
+      }
+    }
+  }
+  return labels;
+}
+
+KMeansResult kmeans(std::span<const double> points, std::size_t dim,
+                    std::size_t k, Rng& rng, int max_iter, int n_init) {
+  MLQR_CHECK(dim > 0 && points.size() % dim == 0);
+  const std::size_t n = points.size() / dim;
+  MLQR_CHECK_MSG(n >= k && k > 0, "kmeans: " << n << " points for k=" << k);
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+
+  for (int init = 0; init < n_init; ++init) {
+    std::vector<double> centroids = kmeanspp_init(points, dim, k, rng);
+    std::vector<int> labels(n, -1);
+    int iter = 0;
+    for (; iter < max_iter; ++iter) {
+      bool changed = false;
+      labels = assign_to_centroids(points, dim, centroids);
+
+      // Recompute centroids.
+      std::vector<double> sums(k * dim, 0.0);
+      std::vector<std::size_t> counts(k, 0);
+      for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t c = labels[p];
+        ++counts[c];
+        for (std::size_t d = 0; d < dim; ++d)
+          sums[c * dim + d] += points[p * dim + d];
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        if (counts[c] == 0) continue;  // Empty cluster keeps its centroid.
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double v = sums[c * dim + d] / static_cast<double>(counts[c]);
+          if (std::abs(v - centroids[c * dim + d]) > 1e-12) changed = true;
+          centroids[c * dim + d] = v;
+        }
+      }
+      if (!changed) break;
+    }
+
+    double inertia = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      inertia += sq_dist(points.data() + p * dim,
+                         centroids.data() + labels[p] * dim, dim);
+    if (inertia < best.inertia) {
+      best.labels = std::move(labels);
+      best.centroids = std::move(centroids);
+      best.inertia = inertia;
+      best.iterations = iter;
+    }
+  }
+  return best;
+}
+
+}  // namespace mlqr

@@ -1,0 +1,35 @@
+// k-means clustering with k-means++ seeding.
+//
+// Final stage of spectral clustering (on the Laplacian embedding) and the
+// workhorse for assigning full datasets to centroids discovered on a
+// subsample.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlqr {
+
+/// Result of a k-means run over row-major points (n x dim).
+struct KMeansResult {
+  std::vector<int> labels;        ///< Cluster id per point.
+  std::vector<double> centroids;  ///< Row-major (k x dim).
+  double inertia = 0.0;           ///< Sum of squared distances to centroids.
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ initialization. `points` is row-major
+/// with `dim` columns. Restarts `n_init` times and keeps the best inertia.
+KMeansResult kmeans(std::span<const double> points, std::size_t dim,
+                    std::size_t k, Rng& rng, int max_iter = 100,
+                    int n_init = 4);
+
+/// Assigns points to the nearest of the given centroids (row-major k x dim).
+std::vector<int> assign_to_centroids(std::span<const double> points,
+                                     std::size_t dim,
+                                     std::span<const double> centroids);
+
+}  // namespace mlqr

@@ -1,0 +1,31 @@
+// Spectral clustering on a k-nearest-neighbour affinity graph.
+//
+// Used to discover the rare natural-leakage cluster in MTV space without
+// explicit |2> calibration (paper SSV-A). The pipeline: kNN graph with
+// locally scaled Gaussian weights -> symmetric normalized Laplacian ->
+// bottom-k eigenvectors (dense Jacobi; the input is a few hundred
+// subsampled points) -> row-normalized embedding -> k-means.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlqr {
+
+struct SpectralConfig {
+  std::size_t n_clusters = 3;
+  std::size_t n_neighbors = 12;
+  int kmeans_max_iter = 100;
+  int kmeans_n_init = 4;
+};
+
+/// Clusters row-major points (n x dim). n is expected to be modest
+/// (<= ~800); subsample upstream for larger sets.
+std::vector<int> spectral_cluster(std::span<const double> points,
+                                  std::size_t dim, const SpectralConfig& cfg,
+                                  Rng& rng);
+
+}  // namespace mlqr

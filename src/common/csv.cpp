@@ -1,0 +1,43 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  MLQR_CHECK_MSG(out_.good(), "cannot open CSV file for writing: " << path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << v;
+    text.push_back(os.str());
+  }
+  write_row(text);
+}
+
+}  // namespace mlqr

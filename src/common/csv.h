@@ -1,0 +1,30 @@
+// CSV emission for figure benches (series a plotting script can consume).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mlqr {
+
+/// Streams rows of comma-separated values to a file. Cells containing a
+/// comma, quote, or newline are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws mlqr::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row. Numeric convenience overload included.
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace mlqr

@@ -1,0 +1,27 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mlqr {
+
+bool fast_mode() {
+  static const bool fast = [] {
+    const char* env = std::getenv("MLQR_FAST");
+    return env != nullptr && env[0] == '1';
+  }();
+  return fast;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* env = std::getenv(name.c_str());
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return std::atoll(env);
+}
+
+std::size_t fast_scaled(std::size_t n, std::size_t divisor, std::size_t lo) {
+  if (!fast_mode()) return n;
+  return std::max(lo, n / std::max<std::size_t>(divisor, 1));
+}
+
+}  // namespace mlqr

@@ -1,0 +1,20 @@
+// Environment-driven configuration shared by tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mlqr {
+
+/// True when MLQR_FAST=1: benches shrink shot counts / epochs so the whole
+/// harness finishes quickly (CI mode). Full-fidelity runs unset it.
+bool fast_mode();
+
+/// Integer environment variable with fallback.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Scales a shot/epoch count down in fast mode: returns max(lo, n/divisor)
+/// when fast_mode() else n.
+std::size_t fast_scaled(std::size_t n, std::size_t divisor, std::size_t lo);
+
+}  // namespace mlqr

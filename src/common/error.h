@@ -1,0 +1,50 @@
+// Error-handling primitives shared across mlqr.
+//
+// Library code throws mlqr::Error (std::runtime_error) on contract
+// violations; the MLQR_CHECK family attaches file/line context so failures
+// surface with an actionable message rather than UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mlqr {
+
+/// Base exception for all mlqr-reported failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MLQR_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mlqr
+
+/// Always-on invariant check (kept in release builds: readout pipelines are
+/// long-running; silent corruption is worse than an abort-with-context).
+#define MLQR_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mlqr::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+  } while (false)
+
+/// Invariant check with a streamed message, e.g.
+///   MLQR_CHECK_MSG(n > 0, "need at least one trace, got " << n);
+#define MLQR_CHECK_MSG(cond, stream_expr)                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream mlqr_check_os_;                                     \
+      mlqr_check_os_ << stream_expr;                                         \
+      ::mlqr::detail::throw_check_failure(#cond, __FILE__, __LINE__,         \
+                                          mlqr_check_os_.str());             \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,52 @@
+#include "common/fixed_point.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+double FixedPointFormat::resolution() const {
+  return std::ldexp(1.0, -frac_bits);
+}
+
+double FixedPointFormat::max_value() const {
+  // Largest positive code: 2^(W-1)-1 steps of 2^-F.
+  return (std::ldexp(1.0, total_bits - 1) - 1.0) * resolution();
+}
+
+double FixedPointFormat::min_value() const {
+  return -std::ldexp(1.0, total_bits - 1) * resolution();
+}
+
+double quantize(double value, const FixedPointFormat& fmt) {
+  MLQR_CHECK(fmt.total_bits >= 2 && fmt.total_bits <= 48);
+  const double step = fmt.resolution();
+  const double clamped = std::clamp(value, fmt.min_value(), fmt.max_value());
+  return std::nearbyint(clamped / step) * step;
+}
+
+void quantize_in_place(std::span<float> values, const FixedPointFormat& fmt) {
+  for (float& v : values) v = static_cast<float>(quantize(v, fmt));
+}
+
+double max_quantization_error(std::span<const float> values,
+                              const FixedPointFormat& fmt) {
+  double worst = 0.0;
+  for (float v : values)
+    worst = std::max(worst, std::abs(static_cast<double>(v) - quantize(v, fmt)));
+  return worst;
+}
+
+FixedPointFormat fit_format(double lo, double hi, int total_bits) {
+  MLQR_CHECK(total_bits >= 2 && total_bits <= 48);
+  const double bound = std::max(std::abs(lo), std::abs(hi));
+  // Integer bits (excluding sign) needed to hold `bound`.
+  int int_bits = 0;
+  while (std::ldexp(1.0, int_bits) <= bound && int_bits < total_bits) ++int_bits;
+  const int frac = std::max(0, total_bits - 1 - int_bits);
+  return FixedPointFormat{total_bits, frac};
+}
+
+}  // namespace mlqr

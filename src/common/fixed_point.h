@@ -1,0 +1,40 @@
+// Fixed-point quantization helpers.
+//
+// The FPGA resource model (src/fpga) and the quantization-aware evaluation
+// of the proposed discriminator both need ap_fixed-style rounding: a signed
+// two's-complement value with `total_bits` bits, `frac_bits` of which sit
+// right of the binary point (mirrors Vivado HLS ap_fixed<W,I>).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mlqr {
+
+/// Describes an ap_fixed<W, W-F>-style signed fixed-point format.
+struct FixedPointFormat {
+  int total_bits = 16;  ///< W: total width including sign.
+  int frac_bits = 10;   ///< F: fractional bits.
+
+  double resolution() const;   ///< Smallest representable step (2^-F).
+  double max_value() const;    ///< Largest representable value.
+  double min_value() const;    ///< Most negative representable value.
+};
+
+/// Rounds to nearest representable value, saturating at the format bounds.
+double quantize(double value, const FixedPointFormat& fmt);
+
+/// Quantizes a whole buffer in place.
+void quantize_in_place(std::span<float> values, const FixedPointFormat& fmt);
+
+/// Worst-case absolute quantization error over a buffer (for tests and the
+/// quantization-impact ablation).
+double max_quantization_error(std::span<const float> values,
+                              const FixedPointFormat& fmt);
+
+/// Picks the smallest fractional width (given total bits) such that every
+/// value in [lo, hi] fits without saturation.
+FixedPointFormat fit_format(double lo, double hi, int total_bits);
+
+}  // namespace mlqr

@@ -1,0 +1,64 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlqr {
+
+std::size_t parallel_thread_count() {
+  static const std::size_t count = [] {
+    if (const char* env = std::getenv("MLQR_THREADS")) {
+      const long v = std::atol(env);
+      if (v >= 1) return static_cast<std::size_t>(std::min<long>(v, 64));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(std::clamp<unsigned>(hw, 1, 16));
+  }();
+  return count;
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = std::min(parallel_thread_count(), n);
+  if (workers <= 1 || n < 2) {
+    body(begin, end);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::jthread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&, lo, hi] {
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  threads.clear();  // join
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(begin, end, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace mlqr

@@ -1,0 +1,30 @@
+// Minimal data-parallel helper used by the trainers and the trace generator.
+//
+// parallel_for splits [begin, end) into contiguous chunks across a small
+// fixed number of std::jthread workers. Exceptions thrown by the body are
+// captured and rethrown on the calling thread (first one wins).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mlqr {
+
+/// Number of worker threads parallel_for will use. Respects the
+/// MLQR_THREADS environment variable; otherwise hardware_concurrency
+/// clamped to [1, 16].
+std::size_t parallel_thread_count();
+
+/// Invokes body(i) for every i in [begin, end), distributed over worker
+/// threads in contiguous chunks. Falls back to a serial loop for small
+/// ranges. The body must be safe to invoke concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Chunked variant: body(chunk_begin, chunk_end) per worker — useful when
+/// per-thread scratch state amortizes across a whole chunk.
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace mlqr

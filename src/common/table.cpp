@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace mlqr {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << (fraction * 100.0)
+     << '%';
+  return os.str();
+}
+
+void Table::render(std::ostream& os) const {
+  // Column widths across header and all rows.
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1);
+  for (std::size_t w : widths) total += w;
+
+  if (!title_.empty()) {
+    os << title_ << '\n' << std::string(std::max<std::size_t>(total, title_.size()), '=') << '\n';
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cell;
+      if (i + 1 < widths.size()) os << " | ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print() const { render(std::cout); }
+
+}  // namespace mlqr

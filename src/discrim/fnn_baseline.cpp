@@ -1,0 +1,99 @@
+#include "discrim/fnn_baseline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "discrim/joint_label.h"
+
+namespace mlqr {
+
+namespace {
+
+std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
+  if (duration_ns <= 0.0) return chip.n_samples;
+  const auto samples = static_cast<std::size_t>(duration_ns / chip.dt_ns());
+  MLQR_CHECK_MSG(samples > 0 && samples <= chip.n_samples,
+                 "duration " << duration_ns << " ns out of range");
+  return samples;
+}
+
+}  // namespace
+
+std::vector<float> FnnDiscriminator::raw_features(const IqTrace& trace) const {
+  MLQR_CHECK(trace.size() >= samples_used_);
+  std::vector<float> x;
+  x.reserve(2 * samples_used_);
+  x.insert(x.end(), trace.i.begin(), trace.i.begin() + samples_used_);
+  x.insert(x.end(), trace.q.begin(), trace.q.begin() + samples_used_);
+  return x;
+}
+
+FnnDiscriminator FnnDiscriminator::train(const ShotSet& shots,
+                                         std::span<const int> labels_flat,
+                                         std::span<const std::size_t> train_idx,
+                                         const ChipProfile& chip,
+                                         const FnnConfig& cfg) {
+  shots.validate();
+  MLQR_CHECK(labels_flat.size() == shots.size() * shots.n_qubits);
+  MLQR_CHECK(!train_idx.empty());
+  MLQR_CHECK(cfg.n_levels >= 2 && cfg.n_levels <= kNumLevels);
+
+  FnnDiscriminator d;
+  d.cfg_ = cfg;
+  d.n_qubits_ = shots.n_qubits;
+  d.samples_used_ = resolve_samples(chip, cfg.duration_ns);
+
+  // Two-level mode cannot represent leaked shots; drop them from training
+  // (that is exactly what a two-level-era pipeline would do).
+  std::vector<std::size_t> usable;
+  usable.reserve(train_idx.size());
+  for (std::size_t s : train_idx) {
+    bool ok = true;
+    for (std::size_t q = 0; q < shots.n_qubits && ok; ++q)
+      ok = labels_flat[s * shots.n_qubits + q] < cfg.n_levels;
+    if (ok) usable.push_back(s);
+  }
+  MLQR_CHECK_MSG(!usable.empty(), "no usable training shots for FNN");
+
+  const std::size_t in_dim = 2 * d.samples_used_;
+  std::vector<float> features(usable.size() * in_dim);
+  std::vector<int> joint(usable.size());
+  for (std::size_t i = 0; i < usable.size(); ++i) {
+    const std::vector<float> x = d.raw_features(shots.traces[usable[i]]);
+    std::copy(x.begin(), x.end(), features.begin() + i * in_dim);
+    joint[i] = static_cast<int>(encode_joint(
+        labels_flat.subspan(usable[i] * shots.n_qubits, shots.n_qubits),
+        cfg.n_levels));
+  }
+
+  d.normalizer_ = FeatureNormalizer::fit(features, in_dim);
+  d.normalizer_.apply(features);
+
+  std::vector<std::size_t> sizes{in_dim};
+  sizes.insert(sizes.end(), cfg.hidden.begin(), cfg.hidden.end());
+  const std::size_t n_classes =
+      joint_class_count(shots.n_qubits, cfg.n_levels);
+  sizes.push_back(n_classes);
+
+  Rng init_rng(cfg.trainer.seed);
+  d.model_ = Mlp(sizes);
+  d.model_.init_weights(init_rng);
+  TrainerConfig tcfg = cfg.trainer;
+  if (cfg.balance_classes) {
+    tcfg.class_weights = inverse_frequency_weights(joint, n_classes);
+    for (float& w : tcfg.class_weights)
+      w = std::min(w, cfg.class_weight_cap);
+  }
+  train_classifier(d.model_, features, joint, tcfg);
+  return d;
+}
+
+std::vector<int> FnnDiscriminator::classify(const IqTrace& trace) const {
+  std::vector<float> x = raw_features(trace);
+  normalizer_.apply(x);
+  const int joint = model_.predict(x);
+  return decode_joint(static_cast<std::size_t>(joint), n_qubits_,
+                      cfg_.n_levels);
+}
+
+}  // namespace mlqr

@@ -1,0 +1,125 @@
+#include "discrim/gaussian.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "linalg/stats.h"
+
+namespace mlqr {
+
+GaussianClassifier GaussianClassifier::fit(std::span<const double> features,
+                                           std::size_t dim,
+                                           std::span<const int> labels,
+                                           std::size_t n_classes,
+                                           GaussianKind kind, double jitter) {
+  MLQR_CHECK(dim > 0 && n_classes >= 2);
+  MLQR_CHECK(features.size() == labels.size() * dim);
+  MLQR_CHECK(!labels.empty());
+
+  GaussianClassifier g;
+  g.kind_ = kind;
+  g.dim_ = dim;
+  g.means_.resize(n_classes);
+  g.present_.assign(n_classes, false);
+
+  std::vector<std::vector<std::size_t>> members(n_classes);
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    MLQR_CHECK(labels[s] >= 0 &&
+               static_cast<std::size_t>(labels[s]) < n_classes);
+    members[labels[s]].push_back(s);
+  }
+
+  if (kind == GaussianKind::kQda) {
+    g.chols_.reserve(n_classes);
+    for (std::size_t c = 0; c < n_classes; ++c) {
+      if (members[c].size() < dim + 1) continue;  // Not enough to fit.
+      g.present_[c] = true;
+      g.means_[c] = column_mean(features, dim, members[c]);
+      Matrix cov = covariance(features, dim, members[c], g.means_[c]);
+      auto chol = Cholesky::factor(cov, jitter);
+      MLQR_CHECK_MSG(chol.has_value(),
+                     "QDA covariance for class " << c << " not PD");
+      g.log_dets_.push_back(chol->log_det());
+      g.chols_.push_back(std::move(*chol));
+      // Map class -> factor index implicitly by push order; rebuild below.
+    }
+    // Re-index factors per class: redo with explicit slots.
+    std::vector<Cholesky> chols;
+    std::vector<double> log_dets(n_classes, 0.0);
+    std::size_t next = 0;
+    for (std::size_t c = 0; c < n_classes; ++c) {
+      if (!g.present_[c]) continue;
+      log_dets[c] = g.log_dets_[next];
+      chols.push_back(std::move(g.chols_[next]));
+      ++next;
+    }
+    g.chols_ = std::move(chols);
+    g.log_dets_ = std::move(log_dets);
+  } else {
+    // LDA: pooled within-class covariance.
+    Matrix pooled(dim, dim, 0.0);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < n_classes; ++c) {
+      if (members[c].size() < 2) {
+        if (!members[c].empty()) {
+          g.present_[c] = true;
+          g.means_[c] = column_mean(features, dim, members[c]);
+        }
+        continue;
+      }
+      g.present_[c] = true;
+      g.means_[c] = column_mean(features, dim, members[c]);
+      Matrix cov = covariance(features, dim, members[c], g.means_[c]);
+      const double w = static_cast<double>(members[c].size() - 1);
+      for (std::size_t i = 0; i < dim; ++i)
+        for (std::size_t j = 0; j < dim; ++j)
+          pooled(i, j) += w * cov(i, j);
+      denom += w;
+    }
+    MLQR_CHECK_MSG(denom > 0.0, "LDA needs a class with >=2 samples");
+    for (std::size_t i = 0; i < dim; ++i)
+      for (std::size_t j = 0; j < dim; ++j) pooled(i, j) /= denom;
+    auto chol = Cholesky::factor(pooled, jitter);
+    MLQR_CHECK_MSG(chol.has_value(), "LDA pooled covariance not PD");
+    g.log_dets_.assign(1, chol->log_det());
+    g.chols_.push_back(std::move(*chol));
+  }
+
+  bool any = false;
+  for (bool p : g.present_) any = any || p;
+  MLQR_CHECK_MSG(any, "no class had enough samples to fit");
+  return g;
+}
+
+std::vector<double> GaussianClassifier::scores(
+    std::span<const double> x) const {
+  MLQR_CHECK(x.size() == dim_);
+  std::vector<double> s(means_.size(),
+                        -std::numeric_limits<double>::infinity());
+  std::vector<double> centered(dim_);
+  std::size_t qda_index = 0;
+  for (std::size_t c = 0; c < means_.size(); ++c) {
+    if (!present_[c]) {
+      continue;
+    }
+    for (std::size_t d = 0; d < dim_; ++d) centered[d] = x[d] - means_[c][d];
+    if (kind_ == GaussianKind::kQda) {
+      const Cholesky& chol = chols_[qda_index++];
+      s[c] = -0.5 * log_dets_[c] - 0.5 * chol.mahalanobis_squared(centered);
+    } else {
+      s[c] = -0.5 * chols_[0].mahalanobis_squared(centered);
+    }
+  }
+  return s;
+}
+
+int GaussianClassifier::predict(std::span<const double> x) const {
+  const std::vector<double> s = scores(x);
+  int best = 0;
+  for (std::size_t c = 1; c < s.size(); ++c)
+    if (s[c] > s[best]) best = static_cast<int>(c);
+  return best;
+}
+
+}  // namespace mlqr

@@ -1,0 +1,70 @@
+#include "discrim/gaussian_discriminator.h"
+
+#include "common/error.h"
+#include "discrim/iq_features.h"
+
+namespace mlqr {
+
+namespace {
+
+std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
+  if (duration_ns <= 0.0) return chip.n_samples;
+  const auto samples = static_cast<std::size_t>(duration_ns / chip.dt_ns());
+  MLQR_CHECK_MSG(samples > 0 && samples <= chip.n_samples,
+                 "duration " << duration_ns << " ns out of range");
+  return samples;
+}
+
+std::vector<double> extract(const BasebandTrace& trace, bool split_window) {
+  return split_window ? split_window_features(trace) : mtv_features(trace);
+}
+
+}  // namespace
+
+GaussianShotDiscriminator GaussianShotDiscriminator::train(
+    const ShotSet& shots, std::span<const int> labels_flat,
+    std::span<const std::size_t> train_idx, const ChipProfile& chip,
+    const GaussianDiscriminatorConfig& cfg) {
+  shots.validate();
+  MLQR_CHECK(labels_flat.size() == shots.size() * shots.n_qubits);
+  MLQR_CHECK(!train_idx.empty());
+
+  GaussianShotDiscriminator d;
+  d.cfg_ = cfg;
+  d.demod_ = Demodulator(chip);
+  d.samples_used_ = resolve_samples(chip, cfg.duration_ns);
+
+  const std::size_t feat_dim = cfg.split_window ? 4 : 2;
+  for (std::size_t q = 0; q < shots.n_qubits; ++q) {
+    const std::vector<BasebandTrace> baseband =
+        demodulate_subset(shots, train_idx, d.demod_, q, d.samples_used_);
+    std::vector<double> features;
+    features.reserve(train_idx.size() * feat_dim);
+    std::vector<int> labels;
+    labels.reserve(train_idx.size());
+    for (std::size_t i = 0; i < train_idx.size(); ++i) {
+      const std::vector<double> f = extract(baseband[i], cfg.split_window);
+      features.insert(features.end(), f.begin(), f.end());
+      labels.push_back(labels_flat[train_idx[i] * shots.n_qubits + q]);
+    }
+    d.per_qubit_.push_back(GaussianClassifier::fit(
+        features, feat_dim, labels, kNumLevels, cfg.kind, cfg.jitter));
+  }
+  return d;
+}
+
+std::vector<int> GaussianShotDiscriminator::classify(
+    const IqTrace& trace) const {
+  std::vector<int> out(per_qubit_.size());
+  for (std::size_t q = 0; q < per_qubit_.size(); ++q) {
+    const BasebandTrace baseband = demod_.demodulate(trace, q, samples_used_);
+    out[q] = per_qubit_[q].predict(extract(baseband, cfg_.split_window));
+  }
+  return out;
+}
+
+std::string GaussianShotDiscriminator::name() const {
+  return cfg_.kind == GaussianKind::kLda ? "LDA" : "QDA";
+}
+
+}  // namespace mlqr

@@ -1,0 +1,55 @@
+// Per-qubit LDA/QDA readout discriminators (paper Table V baselines).
+//
+// Each qubit gets an independent Gaussian classifier over its MTV point;
+// classification of a shot runs every qubit's classifier on its own
+// demodulated channel. Fast, tiny, but blind to trace-shape information
+// (relaxation/excitation patterns) and to crosstalk — which is precisely
+// the gap the paper's matched-filter + modular-NN design closes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "discrim/gaussian.h"
+#include "discrim/shot_set.h"
+#include "dsp/demodulator.h"
+#include "sim/chip_profile.h"
+
+namespace mlqr {
+
+struct GaussianDiscriminatorConfig {
+  GaussianKind kind = GaussianKind::kLda;
+  /// 0 = full trace; otherwise truncate to this readout duration.
+  double duration_ns = 0.0;
+  /// Use the 4-D early/late features instead of the 2-D MTV.
+  bool split_window = false;
+  double jitter = 1e-9;
+};
+
+/// Whole-register discriminator built from per-qubit Gaussian classifiers.
+class GaussianShotDiscriminator {
+ public:
+  /// Trains per-qubit classifiers on the selected shots using
+  /// `labels_flat` (shot-major, n_qubits stride — typically the
+  /// clustering-estimated labels).
+  static GaussianShotDiscriminator train(const ShotSet& shots,
+                                         std::span<const int> labels_flat,
+                                         std::span<const std::size_t> train_idx,
+                                         const ChipProfile& chip,
+                                         const GaussianDiscriminatorConfig& cfg);
+
+  /// Per-qubit level predictions for one multiplexed trace. Thread-safe.
+  std::vector<int> classify(const IqTrace& trace) const;
+
+  std::string name() const;
+
+ private:
+  GaussianDiscriminatorConfig cfg_;
+  Demodulator demod_;
+  std::size_t samples_used_ = 0;
+  std::vector<GaussianClassifier> per_qubit_;
+};
+
+}  // namespace mlqr

@@ -1,0 +1,151 @@
+#include "discrim/herqules_baseline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "discrim/joint_label.h"
+
+namespace mlqr {
+
+namespace {
+
+std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
+  if (duration_ns <= 0.0) return chip.n_samples;
+  const auto samples = static_cast<std::size_t>(duration_ns / chip.dt_ns());
+  MLQR_CHECK_MSG(samples > 0 && samples <= chip.n_samples,
+                 "duration " << duration_ns << " ns out of range");
+  return samples;
+}
+
+/// Per-qubit feature indices used at a given level count. The bank always
+/// holds 3 QMF + 3 RMF; two-level mode keeps only the |0>vs|1> QMF and the
+/// 1->0 RMF (the published two-level input layout, 2 features per qubit).
+std::vector<std::size_t> active_filter_indices(int n_levels) {
+  if (n_levels >= 3) return {0, 1, 2, 3, 4, 5};
+  return {0, 3};
+}
+
+}  // namespace
+
+HerqulesDiscriminator HerqulesDiscriminator::train(
+    const ShotSet& shots, std::span<const int> labels_flat,
+    std::span<const std::size_t> train_idx, const ChipProfile& chip,
+    const HerqulesConfig& cfg) {
+  shots.validate();
+  MLQR_CHECK(labels_flat.size() == shots.size() * shots.n_qubits);
+  MLQR_CHECK(!train_idx.empty());
+  MLQR_CHECK(cfg.n_levels >= 2 && cfg.n_levels <= kNumLevels);
+
+  HerqulesDiscriminator d;
+  d.cfg_ = cfg;
+  d.n_qubits_ = shots.n_qubits;
+  d.demod_ = Demodulator(chip);
+  d.samples_used_ = resolve_samples(chip, cfg.duration_ns);
+
+  MfBankConfig bank_cfg;
+  bank_cfg.use_qmf = true;
+  bank_cfg.use_rmf = true;
+  bank_cfg.use_emf = false;  // HERQULES has no excitation filters.
+  bank_cfg.min_error_traces = cfg.min_error_traces;
+
+  const std::vector<std::size_t> active = active_filter_indices(cfg.n_levels);
+  const std::size_t per_q = active.size();
+  const std::size_t feat_dim = per_q * shots.n_qubits;
+  const std::size_t n_train = train_idx.size();
+
+  // Joint-head training set: shots whose labels are representable.
+  std::vector<std::size_t> usable_pos;  // Position within train_idx.
+  usable_pos.reserve(n_train);
+  for (std::size_t i = 0; i < n_train; ++i) {
+    bool ok = true;
+    const std::size_t s = train_idx[i];
+    for (std::size_t q = 0; q < shots.n_qubits && ok; ++q)
+      ok = labels_flat[s * shots.n_qubits + q] < cfg.n_levels;
+    if (ok) usable_pos.push_back(i);
+  }
+  MLQR_CHECK_MSG(!usable_pos.empty(), "no usable training shots");
+
+  std::vector<float> features(usable_pos.size() * feat_dim, 0.0f);
+  std::vector<float> full_features(usable_pos.size() * feat_dim, 0.0f);
+  std::vector<QubitMfBank> banks;
+  banks.reserve(shots.n_qubits);
+  for (std::size_t q = 0; q < shots.n_qubits; ++q) {
+    const std::vector<BasebandTrace> baseband =
+        demodulate_subset(shots, train_idx, d.demod_, q, d.samples_used_);
+    std::vector<int> labels(n_train);
+    for (std::size_t i = 0; i < n_train; ++i)
+      labels[i] = labels_flat[train_idx[i] * shots.n_qubits + q];
+    // Banks are always trained on the full 3-level labels (the filters
+    // need |2> statistics); two-level mode just reads fewer of them.
+    // Training features are cross-fitted (see cross_fit_features).
+    banks.push_back(
+        QubitMfBank::train(baseband, labels, d.samples_used_, bank_cfg));
+
+    const std::vector<float> xfit =
+        cross_fit_features(baseband, labels, d.samples_used_, bank_cfg);
+    const std::size_t bank_per_q = bank_cfg.filters_per_qubit();
+    std::vector<float> scratch;
+    for (std::size_t u = 0; u < usable_pos.size(); ++u) {
+      const float* row = xfit.data() + usable_pos[u] * bank_per_q;
+      scratch.clear();
+      banks.back().features(baseband[usable_pos[u]], scratch);
+      for (std::size_t f = 0; f < per_q; ++f) {
+        features[u * feat_dim + q * per_q + f] = row[active[f]];
+        full_features[u * feat_dim + q * per_q + f] = scratch[active[f]];
+      }
+    }
+  }
+  d.bank_.adopt(bank_cfg, std::move(banks));
+
+  std::vector<int> joint(usable_pos.size());
+  for (std::size_t u = 0; u < usable_pos.size(); ++u) {
+    const std::size_t s = train_idx[usable_pos[u]];
+    joint[u] = static_cast<int>(encode_joint(
+        labels_flat.subspan(s * shots.n_qubits, shots.n_qubits),
+        cfg.n_levels));
+  }
+
+  // Separate normalizers for the cross-fitted training features and the
+  // full-bank inference features (see ProposedDiscriminator::train).
+  FeatureNormalizer train_norm = FeatureNormalizer::fit(features, feat_dim);
+  train_norm.apply(features);
+  d.normalizer_ = FeatureNormalizer::fit(full_features, feat_dim);
+
+  std::vector<std::size_t> sizes{feat_dim};
+  sizes.insert(sizes.end(), cfg.hidden.begin(), cfg.hidden.end());
+  const std::size_t n_classes =
+      joint_class_count(shots.n_qubits, cfg.n_levels);
+  sizes.push_back(n_classes);
+
+  Rng init_rng(cfg.trainer.seed);
+  d.model_ = Mlp(sizes);
+  d.model_.init_weights(init_rng);
+  TrainerConfig tcfg = cfg.trainer;
+  if (cfg.balance_classes) {
+    tcfg.class_weights = inverse_frequency_weights(joint, n_classes);
+    for (float& w : tcfg.class_weights)
+      w = std::min(w, cfg.class_weight_cap);
+  }
+  train_classifier(d.model_, features, joint, tcfg);
+  return d;
+}
+
+std::vector<int> HerqulesDiscriminator::classify(const IqTrace& trace) const {
+  const std::vector<std::size_t> active = active_filter_indices(cfg_.n_levels);
+  const std::size_t per_q = active.size();
+  std::vector<float> feats(per_q * n_qubits_, 0.0f);
+  std::vector<float> scratch;
+  for (std::size_t q = 0; q < n_qubits_; ++q) {
+    const BasebandTrace baseband = demod_.demodulate(trace, q, samples_used_);
+    scratch.clear();
+    bank_.bank(q).features(baseband, scratch);
+    for (std::size_t f = 0; f < per_q; ++f)
+      feats[q * per_q + f] = scratch[active[f]];
+  }
+  normalizer_.apply(feats);
+  const int joint = model_.predict(feats);
+  return decode_joint(static_cast<std::size_t>(joint), n_qubits_,
+                      cfg_.n_levels);
+}
+
+}  // namespace mlqr

@@ -1,0 +1,139 @@
+#include "discrim/proposed.h"
+
+#include "common/error.h"
+
+namespace mlqr {
+
+namespace {
+
+std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
+  if (duration_ns <= 0.0) return chip.n_samples;
+  const auto samples = static_cast<std::size_t>(duration_ns / chip.dt_ns());
+  MLQR_CHECK_MSG(samples > 0 && samples <= chip.n_samples,
+                 "duration " << duration_ns << " ns out of range");
+  return samples;
+}
+
+}  // namespace
+
+ProposedDiscriminator ProposedDiscriminator::train(
+    const ShotSet& shots, std::span<const int> labels_flat,
+    std::span<const std::size_t> train_idx, const ChipProfile& chip,
+    const ProposedConfig& cfg) {
+  shots.validate();
+  MLQR_CHECK(labels_flat.size() == shots.size() * shots.n_qubits);
+  MLQR_CHECK(!train_idx.empty());
+  MLQR_CHECK(shots.n_qubits == chip.num_qubits());
+
+  ProposedDiscriminator d;
+  d.cfg_ = cfg;
+  d.demod_ = Demodulator(chip);
+  d.samples_used_ = resolve_samples(chip, cfg.duration_ns);
+
+  const std::size_t n_qubits = shots.n_qubits;
+  const std::size_t per_q = cfg.mf.filters_per_qubit();
+  MLQR_CHECK_MSG(per_q > 0, "at least one filter group must be enabled");
+  const std::size_t feat_dim = per_q * n_qubits;
+  const std::size_t n_train = train_idx.size();
+
+  // Train banks and fill the feature matrix qubit-by-qubit: qubit q's bank
+  // only needs qubit q's baseband traces, so peak memory is one channel.
+  // NN training features are *cross-fitted* (kernels from the other fold)
+  // so rare-|2> kernel overfit cannot leak into the classifier thresholds;
+  // inference uses the bank trained on all data.
+  std::vector<float> features(n_train * feat_dim, 0.0f);
+  std::vector<float> full_features(n_train * feat_dim, 0.0f);
+  std::vector<std::vector<int>> labels_per_qubit(n_qubits);
+  std::vector<QubitMfBank> banks;
+  banks.reserve(n_qubits);
+  std::vector<float> scratch;
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    const std::vector<BasebandTrace> baseband =
+        demodulate_subset(shots, train_idx, d.demod_, q, d.samples_used_);
+    std::vector<int>& labels = labels_per_qubit[q];
+    labels.reserve(n_train);
+    for (std::size_t i = 0; i < n_train; ++i)
+      labels.push_back(labels_flat[train_idx[i] * n_qubits + q]);
+
+    banks.push_back(
+        QubitMfBank::train(baseband, labels, d.samples_used_, cfg.mf));
+
+    const std::vector<float> xfit =
+        cross_fit_features(baseband, labels, d.samples_used_, cfg.mf);
+    for (std::size_t i = 0; i < n_train; ++i) {
+      std::copy(xfit.begin() + i * per_q, xfit.begin() + (i + 1) * per_q,
+                features.begin() + i * feat_dim + q * per_q);
+      scratch.clear();
+      banks.back().features(baseband[i], scratch);
+      std::copy(scratch.begin(), scratch.end(),
+                full_features.begin() + i * feat_dim + q * per_q);
+    }
+  }
+  d.bank_.adopt(cfg.mf, std::move(banks));
+
+  // Two normalizers: the NN trains on cross-fitted features standardized
+  // by their own statistics; inference standardizes the full-bank features
+  // by *theirs*. Z-scoring each version separately absorbs the affine
+  // calibration drift between fold banks and the full bank (noticeable for
+  // kernels fit on a handful of mined |2> traces).
+  FeatureNormalizer train_norm = FeatureNormalizer::fit(features, feat_dim);
+  train_norm.apply(features);
+  d.normalizer_ = FeatureNormalizer::fit(full_features, feat_dim);
+
+  // One small head per qubit, every head reading the merged features.
+  std::vector<std::size_t> sizes{feat_dim};
+  if (cfg.hidden.empty()) {
+    sizes.push_back(std::max<std::size_t>(feat_dim / 2, 4));
+    sizes.push_back(std::max<std::size_t>(feat_dim / 4, 4));
+  } else {
+    sizes.insert(sizes.end(), cfg.hidden.begin(), cfg.hidden.end());
+  }
+  sizes.push_back(static_cast<std::size_t>(kNumLevels));
+
+  Rng init_rng(cfg.trainer.seed);
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    Mlp model(sizes);
+    model.init_weights(init_rng);
+    TrainerConfig tcfg = cfg.trainer;
+    tcfg.seed = cfg.trainer.seed + 1000 * (q + 1);
+    if (cfg.balance_classes)
+      tcfg.class_weights =
+          inverse_frequency_weights(labels_per_qubit[q], kNumLevels);
+    train_classifier(model, features, labels_per_qubit[q], tcfg);
+    d.models_.push_back(std::move(model));
+  }
+  return d;
+}
+
+std::size_t ProposedDiscriminator::feature_dim() const {
+  return bank_.total_features();
+}
+
+std::size_t ProposedDiscriminator::parameter_count() const {
+  std::size_t n = 0;
+  for (const Mlp& m : models_) n += m.parameter_count();
+  return n;
+}
+
+std::vector<float> ProposedDiscriminator::features(
+    const IqTrace& trace) const {
+  std::vector<BasebandTrace> baseband;
+  baseband.reserve(num_qubits());
+  for (std::size_t q = 0; q < num_qubits(); ++q)
+    baseband.push_back(demod_.demodulate(trace, q, samples_used_));
+  std::vector<float> feats;
+  feats.reserve(feature_dim());
+  bank_.features(baseband, feats);
+  normalizer_.apply(feats);
+  return feats;
+}
+
+std::vector<int> ProposedDiscriminator::classify(const IqTrace& trace) const {
+  const std::vector<float> feats = features(trace);
+  std::vector<int> out(models_.size());
+  for (std::size_t q = 0; q < models_.size(); ++q)
+    out[q] = models_[q].predict(feats);
+  return out;
+}
+
+}  // namespace mlqr

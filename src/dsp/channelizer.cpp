@@ -1,0 +1,41 @@
+#include "dsp/channelizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace mlqr {
+
+Channelizer::Channelizer(const ChipProfile& chip, double duration_ns)
+    : demod_(chip), dt_ns_(chip.dt_ns()) {
+  if (duration_ns <= 0.0) {
+    samples_used_ = chip.n_samples;
+  } else {
+    samples_used_ = static_cast<std::size_t>(duration_ns / chip.dt_ns());
+    MLQR_CHECK_MSG(samples_used_ > 0 && samples_used_ <= chip.n_samples,
+                   "duration " << duration_ns << " ns maps to "
+                               << samples_used_ << " samples (trace has "
+                               << chip.n_samples << ')');
+  }
+}
+
+double Channelizer::duration_ns() const {
+  return static_cast<double>(samples_used_) * dt_ns_;
+}
+
+ChannelizedShot Channelizer::channelize(const IqTrace& trace) const {
+  ChannelizedShot out;
+  out.baseband = demod_.demodulate_all(trace, samples_used_);
+  return out;
+}
+
+std::vector<ChannelizedShot> Channelizer::channelize_batch(
+    const std::vector<IqTrace>& traces) const {
+  std::vector<ChannelizedShot> out(traces.size());
+  parallel_for(0, traces.size(),
+               [&](std::size_t s) { out[s] = channelize(traces[s]); });
+  return out;
+}
+
+}  // namespace mlqr

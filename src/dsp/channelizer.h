@@ -1,0 +1,44 @@
+// Demultiplexing stage: one multiplexed feedline trace -> per-qubit
+// baseband traces, optionally truncated to a shorter readout duration.
+//
+// Bundles the Demodulator with the duration bookkeeping used by the
+// readout-time sweep (Fig 5(b)): discriminators retrained at duration D see
+// only the first D nanoseconds of every trace.
+#pragma once
+
+#include <vector>
+
+#include "dsp/demodulator.h"
+#include "sim/chip_profile.h"
+#include "sim/iq.h"
+
+namespace mlqr {
+
+/// Per-shot output of the demultiplexer.
+struct ChannelizedShot {
+  std::vector<BasebandTrace> baseband;  ///< One per qubit.
+};
+
+/// Splits multiplexed traces into per-qubit baseband channels.
+class Channelizer {
+ public:
+  /// `duration_ns` = 0 keeps the full trace; otherwise traces are truncated
+  /// to floor(duration/dt) samples before demodulation.
+  Channelizer(const ChipProfile& chip, double duration_ns = 0.0);
+
+  std::size_t samples_used() const { return samples_used_; }
+  double duration_ns() const;
+
+  ChannelizedShot channelize(const IqTrace& trace) const;
+
+  /// Batch helper over many traces.
+  std::vector<ChannelizedShot> channelize_batch(
+      const std::vector<IqTrace>& traces) const;
+
+ private:
+  Demodulator demod_;
+  std::size_t samples_used_;
+  double dt_ns_;
+};
+
+}  // namespace mlqr

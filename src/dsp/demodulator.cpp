@@ -1,0 +1,46 @@
+#include "dsp/demodulator.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+Demodulator::Demodulator(const ChipProfile& chip) {
+  tone_step_.reserve(chip.num_qubits());
+  for (const auto& q : chip.qubits) {
+    const double omega =
+        2.0 * std::numbers::pi * q.if_freq_mhz * 1e-3 * chip.dt_ns();
+    tone_step_.push_back(std::polar(1.0, -omega));
+  }
+}
+
+BasebandTrace Demodulator::demodulate(const IqTrace& trace, std::size_t qubit,
+                                      std::size_t max_samples) const {
+  MLQR_CHECK_MSG(qubit < tone_step_.size(),
+                 "qubit index " << qubit << " out of range");
+  trace.check_consistent();
+  std::size_t n = trace.size();
+  if (max_samples != 0) n = std::min(n, max_samples);
+
+  BasebandTrace out(n);
+  Complexd lo{1.0, 0.0};  // Local oscillator phase.
+  const Complexd step = tone_step_[qubit];
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = trace.sample(t) * lo;
+    lo *= step;
+  }
+  return out;
+}
+
+std::vector<BasebandTrace> Demodulator::demodulate_all(
+    const IqTrace& trace, std::size_t max_samples) const {
+  std::vector<BasebandTrace> out;
+  out.reserve(tone_step_.size());
+  for (std::size_t q = 0; q < tone_step_.size(); ++q)
+    out.push_back(demodulate(trace, q, max_samples));
+  return out;
+}
+
+}  // namespace mlqr

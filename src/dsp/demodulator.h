@@ -1,0 +1,42 @@
+// Digital down-conversion of the multiplexed feedline trace.
+//
+// Each qubit's readout tone sits at its own intermediate frequency on the
+// shared ADC channel. Demodulation mixes the digitized trace down to
+// baseband per qubit: z_q(t) = (I(t) + iQ(t)) * exp(-i 2 pi f_q t). This is
+// the cheap stage of the pipeline (two FMA units per sample per quadrature,
+// as the paper's footnote notes); all discriminators other than the raw
+// FNN baseline consume its output.
+#pragma once
+
+#include <vector>
+
+#include "sim/chip_profile.h"
+#include "sim/iq.h"
+
+namespace mlqr {
+
+/// Down-converts multiplexed traces to per-qubit baseband.
+class Demodulator {
+ public:
+  /// Empty demodulator (no channels); reassign before use.
+  Demodulator() = default;
+
+  /// Captures the IF plan and sample timing from the chip profile.
+  explicit Demodulator(const ChipProfile& chip);
+
+  std::size_t num_qubits() const { return tone_step_.size(); }
+
+  /// Baseband trace of one qubit. `max_samples` truncates the window
+  /// (readout-duration sweeps); 0 means the full trace.
+  BasebandTrace demodulate(const IqTrace& trace, std::size_t qubit,
+                           std::size_t max_samples = 0) const;
+
+  /// All qubits at once.
+  std::vector<BasebandTrace> demodulate_all(const IqTrace& trace,
+                                            std::size_t max_samples = 0) const;
+
+ private:
+  std::vector<Complexd> tone_step_;  ///< exp(-i*2*pi*f_q*dt) per qubit.
+};
+
+}  // namespace mlqr

@@ -1,0 +1,47 @@
+#include "dsp/filters.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+Complexd mean_trace_value(const BasebandTrace& trace) {
+  MLQR_CHECK(!trace.empty());
+  Complexd acc{0.0, 0.0};
+  for (const Complexd& z : trace) acc += z;
+  return acc / static_cast<double>(trace.size());
+}
+
+Complexd window_mean(const BasebandTrace& trace, std::size_t begin,
+                     std::size_t end) {
+  MLQR_CHECK_MSG(begin < end && end <= trace.size(),
+                 "window [" << begin << ',' << end << ") out of trace size "
+                            << trace.size());
+  Complexd acc{0.0, 0.0};
+  for (std::size_t t = begin; t < end; ++t) acc += trace[t];
+  return acc / static_cast<double>(end - begin);
+}
+
+BasebandTrace boxcar(const BasebandTrace& trace, std::size_t width) {
+  MLQR_CHECK(width > 0);
+  BasebandTrace out(trace.size());
+  Complexd acc{0.0, 0.0};
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    acc += trace[t];
+    if (t >= width) acc -= trace[t - width];
+    const std::size_t n = std::min(t + 1, width);
+    out[t] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+BasebandTrace decimate(const BasebandTrace& trace, std::size_t factor) {
+  MLQR_CHECK(factor > 0);
+  BasebandTrace out;
+  out.reserve(trace.size() / factor + 1);
+  for (std::size_t t = 0; t < trace.size(); t += factor) out.push_back(trace[t]);
+  return out;
+}
+
+}  // namespace mlqr

@@ -1,0 +1,27 @@
+// Trace condensation filters (paper SSII-A "Filtering").
+#pragma once
+
+#include <cstddef>
+
+#include "sim/iq.h"
+
+namespace mlqr {
+
+/// Mean Trace Value: the temporal mean of a (baseband) trace,
+/// MTV = (1/len) * sum_t Tr(t) — one complex point per trace (paper SSV-A).
+Complexd mean_trace_value(const BasebandTrace& trace);
+
+/// Mean over the sub-window [begin, end) — the error-trace miner compares
+/// early- and late-window means to spot mid-trace transitions.
+Complexd window_mean(const BasebandTrace& trace, std::size_t begin,
+                     std::size_t end);
+
+/// Boxcar (moving-average) filter with the given width; output has the same
+/// length (edges use the available prefix).
+BasebandTrace boxcar(const BasebandTrace& trace, std::size_t width);
+
+/// Decimates by keeping every `factor`-th sample (anti-aliasing is the
+/// boxcar's job; factor must divide nothing in particular).
+BasebandTrace decimate(const BasebandTrace& trace, std::size_t factor);
+
+}  // namespace mlqr

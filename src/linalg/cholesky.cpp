@@ -1,0 +1,70 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a, double jitter) {
+  MLQR_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      double sum = a(i, j) + (i == j ? jitter : 0.0);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return std::nullopt;
+        l(j, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  MLQR_CHECK(b.size() == n);
+  // Forward: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  // Back: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+  return x;
+}
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+double Cholesky::mahalanobis_squared(std::span<const double> x) const {
+  // Solve L z = x, then distance = z^T z.
+  const std::size_t n = l_.rows();
+  MLQR_CHECK(x.size() == n);
+  std::vector<double> z(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = x[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * z[k];
+    z[i] = sum / l_(i, i);
+    acc += z[i] * z[i];
+  }
+  return acc;
+}
+
+}  // namespace mlqr

@@ -1,0 +1,36 @@
+// Cholesky factorization for covariance matrices (QDA / Mahalanobis paths).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mlqr {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factorizes A = L L^T. Returns std::nullopt when A is not positive
+  /// definite (after adding `jitter` * I, which regularizes near-singular
+  /// sample covariances from small trace counts).
+  static std::optional<Cholesky> factor(const Matrix& a, double jitter = 0.0);
+
+  /// Solves A x = b via forward/back substitution.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// log(det A) = 2 * sum(log L_ii) — used by the QDA discriminant.
+  double log_det() const;
+
+  /// Mahalanobis squared distance x^T A^{-1} x.
+  double mahalanobis_squared(std::span<const double> x) const;
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace mlqr

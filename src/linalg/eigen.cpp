@@ -1,0 +1,86 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+EigenDecomposition jacobi_eigen_symmetric(const Matrix& input, double tol,
+                                          int max_sweeps,
+                                          double symmetry_tol) {
+  MLQR_CHECK_MSG(input.rows() == input.cols(),
+                 "jacobi_eigen_symmetric needs a square matrix, got "
+                     << input.rows() << 'x' << input.cols());
+  const std::size_t n = input.rows();
+
+  double scale = 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      scale = std::max(scale, std::abs(input(r, c)));
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r + 1; c < n; ++c)
+      MLQR_CHECK_MSG(
+          std::abs(input(r, c) - input(c, r)) <= symmetry_tol * std::max(scale, 1.0),
+          "matrix is not symmetric at (" << r << ',' << c << ')');
+
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (a.max_off_diagonal() <= tol * std::max(scale, 1e-300)) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a(i, i) < a(j, j);
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      out.eigenvectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace mlqr

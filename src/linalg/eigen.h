@@ -1,0 +1,29 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Spectral clustering (src/cluster) needs the bottom eigenvectors of a
+// normalized graph Laplacian over a few hundred subsampled traces; dense
+// Jacobi is exact, dependency-free, and fast at that scale (O(n^3) with a
+// small constant).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mlqr {
+
+/// Result of a symmetric eigendecomposition: A = V diag(w) V^T.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;  ///< Ascending order.
+  Matrix eigenvectors;              ///< Column i pairs with eigenvalues[i].
+};
+
+/// Decomposes a symmetric matrix with cyclic Jacobi rotations.
+/// Throws if the matrix is not square; asymmetry beyond `symmetry_tol`
+/// (relative to the largest element) also throws.
+EigenDecomposition jacobi_eigen_symmetric(const Matrix& a,
+                                          double tol = 1e-12,
+                                          int max_sweeps = 64,
+                                          double symmetry_tol = 1e-8);
+
+}  // namespace mlqr

@@ -1,0 +1,85 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace mlqr {
+
+namespace {
+
+// Scalar element accessor honouring the transpose flag.
+inline float elem(const float* p, std::size_t ld, bool trans, std::size_t r,
+                  std::size_t c) {
+  return trans ? p[c * ld + r] : p[r * ld + c];
+}
+
+// Inner kernel for the non-transposed-B case: C[i,:] += a_ik * B[k,:].
+void gemm_rows(bool trans_a, bool trans_b, std::size_t row_lo,
+               std::size_t row_hi, std::size_t n, std::size_t k, float alpha,
+               const float* a, std::size_t lda, const float* b,
+               std::size_t ldb, float beta, float* c, std::size_t ldc) {
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    if (!trans_b) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = alpha * elem(a, lda, trans_a, i, kk);
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * ldb;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    } else {
+      // B transposed: op(B)[kk, j] = B[j, kk] — dot products along rows of B.
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* bjrow = b + j * ldb;
+        float acc = 0.0f;
+        if (!trans_a) {
+          const float* arow = a + i * lda;
+          for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * bjrow[kk];
+        } else {
+          for (std::size_t kk = 0; kk < k; ++kk)
+            acc += a[kk * lda + i] * bjrow[kk];
+        }
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, const float* a, std::size_t lda,
+           const float* b, std::size_t ldb, float beta, float* c,
+           std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  // Parallelize when there is enough arithmetic to amortize thread fork.
+  const std::size_t flops = 2 * m * n * k;
+  if (flops < (1u << 20) || m < 4) {
+    gemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
+              ldc);
+    return;
+  }
+  parallel_for_chunked(0, m, [&](std::size_t lo, std::size_t hi) {
+    gemm_rows(trans_a, trans_b, lo, hi, n, k, alpha, a, lda, b, ldb, beta, c,
+              ldc);
+  });
+}
+
+void sgemv(std::size_t m, std::size_t n, const float* a, std::size_t lda,
+           const float* x, const float* bias_or_null, float* y) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float acc = bias_or_null != nullptr ? bias_or_null[i] : 0.0f;
+    for (std::size_t j = 0; j < n; ++j) acc += arow[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+}  // namespace mlqr

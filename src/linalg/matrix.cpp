@@ -1,0 +1,98 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  MLQR_CHECK_MSG(r < rows_ && c < cols_,
+                 "Matrix::at(" << r << ',' << c << ") out of " << rows_ << 'x'
+                               << cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  MLQR_CHECK_MSG(r < rows_ && c < cols_,
+                 "Matrix::at(" << r << ',' << c << ") out of " << rows_ << 'x'
+                               << cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  MLQR_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  MLQR_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  MLQR_CHECK_MSG(cols_ == other.rows_, "Matrix::multiply shape mismatch: "
+                                           << rows_ << 'x' << cols_ << " * "
+                                           << other.rows_ << 'x'
+                                           << other.cols_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* crow = &out.data_[i * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> v) const {
+  MLQR_CHECK(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const double* arow = &data_[i * cols_];
+    for (std::size_t j = 0; j < cols_; ++j) acc += arow[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+  MLQR_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double Matrix::max_off_diagonal() const {
+  MLQR_CHECK(rows_ == cols_);
+  double worst = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (r != c) worst = std::max(worst, std::abs((*this)(r, c)));
+  return worst;
+}
+
+}  // namespace mlqr

@@ -1,0 +1,66 @@
+// Dense row-major double-precision matrix.
+//
+// Used by the statistics / clustering / discriminant-analysis paths where
+// numerical robustness matters more than raw throughput. The hot NN
+// training path uses the float GEMM in gemm.h instead.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mlqr {
+
+/// Row-major dense matrix of doubles with bounds-checked access.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Bounds-checked element access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Unchecked element access for inner loops.
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of one row.
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  Matrix transposed() const;
+
+  /// this * other — dimensions must agree.
+  Matrix multiply(const Matrix& other) const;
+
+  /// this * v — v.size() must equal cols().
+  std::vector<double> multiply(std::span<const double> v) const;
+
+  /// Frobenius norm of (this - other); matrices must be the same shape.
+  double frobenius_distance(const Matrix& other) const;
+
+  /// Largest absolute off-diagonal element (square matrices only) —
+  /// convergence measure for the Jacobi eigensolver.
+  double max_off_diagonal() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mlqr

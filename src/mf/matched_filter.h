@@ -1,0 +1,62 @@
+// Pairwise matched filters for quantum-state discrimination (paper SSV-B).
+//
+// For two trace classes with per-time-bin means mu_a(t), mu_b(t) and
+// variances sigma_a^2(t), sigma_b^2(t), the kernel is
+//     K(t) = (mu_b(t) - mu_a(t)) / (sigma_a^2(t) + sigma_b^2(t) + eps).
+// (The paper's Eq. writes a variance *difference* in the denominator; with
+// state-independent amplifier noise that difference is ~0 and the kernel
+// diverges, so we use the standard SNR-optimal variance-sum form — the
+// ISCA'23 HERQULES construction — and note the deviation in EXPERIMENTS.md.)
+//
+// Applying a filter is a single complex dot product against the baseband
+// trace; the real part is the decision score. Kernels are affinely
+// normalized so the two training-class centroids map to -0.5 and +0.5,
+// which keeps downstream NN inputs well-conditioned and makes the sign of
+// the score directly interpretable (positive = class b).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/iq.h"
+
+namespace mlqr {
+
+/// A trained two-class matched filter over complex baseband traces.
+class MatchedFilter {
+ public:
+  MatchedFilter() = default;
+
+  /// Builds a filter separating class a (score -0.5) from class b (+0.5).
+  /// Both spans index into `traces`; every referenced trace must have at
+  /// least `n_samples` entries. Throws when either class is empty.
+  ///
+  /// `smooth_window` boxcar-smooths the kernel along time. The resonator
+  /// band-limits the real signal dynamics (tau ~ 100 ns >> the 2 ns bin),
+  /// while the amplifier noise baked into small-sample mean estimates is
+  /// white — smoothing therefore strips the embedded noise that would
+  /// otherwise inflate scores of the very traces the kernel was fit on
+  /// (rare-|2> kernels are fit from a handful of mined traces).
+  static MatchedFilter build(std::span<const BasebandTrace> traces,
+                             std::span<const std::size_t> class_a,
+                             std::span<const std::size_t> class_b,
+                             std::size_t n_samples,
+                             std::size_t smooth_window = 16);
+
+  /// Decision score for one trace (uses the first kernel-length samples).
+  double apply(const BasebandTrace& trace) const;
+
+  std::size_t length() const { return kernel_.size(); }
+  const std::vector<Complexd>& kernel() const { return kernel_; }
+
+  /// Raw (pre-normalization) separation between the training centroids —
+  /// a filter-quality diagnostic (~SNR in kernel units).
+  double training_separation() const { return separation_; }
+
+ private:
+  std::vector<Complexd> kernel_;  ///< Conjugated, scaled kernel.
+  double bias_ = 0.0;             ///< Subtracted after projection.
+  double separation_ = 0.0;
+};
+
+}  // namespace mlqr

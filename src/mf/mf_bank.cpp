@@ -1,0 +1,162 @@
+#include "mf/mf_bank.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+QubitMfBank QubitMfBank::train(std::span<const BasebandTrace> traces,
+                               std::span<const int> labels,
+                               std::size_t n_samples, const MfBankConfig& cfg) {
+  MLQR_CHECK(traces.size() == labels.size());
+  QubitMfBank bank;
+  bank.cfg_ = cfg;
+  bank.mined_ = mine_error_traces(traces, labels, cfg.miner);
+
+  // Clean per-level index sets; every level must be represented so that
+  // kernel shapes are well-defined.
+  std::array<std::vector<std::size_t>, kNumLevels> by_level;
+  for (std::size_t s = 0; s < labels.size(); ++s)
+    by_level[labels[s]].push_back(s);
+  for (int l = 0; l < kNumLevels; ++l)
+    MLQR_CHECK_MSG(by_level[l].size() >= 2,
+                   "need >=2 traces for level " << l << ", got "
+                                                << by_level[l].size());
+
+  // Prefer transition-free traces for state kernels; fall back to all
+  // traces of the level when the clean subset is too small.
+  auto state_set = [&](int level) -> const std::vector<std::size_t>& {
+    return bank.mined_.clean[level].size() >= 2 ? bank.mined_.clean[level]
+                                                : by_level[level];
+  };
+
+  if (cfg.use_qmf) {
+    static constexpr std::array<std::pair<int, int>, 3> kPairs{
+        {{0, 1}, {0, 2}, {1, 2}}};
+    for (const auto& [a, b] : kPairs)
+      bank.filters_.push_back(
+          MatchedFilter::build(traces, state_set(a), state_set(b), n_samples,
+                               cfg.kernel_smooth_window));
+  }
+  if (cfg.use_rmf) {
+    for (std::size_t p = 0; p < MinedErrorTraces::kRelaxPairs.size(); ++p) {
+      const auto [from, to] = MinedErrorTraces::kRelaxPairs[p];
+      const auto& errs = bank.mined_.relaxation[p];
+      if (errs.size() >= cfg.min_error_traces) {
+        // Clean `from` traces vs relaxed from->to traces.
+        bank.filters_.push_back(
+            MatchedFilter::build(traces, state_set(from), errs, n_samples,
+                                 cfg.kernel_smooth_window));
+      } else {
+        // Scarce-data fallback: the state-pair kernel still reacts to the
+        // destination state's signature appearing inside the trace.
+        bank.filters_.push_back(
+            MatchedFilter::build(traces, state_set(from), state_set(to),
+                                 n_samples, cfg.kernel_smooth_window));
+      }
+    }
+  }
+  if (cfg.use_emf) {
+    for (std::size_t p = 0; p < MinedErrorTraces::kExcitePairs.size(); ++p) {
+      const auto [from, to] = MinedErrorTraces::kExcitePairs[p];
+      const auto& errs = bank.mined_.excitation[p];
+      if (errs.size() >= cfg.min_error_traces) {
+        bank.filters_.push_back(
+            MatchedFilter::build(traces, state_set(from), errs, n_samples,
+                                 cfg.kernel_smooth_window));
+      } else {
+        bank.filters_.push_back(
+            MatchedFilter::build(traces, state_set(from), state_set(to),
+                                 n_samples, cfg.kernel_smooth_window));
+      }
+    }
+  }
+  MLQR_CHECK(bank.filters_.size() == cfg.filters_per_qubit());
+  return bank;
+}
+
+void QubitMfBank::features(const BasebandTrace& trace,
+                           std::vector<float>& out) const {
+  for (const MatchedFilter& f : filters_)
+    out.push_back(static_cast<float>(f.apply(trace)));
+}
+
+std::vector<float> cross_fit_features(std::span<const BasebandTrace> traces,
+                                      std::span<const int> labels,
+                                      std::size_t n_samples,
+                                      const MfBankConfig& cfg,
+                                      std::size_t n_folds) {
+  MLQR_CHECK(traces.size() == labels.size());
+  MLQR_CHECK(n_folds >= 2);
+  const std::size_t per_q = cfg.filters_per_qubit();
+  std::vector<float> features(traces.size() * per_q, 0.0f);
+
+  // Stratified fold assignment: alternate within each level so every
+  // fold's complement keeps >= 2 traces of every level.
+  std::vector<std::size_t> fold(traces.size(), 0);
+  std::array<std::size_t, kNumLevels> counter{};
+  for (std::size_t s = 0; s < traces.size(); ++s) {
+    const int l = labels[s];
+    MLQR_CHECK(l >= 0 && l < kNumLevels);
+    fold[s] = counter[l]++ % n_folds;
+  }
+
+  std::vector<float> scratch;
+  for (std::size_t f = 0; f < n_folds; ++f) {
+    // Complement subset for kernel training.
+    std::vector<BasebandTrace> fit_traces;
+    std::vector<int> fit_labels;
+    for (std::size_t s = 0; s < traces.size(); ++s) {
+      if (fold[s] == f) continue;
+      fit_traces.push_back(traces[s]);  // Copy: bank API owns spans only
+      fit_labels.push_back(labels[s]);  // during train; traces are small.
+    }
+    const QubitMfBank bank =
+        QubitMfBank::train(fit_traces, fit_labels, n_samples, cfg);
+    for (std::size_t s = 0; s < traces.size(); ++s) {
+      if (fold[s] != f) continue;
+      scratch.clear();
+      bank.features(traces[s], scratch);
+      std::copy(scratch.begin(), scratch.end(),
+                features.begin() + s * per_q);
+    }
+  }
+  return features;
+}
+
+ChipMfBank ChipMfBank::train(
+    const std::vector<std::vector<BasebandTrace>>& per_qubit_traces,
+    const std::vector<std::vector<int>>& per_qubit_labels,
+    std::size_t n_samples, const MfBankConfig& cfg) {
+  MLQR_CHECK(!per_qubit_traces.empty());
+  MLQR_CHECK(per_qubit_traces.size() == per_qubit_labels.size());
+  ChipMfBank chip_bank;
+  chip_bank.cfg_ = cfg;
+  chip_bank.banks_.reserve(per_qubit_traces.size());
+  for (std::size_t q = 0; q < per_qubit_traces.size(); ++q) {
+    chip_bank.banks_.push_back(QubitMfBank::train(
+        per_qubit_traces[q], per_qubit_labels[q], n_samples, cfg));
+  }
+  return chip_bank;
+}
+
+void ChipMfBank::adopt(const MfBankConfig& cfg,
+                       std::vector<QubitMfBank> banks) {
+  MLQR_CHECK(!banks.empty());
+  for (const QubitMfBank& b : banks)
+    MLQR_CHECK_MSG(b.feature_count() == cfg.filters_per_qubit(),
+                   "adopted bank does not match the config's filter layout");
+  cfg_ = cfg;
+  banks_ = std::move(banks);
+}
+
+void ChipMfBank::features(const std::vector<BasebandTrace>& per_qubit_baseband,
+                          std::vector<float>& out) const {
+  MLQR_CHECK_MSG(per_qubit_baseband.size() == banks_.size(),
+                 "expected one baseband trace per qubit");
+  for (std::size_t q = 0; q < banks_.size(); ++q)
+    banks_[q].features(per_qubit_baseband[q], out);
+}
+
+}  // namespace mlqr

@@ -1,0 +1,117 @@
+// Per-qubit banks of qubit/relaxation/excitation matched filters and the
+// chip-level feature extractor (paper Fig 4(a)-(b), Table III).
+//
+// Filter layout per qubit (fixed order so downstream models can rely on
+// feature indices):
+//   QMF  0:|0>vs|1>   1:|0>vs|2>   2:|1>vs|2>
+//   RMF  3:1->0       4:2->0       5:2->1
+//   EMF  6:0->1       7:0->2       8:1->2
+// Groups can be disabled (HERQULES uses QMF+RMF; the Table V "NN" ablation
+// uses QMF only), which shrinks the feature vector accordingly.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mf/error_miner.h"
+#include "mf/matched_filter.h"
+#include "sim/iq.h"
+
+namespace mlqr {
+
+/// Which filter groups a bank trains/applies.
+struct MfBankConfig {
+  bool use_qmf = true;
+  bool use_rmf = true;
+  bool use_emf = true;
+  ErrorMinerConfig miner;
+  /// Minimum mined traces to fit a dedicated error kernel; below this the
+  /// bank falls back to the corresponding state-pair QMF kernel shape so
+  /// the feature layout stays fixed (scarce natural leakage, paper SSVI).
+  std::size_t min_error_traces = 8;
+  /// Temporal kernel smoothing (see MatchedFilter::build).
+  std::size_t kernel_smooth_window = 16;
+
+  std::size_t filters_per_qubit() const {
+    return (use_qmf ? 3u : 0u) + (use_rmf ? 3u : 0u) + (use_emf ? 3u : 0u);
+  }
+};
+
+/// Trained filter bank for a single qubit.
+class QubitMfBank {
+ public:
+  /// Trains from that qubit's baseband traces and 3-level start-of-readout
+  /// labels. Requires at least two traces for every level.
+  static QubitMfBank train(std::span<const BasebandTrace> traces,
+                           std::span<const int> labels,
+                           std::size_t n_samples, const MfBankConfig& cfg);
+
+  /// Applies every enabled filter; output size = cfg.filters_per_qubit().
+  void features(const BasebandTrace& trace, std::vector<float>& out) const;
+
+  std::size_t feature_count() const { return filters_.size(); }
+  const MfBankConfig& config() const { return cfg_; }
+
+  /// Mined-trace counts (diagnostics; paper reports 487..17,642 leakage
+  /// traces across qubits).
+  const MinedErrorTraces& mined() const { return mined_; }
+
+  /// Filter accessor for inspection/tests (index per the layout above,
+  /// compacted over enabled groups).
+  const MatchedFilter& filter(std::size_t i) const { return filters_.at(i); }
+
+ private:
+  MfBankConfig cfg_;
+  std::vector<MatchedFilter> filters_;
+  MinedErrorTraces mined_;
+};
+
+/// Cross-fitted feature extraction: every trace's filter scores are
+/// computed with a bank trained on the *other* folds, so a trace's own
+/// noise never appears inside the kernels that score it. Without this, the
+/// handful of mined |2> traces both define the rare-state kernels and get
+/// scored by them — their scores inflate by ~|noise|^2/n and a downstream
+/// classifier learns thresholds fresh traces never reach.
+/// Returns row-major (traces.size() x cfg.filters_per_qubit()).
+std::vector<float> cross_fit_features(std::span<const BasebandTrace> traces,
+                                      std::span<const int> labels,
+                                      std::size_t n_samples,
+                                      const MfBankConfig& cfg,
+                                      std::size_t n_folds = 2);
+
+/// All qubits' banks + shot-level feature assembly ("MF Data (9x5)" ->
+/// "Merged Data (45x1)" in Fig 4).
+class ChipMfBank {
+ public:
+  /// per_qubit_traces[q][s] is qubit q's baseband trace for shot s;
+  /// per_qubit_labels[q][s] the matching 3-level label.
+  static ChipMfBank train(
+      const std::vector<std::vector<BasebandTrace>>& per_qubit_traces,
+      const std::vector<std::vector<int>>& per_qubit_labels,
+      std::size_t n_samples, const MfBankConfig& cfg);
+
+  std::size_t num_qubits() const { return banks_.size(); }
+  std::size_t features_per_qubit() const { return cfg_.filters_per_qubit(); }
+  std::size_t total_features() const {
+    return num_qubits() * features_per_qubit();
+  }
+
+  /// Concatenated features for one shot (all qubits), appended to `out`.
+  void features(const std::vector<BasebandTrace>& per_qubit_baseband,
+                std::vector<float>& out) const;
+
+  const QubitMfBank& bank(std::size_t q) const { return banks_.at(q); }
+
+  /// Adopts pre-trained per-qubit banks (all must share `cfg`). Trainers
+  /// that demodulate qubit-by-qubit to bound memory use this instead of
+  /// train().
+  void adopt(const MfBankConfig& cfg, std::vector<QubitMfBank> banks);
+
+ private:
+  MfBankConfig cfg_;
+  std::vector<QubitMfBank> banks_;
+};
+
+}  // namespace mlqr

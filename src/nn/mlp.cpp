@@ -1,0 +1,166 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "linalg/gemm.h"
+
+namespace mlqr {
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes) {
+  MLQR_CHECK_MSG(layer_sizes.size() >= 2, "MLP needs at least input+output");
+  for (std::size_t s : layer_sizes) MLQR_CHECK(s > 0);
+  layers_.reserve(layer_sizes.size() - 1);
+  for (std::size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+    DenseLayer layer;
+    layer.in = layer_sizes[l];
+    layer.out = layer_sizes[l + 1];
+    layer.w.assign(layer.in * layer.out, 0.0f);
+    layer.b.assign(layer.out, 0.0f);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::init_weights(Rng& rng) {
+  for (DenseLayer& layer : layers_) {
+    const double stddev = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (float& w : layer.w)
+      w = static_cast<float>(rng.normal(0.0, stddev));
+    std::fill(layer.b.begin(), layer.b.end(), 0.0f);
+  }
+}
+
+std::size_t Mlp::input_size() const {
+  MLQR_CHECK(!layers_.empty());
+  return layers_.front().in;
+}
+
+std::size_t Mlp::output_size() const {
+  MLQR_CHECK(!layers_.empty());
+  return layers_.back().out;
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const DenseLayer& l : layers_) n += l.parameter_count();
+  return n;
+}
+
+std::vector<float> Mlp::logits(std::span<const float> x) const {
+  MLQR_CHECK_MSG(x.size() == input_size(),
+                 "MLP input size " << x.size() << " != " << input_size());
+  std::vector<float> act(x.begin(), x.end());
+  std::vector<float> next;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const DenseLayer& layer = layers_[l];
+    next.assign(layer.out, 0.0f);
+    sgemv(layer.out, layer.in, layer.w.data(), layer.in, act.data(),
+          layer.b.data(), next.data());
+    if (l + 1 < layers_.size())
+      for (float& v : next) v = std::max(v, 0.0f);
+    act = std::move(next);
+  }
+  return act;
+}
+
+int Mlp::predict(std::span<const float> x) const {
+  const std::vector<float> z = logits(x);
+  return static_cast<int>(
+      std::max_element(z.begin(), z.end()) - z.begin());
+}
+
+std::vector<float> Mlp::forward_batch(std::span<const float> x,
+                                      std::size_t batch) const {
+  MLQR_CHECK(batch > 0 && x.size() == batch * input_size());
+  std::vector<float> act(x.begin(), x.end());
+  std::size_t act_dim = input_size();
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const DenseLayer& layer = layers_[l];
+    std::vector<float> z(batch * layer.out);
+    // Z = A * W^T.
+    sgemm(false, true, batch, layer.out, layer.in, 1.0f, act.data(), act_dim,
+          layer.w.data(), layer.in, 0.0f, z.data(), layer.out);
+    for (std::size_t r = 0; r < batch; ++r)
+      for (std::size_t c = 0; c < layer.out; ++c)
+        z[r * layer.out + c] += layer.b[c];
+    if (l + 1 < layers_.size())
+      for (float& v : z) v = std::max(v, 0.0f);
+    act = std::move(z);
+    act_dim = layer.out;
+  }
+  return act;
+}
+
+void Mlp::quantize(const FixedPointFormat& fmt) {
+  for (DenseLayer& l : layers_) {
+    quantize_in_place(l.w, fmt);
+    quantize_in_place(l.b, fmt);
+  }
+}
+
+float Mlp::max_abs_weight() const {
+  float worst = 0.0f;
+  for (const DenseLayer& l : layers_) {
+    for (float w : l.w) worst = std::max(worst, std::abs(w));
+    for (float b : l.b) worst = std::max(worst, std::abs(b));
+  }
+  return worst;
+}
+
+void Mlp::save(std::ostream& os) const {
+  const std::uint64_t n_layers = layers_.size();
+  os.write(reinterpret_cast<const char*>(&n_layers), sizeof(n_layers));
+  for (const DenseLayer& l : layers_) {
+    const std::uint64_t in = l.in, out = l.out;
+    os.write(reinterpret_cast<const char*>(&in), sizeof(in));
+    os.write(reinterpret_cast<const char*>(&out), sizeof(out));
+    os.write(reinterpret_cast<const char*>(l.w.data()),
+             static_cast<std::streamsize>(l.w.size() * sizeof(float)));
+    os.write(reinterpret_cast<const char*>(l.b.data()),
+             static_cast<std::streamsize>(l.b.size() * sizeof(float)));
+  }
+  MLQR_CHECK_MSG(os.good(), "MLP serialization failed");
+}
+
+Mlp Mlp::load(std::istream& is) {
+  std::uint64_t n_layers = 0;
+  is.read(reinterpret_cast<char*>(&n_layers), sizeof(n_layers));
+  MLQR_CHECK_MSG(is.good() && n_layers > 0 && n_layers < 64,
+                 "corrupt MLP stream");
+  Mlp mlp;
+  mlp.layers_.resize(n_layers);
+  for (DenseLayer& l : mlp.layers_) {
+    std::uint64_t in = 0, out = 0;
+    is.read(reinterpret_cast<char*>(&in), sizeof(in));
+    is.read(reinterpret_cast<char*>(&out), sizeof(out));
+    MLQR_CHECK_MSG(is.good() && in > 0 && out > 0, "corrupt MLP layer header");
+    l.in = in;
+    l.out = out;
+    l.w.resize(l.in * l.out);
+    l.b.resize(l.out);
+    is.read(reinterpret_cast<char*>(l.w.data()),
+            static_cast<std::streamsize>(l.w.size() * sizeof(float)));
+    is.read(reinterpret_cast<char*>(l.b.data()),
+            static_cast<std::streamsize>(l.b.size() * sizeof(float)));
+    MLQR_CHECK_MSG(is.good(), "truncated MLP stream");
+  }
+  return mlp;
+}
+
+std::vector<float> softmax(std::span<const float> logits) {
+  MLQR_CHECK(!logits.empty());
+  const float peak = *std::max_element(logits.begin(), logits.end());
+  std::vector<float> p(logits.size());
+  float total = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - peak);
+    total += p[i];
+  }
+  for (float& v : p) v /= total;
+  return p;
+}
+
+}  // namespace mlqr

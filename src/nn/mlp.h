@@ -1,0 +1,77 @@
+// Feed-forward multilayer perceptron (dense, ReLU hidden, linear logits).
+//
+// Small enough to hand to the FPGA resource estimator layer-by-layer, yet
+// fast enough (via linalg/gemm.h) to train the 686 k-parameter FNN
+// baseline. Weights are float; quantize() rounds them to an ap_fixed-style
+// grid for the quantization-impact study.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "common/rng.h"
+
+namespace mlqr {
+
+/// One dense layer: y = W x + b with W stored row-major (out x in).
+struct DenseLayer {
+  std::size_t in = 0;
+  std::size_t out = 0;
+  std::vector<float> w;  ///< out x in, row-major.
+  std::vector<float> b;  ///< out.
+
+  std::size_t parameter_count() const { return w.size() + b.size(); }
+};
+
+/// MLP over float features. Hidden activations are ReLU; the final layer
+/// emits raw logits (softmax lives in the loss / caller).
+class Mlp {
+ public:
+  Mlp() = default;
+
+  /// Builds layers from sizes, e.g. {45, 22, 11, 3}. Needs >= 2 entries.
+  explicit Mlp(std::vector<std::size_t> layer_sizes);
+
+  /// He-normal weight initialization (deterministic given rng state).
+  void init_weights(Rng& rng);
+
+  std::size_t input_size() const;
+  std::size_t output_size() const;
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t parameter_count() const;
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+  std::vector<DenseLayer>& mutable_layers() { return layers_; }
+
+  /// Logits for a single sample (x.size() == input_size()).
+  std::vector<float> logits(std::span<const float> x) const;
+
+  /// argmax of logits(x).
+  int predict(std::span<const float> x) const;
+
+  /// Batch forward: X is row-major (batch x in); returns row-major logits
+  /// (batch x out). Scratch buffers are caller-invisible.
+  std::vector<float> forward_batch(std::span<const float> x,
+                                   std::size_t batch) const;
+
+  /// Rounds every weight and bias onto the fixed-point grid (in place).
+  void quantize(const FixedPointFormat& fmt);
+
+  /// Largest |weight| across the network — used to pick a fixed-point
+  /// format that avoids saturation.
+  float max_abs_weight() const;
+
+  /// Binary serialization (layer sizes + raw weights).
+  void save(std::ostream& os) const;
+  static Mlp load(std::istream& is);
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+/// Numerically stable softmax over a logits vector.
+std::vector<float> softmax(std::span<const float> logits);
+
+}  // namespace mlqr

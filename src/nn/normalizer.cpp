@@ -1,0 +1,47 @@
+#include "nn/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+FeatureNormalizer FeatureNormalizer::fit(std::span<const float> features,
+                                         std::size_t dim) {
+  MLQR_CHECK(dim > 0 && features.size() % dim == 0);
+  const std::size_t n = features.size() / dim;
+  MLQR_CHECK_MSG(n >= 2, "need >=2 rows to fit a normalizer");
+
+  FeatureNormalizer norm;
+  norm.mean_.assign(dim, 0.0f);
+  norm.std_.assign(dim, 0.0f);
+  std::vector<double> mu(dim, 0.0), m2(dim, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = features.data() + r * dim;
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double delta = row[c] - mu[c];
+      mu[c] += delta / static_cast<double>(r + 1);
+      m2[c] += delta * (row[c] - mu[c]);
+    }
+  }
+  for (std::size_t c = 0; c < dim; ++c) {
+    norm.mean_[c] = static_cast<float>(mu[c]);
+    const double var = m2[c] / static_cast<double>(n - 1);
+    norm.std_[c] = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
+  }
+  return norm;
+}
+
+void FeatureNormalizer::apply(std::span<float> features) const {
+  const std::size_t dim = mean_.size();
+  MLQR_CHECK(dim > 0 && features.size() % dim == 0);
+  constexpr float kMaxAbsZ = 12.0f;  // Winsorize pathological outliers.
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const std::size_t c = i % dim;
+    const float z = (features[i] - mean_[c]) / std_[c];
+    features[i] = std::clamp(z, -kMaxAbsZ, kMaxAbsZ);
+  }
+}
+
+}  // namespace mlqr

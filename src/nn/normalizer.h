@@ -1,0 +1,36 @@
+// Per-feature standardization (z-score) fitted on training data.
+//
+// Matched-filter scores are already ~O(1) by construction, but raw-trace
+// inputs (FNN baseline) span the full ADC range; every discriminator
+// standardizes its inputs with statistics frozen at training time so that
+// inference is a pure affine map (cheap on the FPGA).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mlqr {
+
+class FeatureNormalizer {
+ public:
+  FeatureNormalizer() = default;
+
+  /// Fits mean/std per column of a row-major (n x dim) feature matrix.
+  static FeatureNormalizer fit(std::span<const float> features,
+                               std::size_t dim);
+
+  std::size_t dim() const { return mean_.size(); }
+
+  /// In-place standardization of a single row or a whole matrix (size must
+  /// be a multiple of dim()).
+  void apply(std::span<float> features) const;
+
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& std_dev() const { return std_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+}  // namespace mlqr

@@ -1,0 +1,284 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/gemm.h"
+
+namespace mlqr {
+
+namespace {
+
+/// Adam moment buffers matching a model's parameter layout.
+struct AdamState {
+  std::vector<std::vector<float>> mw, vw, mb, vb;
+
+  explicit AdamState(const Mlp& model) {
+    for (const DenseLayer& l : model.layers()) {
+      mw.emplace_back(l.w.size(), 0.0f);
+      vw.emplace_back(l.w.size(), 0.0f);
+      mb.emplace_back(l.b.size(), 0.0f);
+      vb.emplace_back(l.b.size(), 0.0f);
+    }
+  }
+};
+
+void adam_update(std::span<float> param, std::span<const float> grad,
+                 std::span<float> m, std::span<float> v,
+                 const TrainerConfig& cfg, float bias1, float bias2) {
+  // AdamW: decoupled weight decay — the decay acts directly on the weights
+  // instead of through the adaptive gradient normalization, so its
+  // strength is predictable regardless of gradient scale.
+  const float decay = cfg.learning_rate * cfg.weight_decay;
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const float g = grad[i];
+    m[i] = cfg.beta1 * m[i] + (1.0f - cfg.beta1) * g;
+    v[i] = cfg.beta2 * v[i] + (1.0f - cfg.beta2) * g * g;
+    const float mhat = m[i] / bias1;
+    const float vhat = v[i] / bias2;
+    param[i] -= cfg.learning_rate * mhat / (std::sqrt(vhat) + cfg.adam_eps) +
+                decay * param[i];
+  }
+}
+
+}  // namespace
+
+std::vector<float> inverse_frequency_weights(std::span<const int> labels,
+                                             std::size_t n_classes) {
+  std::vector<std::size_t> counts(n_classes, 0);
+  for (int l : labels) {
+    MLQR_CHECK(l >= 0 && static_cast<std::size_t>(l) < n_classes);
+    ++counts[l];
+  }
+  std::size_t present = 0;
+  for (std::size_t c : counts)
+    if (c > 0) ++present;
+  MLQR_CHECK(present > 0);
+  std::vector<float> weights(n_classes, 0.0f);
+  const double total = static_cast<double>(labels.size());
+  for (std::size_t c = 0; c < n_classes; ++c)
+    if (counts[c] > 0)
+      weights[c] = static_cast<float>(
+          total / (static_cast<double>(present) *
+                   static_cast<double>(counts[c])));
+  return weights;
+}
+
+double evaluate_accuracy(const Mlp& model, std::span<const float> features,
+                         std::span<const int> labels) {
+  MLQR_CHECK(!labels.empty());
+  const std::size_t in = model.input_size();
+  MLQR_CHECK(features.size() == labels.size() * in);
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < labels.size(); ++s)
+    if (model.predict(features.subspan(s * in, in)) == labels[s]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+double evaluate_balanced_accuracy(const Mlp& model,
+                                  std::span<const float> features,
+                                  std::span<const int> labels) {
+  MLQR_CHECK(!labels.empty());
+  const std::size_t in = model.input_size();
+  const std::size_t k = model.output_size();
+  MLQR_CHECK(features.size() == labels.size() * in);
+  std::vector<std::size_t> hits(k, 0), totals(k, 0);
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    const int truth = labels[s];
+    MLQR_CHECK(truth >= 0 && static_cast<std::size_t>(truth) < k);
+    ++totals[truth];
+    if (model.predict(features.subspan(s * in, in)) == truth) ++hits[truth];
+  }
+  double acc = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (totals[c] == 0) continue;
+    acc += static_cast<double>(hits[c]) / static_cast<double>(totals[c]);
+    ++present;
+  }
+  MLQR_CHECK(present > 0);
+  return acc / static_cast<double>(present);
+}
+
+TrainHistory train_classifier(Mlp& model, std::span<const float> features,
+                              std::span<const int> labels,
+                              const TrainerConfig& cfg) {
+  const std::size_t in_dim = model.input_size();
+  const std::size_t out_dim = model.output_size();
+  MLQR_CHECK(!labels.empty());
+  MLQR_CHECK_MSG(features.size() == labels.size() * in_dim,
+                 "feature matrix shape mismatch");
+  if (!cfg.class_weights.empty())
+    MLQR_CHECK(cfg.class_weights.size() == out_dim);
+  for (int l : labels)
+    MLQR_CHECK_MSG(l >= 0 && static_cast<std::size_t>(l) < out_dim,
+                   "label " << l << " out of range for " << out_dim
+                            << " classes");
+
+  Rng rng(cfg.seed);
+
+  // Train/validation split.
+  std::vector<std::size_t> order = rng.permutation(labels.size());
+  std::size_t n_val = cfg.validation_fraction > 0.0f
+                          ? static_cast<std::size_t>(
+                                cfg.validation_fraction *
+                                static_cast<double>(labels.size()))
+                          : 0;
+  if (n_val < 8) n_val = 0;  // Too small to be a useful signal.
+  const std::size_t n_train = labels.size() - n_val;
+  MLQR_CHECK(n_train >= 1);
+
+  std::vector<float> val_x(n_val * in_dim);
+  std::vector<int> val_y(n_val);
+  for (std::size_t i = 0; i < n_val; ++i) {
+    const std::size_t s = order[n_train + i];
+    std::copy_n(features.data() + s * in_dim, in_dim,
+                val_x.data() + i * in_dim);
+    val_y[i] = labels[s];
+  }
+
+  AdamState adam(model);
+  TrainHistory history;
+  std::vector<DenseLayer> best_weights;
+  double best_val = -1.0;
+  long step = 0;
+
+  std::vector<std::size_t> train_idx(order.begin(), order.begin() + n_train);
+  const std::size_t batch = std::min(cfg.batch_size, n_train);
+
+  // Reusable buffers.
+  std::vector<float> bx(batch * in_dim);
+  std::vector<int> by(batch);
+  std::vector<float> sample_w(batch);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Shuffle training order each epoch.
+    for (std::size_t i = n_train; i > 1; --i)
+      std::swap(train_idx[i - 1], train_idx[rng.uniform_index(i)]);
+
+    double epoch_loss = 0.0;
+    double epoch_weight = 0.0;
+
+    for (std::size_t start = 0; start < n_train; start += batch) {
+      const std::size_t b = std::min(batch, n_train - start);
+      for (std::size_t i = 0; i < b; ++i) {
+        const std::size_t s = train_idx[start + i];
+        std::copy_n(features.data() + s * in_dim, in_dim,
+                    bx.data() + i * in_dim);
+        by[i] = labels[s];
+        sample_w[i] = cfg.class_weights.empty()
+                          ? 1.0f
+                          : cfg.class_weights[by[i]];
+      }
+
+      // ---- Forward pass, caching activations per layer. ----
+      const auto& layers = model.layers();
+      std::vector<std::vector<float>> acts;   // acts[0] = input batch.
+      std::vector<std::vector<float>> zs;     // Pre-activation per layer.
+      acts.emplace_back(bx.begin(), bx.begin() + b * in_dim);
+      std::size_t dim = in_dim;
+      for (std::size_t l = 0; l < layers.size(); ++l) {
+        const DenseLayer& layer = layers[l];
+        std::vector<float> z(b * layer.out);
+        sgemm(false, true, b, layer.out, layer.in, 1.0f, acts.back().data(),
+              dim, layer.w.data(), layer.in, 0.0f, z.data(), layer.out);
+        for (std::size_t r = 0; r < b; ++r)
+          for (std::size_t c = 0; c < layer.out; ++c)
+            z[r * layer.out + c] += layer.b[c];
+        zs.push_back(z);
+        if (l + 1 < layers.size())
+          for (float& v : z) v = std::max(v, 0.0f);
+        acts.push_back(std::move(z));
+        dim = layer.out;
+      }
+
+      // ---- Loss and output gradient (softmax CE, weighted). ----
+      std::vector<float> delta = acts.back();  // Will become dL/dZ_last.
+      float batch_w = 0.0f;
+      for (std::size_t i = 0; i < b; ++i) batch_w += sample_w[i];
+      if (batch_w <= 0.0f) continue;  // Every sample in a zero-weight class.
+      for (std::size_t i = 0; i < b; ++i) {
+        float* row = delta.data() + i * out_dim;
+        const float peak = *std::max_element(row, row + out_dim);
+        float total = 0.0f;
+        for (std::size_t c = 0; c < out_dim; ++c) {
+          row[c] = std::exp(row[c] - peak);
+          total += row[c];
+        }
+        const float inv = 1.0f / total;
+        const float p_true = row[by[i]] * inv;
+        epoch_loss += static_cast<double>(sample_w[i]) *
+                      -std::log(std::max(p_true, 1e-12f));
+        epoch_weight += sample_w[i];
+        const float scale = sample_w[i] / batch_w;
+        for (std::size_t c = 0; c < out_dim; ++c) row[c] *= inv * scale;
+        row[by[i]] -= scale;
+      }
+
+      // ---- Backward pass with immediate Adam updates. ----
+      ++step;
+      const float bias1 = 1.0f - std::pow(cfg.beta1, static_cast<float>(step));
+      const float bias2 = 1.0f - std::pow(cfg.beta2, static_cast<float>(step));
+      auto& mutable_layers = model.mutable_layers();
+      for (std::size_t li = layers.size(); li > 0; --li) {
+        const std::size_t l = li - 1;
+        DenseLayer& layer = mutable_layers[l];
+        const std::vector<float>& a_prev = acts[l];
+        const std::size_t prev_dim = layer.in;
+
+        // dW = delta^T * A_prev  (out x in).
+        std::vector<float> dw(layer.w.size(), 0.0f);
+        sgemm(true, false, layer.out, prev_dim, b, 1.0f, delta.data(),
+              layer.out, a_prev.data(), prev_dim, 0.0f, dw.data(), prev_dim);
+        std::vector<float> db(layer.out, 0.0f);
+        for (std::size_t r = 0; r < b; ++r)
+          for (std::size_t c = 0; c < layer.out; ++c)
+            db[c] += delta[r * layer.out + c];
+
+        if (l > 0) {
+          // dA_prev = delta * W (b x in), then ReLU mask via z of layer l-1.
+          std::vector<float> d_prev(b * prev_dim, 0.0f);
+          sgemm(false, false, b, prev_dim, layer.out, 1.0f, delta.data(),
+                layer.out, layer.w.data(), layer.in, 0.0f, d_prev.data(),
+                prev_dim);
+          const std::vector<float>& z_prev = zs[l - 1];
+          for (std::size_t i = 0; i < d_prev.size(); ++i)
+            if (z_prev[i] <= 0.0f) d_prev[i] = 0.0f;
+          delta = std::move(d_prev);
+        }
+
+        adam_update(layer.w, dw, adam.mw[l], adam.vw[l], cfg, bias1, bias2);
+        adam_update(layer.b, db, adam.mb[l], adam.vb[l], cfg, bias1, bias2);
+      }
+    }
+
+    history.train_loss.push_back(
+        epoch_weight > 0.0 ? epoch_loss / epoch_weight : 0.0);
+
+    if (n_val > 0) {
+      const double acc = cfg.balanced_validation
+                             ? evaluate_balanced_accuracy(model, val_x, val_y)
+                             : evaluate_accuracy(model, val_x, val_y);
+      history.val_accuracy.push_back(acc);
+      if (acc > best_val) {
+        best_val = acc;
+        best_weights = model.layers();
+        history.best_epoch = epoch;
+      }
+      if (cfg.verbose)
+        std::cout << "  epoch " << epoch << " loss "
+                  << history.train_loss.back() << " val_acc " << acc << '\n';
+    } else if (cfg.verbose) {
+      std::cout << "  epoch " << epoch << " loss "
+                << history.train_loss.back() << '\n';
+    }
+  }
+
+  if (!best_weights.empty()) model.mutable_layers() = std::move(best_weights);
+  return history;
+}
+
+}  // namespace mlqr

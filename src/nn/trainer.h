@@ -1,0 +1,67 @@
+// Minibatch softmax-cross-entropy trainer with Adam.
+//
+// Supports per-class loss weights, which is how the per-qubit heads of the
+// proposed design stay calibrated on the rare |2> level (mined natural
+// leakage is ~0.5-3% of traces). Joint-output designs (FNN/HERQULES) cannot
+// be class-balanced this way because most of their 3^n classes have no
+// training data at all — a key scalability failure mode the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/mlp.h"
+
+namespace mlqr {
+
+struct TrainerConfig {
+  int epochs = 20;
+  std::size_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float adam_eps = 1e-8f;
+  float weight_decay = 0.0f;
+  std::uint64_t seed = 1234;
+  /// Per-class loss weights (empty = uniform). Size must match the model's
+  /// output dimension when provided.
+  std::vector<float> class_weights;
+  /// Fraction of the training set held out for validation-based model
+  /// selection (best-epoch weights restored). 0 disables.
+  float validation_fraction = 0.15f;
+  /// Select the best epoch by class-balanced (macro) validation accuracy
+  /// instead of plain accuracy — essential when one class is ~1% of the
+  /// data (the mined |2> level) and plain accuracy would reward ignoring
+  /// it.
+  bool balanced_validation = true;
+  bool verbose = false;
+};
+
+struct TrainHistory {
+  std::vector<double> train_loss;     ///< Mean weighted CE per epoch.
+  std::vector<double> val_accuracy;   ///< Per epoch (empty if no val split).
+  int best_epoch = -1;
+};
+
+/// Trains the model in place on row-major `features` (n x input) with
+/// integer `labels` in [0, output_size). Returns the loss/accuracy history.
+TrainHistory train_classifier(Mlp& model, std::span<const float> features,
+                              std::span<const int> labels,
+                              const TrainerConfig& cfg);
+
+/// Plain accuracy of `model` on a labeled set.
+double evaluate_accuracy(const Mlp& model, std::span<const float> features,
+                         std::span<const int> labels);
+
+/// Macro-averaged per-class recall (classes absent from `labels` are
+/// skipped).
+double evaluate_balanced_accuracy(const Mlp& model,
+                                  std::span<const float> features,
+                                  std::span<const int> labels);
+
+/// Convenience: inverse-frequency class weights (missing classes get 0).
+std::vector<float> inverse_frequency_weights(std::span<const int> labels,
+                                             std::size_t n_classes);
+
+}  // namespace mlqr

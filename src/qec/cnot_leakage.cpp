@@ -1,0 +1,50 @@
+#include "qec/cnot_leakage.h"
+
+#include "common/error.h"
+
+namespace mlqr {
+
+CnotExperimentResult run_repeated_cnot(const CnotLeakageModel& model,
+                                       std::size_t n_cnots, std::size_t shots,
+                                       bool control_leaked,
+                                       std::uint64_t seed) {
+  MLQR_CHECK(n_cnots > 0 && shots > 0);
+  CnotExperimentResult result;
+  result.target_leak_fraction.assign(n_cnots, 0.0);
+
+  Rng rng(seed);
+  std::size_t flipped_total = 0;
+  std::vector<std::size_t> leaked_after(n_cnots, 0);
+
+  for (std::size_t s = 0; s < shots; ++s) {
+    bool ctrl_leaked = control_leaked;
+    bool tgt_leaked = false;
+    bool tgt_flipped = false;
+    for (std::size_t g = 0; g < n_cnots; ++g) {
+      if (!tgt_leaked && rng.bernoulli(model.p_background)) tgt_leaked = true;
+      if (ctrl_leaked) {
+        if (!tgt_leaked && rng.bernoulli(model.p_transfer_gate))
+          tgt_leaked = true;
+        if (rng.bernoulli(model.p_bitflip)) tgt_flipped = !tgt_flipped;
+        if (rng.bernoulli(model.p_control_decay)) ctrl_leaked = false;
+      }
+      if (tgt_leaked) ++leaked_after[g];
+    }
+    // Final measurement adds its own transfer channel when the control is
+    // (still) leaked (SSIII-A: "after measuring the target qubit").
+    if (ctrl_leaked && !tgt_leaked &&
+        rng.bernoulli(model.p_transfer_meas)) {
+      ++leaked_after[n_cnots - 1];
+    }
+    if (tgt_flipped) ++flipped_total;
+  }
+
+  for (std::size_t g = 0; g < n_cnots; ++g)
+    result.target_leak_fraction[g] =
+        static_cast<double>(leaked_after[g]) / static_cast<double>(shots);
+  result.target_bitflip_fraction =
+      static_cast<double>(flipped_total) / static_cast<double>(shots);
+  return result;
+}
+
+}  // namespace mlqr

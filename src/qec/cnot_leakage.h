@@ -1,0 +1,45 @@
+// Monte-Carlo model of CNOT malfunction under control-qubit leakage
+// (paper SSIII-A, IBM Lagos leakage-injection experiments).
+//
+// A CNOT with a leaked control behaves erratically: the target suffers
+// random bit flips and picks up leakage (gate transfer plus an extra
+// measurement-induced component when the target is read out). Repeated
+// CNOTs therefore grow target leakage ~3x faster than the background.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlqr {
+
+struct CnotLeakageModel {
+  /// Background leakage injected per CNOT even with a computational
+  /// control (gate-induced).
+  double p_background = 0.0017;
+  /// Gate leakage transfer per CNOT when the control is leaked.
+  double p_transfer_gate = 0.004;
+  /// Additional transfer during the final target measurement.
+  double p_transfer_meas = 0.013;
+  /// Random target bit-flip probability per CNOT with a leaked control.
+  double p_bitflip = 0.5;
+  /// Control |2> relaxation per gate slot.
+  double p_control_decay = 0.05;
+};
+
+/// Result of one repeated-CNOT experiment arm.
+struct CnotExperimentResult {
+  std::vector<double> target_leak_fraction;  ///< After gate g (1-based: [g-1]).
+  double target_bitflip_fraction = 0.0;      ///< At the end of the circuit.
+};
+
+/// Runs `shots` trajectories of `n_cnots` repeated CNOTs.
+/// `control_leaked` selects the experiment arm (|2> injected vs |1>).
+CnotExperimentResult run_repeated_cnot(const CnotLeakageModel& model,
+                                       std::size_t n_cnots, std::size_t shots,
+                                       bool control_leaked,
+                                       std::uint64_t seed);
+
+}  // namespace mlqr

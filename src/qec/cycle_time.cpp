@@ -1,0 +1,26 @@
+#include "qec/cycle_time.h"
+
+#include "common/error.h"
+
+namespace mlqr {
+
+double QecCycleSchedule::cycle_ns() const {
+  return single_qubit_gate_ns * single_qubit_layers + cz_gate_ns * cz_layers +
+         measurement_ns;
+}
+
+double cycle_time_reduction(const QecCycleSchedule& baseline,
+                            double reduced_measurement_ns) {
+  MLQR_CHECK(reduced_measurement_ns > 0.0 &&
+             reduced_measurement_ns <= baseline.measurement_ns);
+  QecCycleSchedule reduced = baseline;
+  reduced.measurement_ns = reduced_measurement_ns;
+  return 1.0 - reduced.cycle_ns() / baseline.cycle_ns();
+}
+
+double qec_runtime_ns(const QecCycleSchedule& schedule, int n_cycles) {
+  MLQR_CHECK(n_cycles > 0);
+  return schedule.cycle_ns() * n_cycles;
+}
+
+}  // namespace mlqr

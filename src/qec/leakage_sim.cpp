@@ -1,0 +1,116 @@
+#include "qec/leakage_sim.h"
+
+#include "common/error.h"
+
+namespace mlqr {
+
+LeakageSimulator::LeakageSimulator(const SurfaceCode& code, LeakageRates rates,
+                                   MultiLevelReadout ml, std::uint64_t seed)
+    : code_(code),
+      rates_(rates),
+      ml_(ml),
+      rng_(seed),
+      data_leaked_(code.num_data(), 0),
+      anc_leaked_(code.num_stabilizers(), 0),
+      prev_syndrome_(code.num_stabilizers(), 0) {}
+
+CycleObservation LeakageSimulator::step() {
+  // 1. Injection (CZ gates and idling during the cycle).
+  for (auto& l : data_leaked_)
+    if (!l && rng_.bernoulli(rates_.p_leak_data)) l = 1;
+  for (auto& l : anc_leaked_)
+    if (!l && rng_.bernoulli(rates_.p_leak_ancilla)) l = 1;
+
+  // 2. Transport across CZ partners (both directions; leakage *spreads* —
+  //    the IBM experiments in SSIII-A show transfer without the source
+  //    clearing).
+  for (std::size_t a = 0; a < code_.num_stabilizers(); ++a) {
+    for (std::size_t q : code_.stabilizer(a).data) {
+      if (data_leaked_[q] && !anc_leaked_[a] &&
+          rng_.bernoulli(rates_.p_transport))
+        anc_leaked_[a] = 1;
+      else if (anc_leaked_[a] && !data_leaked_[q] &&
+               rng_.bernoulli(rates_.p_transport))
+        data_leaked_[q] = 1;
+    }
+  }
+
+  // 3. Decay (|2> -> computational through T1 seepage).
+  for (auto& l : data_leaked_)
+    if (l && rng_.bernoulli(rates_.p_decay)) l = 0;
+  for (auto& l : anc_leaked_)
+    if (l && rng_.bernoulli(rates_.p_decay)) l = 0;
+
+  // 4. Syndrome extraction.
+  CycleObservation obs;
+  obs.syndrome.assign(code_.num_stabilizers(), 0);
+
+  // Data Pauli errors toggle the matching-type adjacent stabilizers.
+  for (std::size_t q = 0; q < code_.num_data(); ++q) {
+    if (!rng_.bernoulli(rates_.p_depol)) continue;
+    const bool x_error = rng_.bernoulli(0.5);
+    for (std::size_t a : code_.stabilizers_of_data(q)) {
+      const StabilizerType t = code_.stabilizer(a).type;
+      if ((x_error && t == StabilizerType::kZ) ||
+          (!x_error && t == StabilizerType::kX))
+        obs.syndrome[a] ^= 1;
+    }
+  }
+
+  for (std::size_t a = 0; a < code_.num_stabilizers(); ++a) {
+    if (anc_leaked_[a]) {
+      // A leaked ancilla reports a random outcome.
+      obs.syndrome[a] = rng_.bernoulli(0.5) ? 1 : 0;
+    } else {
+      // Adjacent leaked data qubits scramble the parity.
+      for (std::size_t q : code_.stabilizer(a).data) {
+        if (data_leaked_[q] && rng_.bernoulli(rates_.p_scramble))
+          obs.syndrome[a] ^= rng_.bernoulli(0.5) ? 1 : 0;
+      }
+      if (rng_.bernoulli(rates_.p_meas_err)) obs.syndrome[a] ^= 1;
+    }
+  }
+
+  // 5. Multi-level ancilla readout (ERASER+M only).
+  if (ml_.enabled) {
+    obs.ancilla_reads_two.assign(code_.num_stabilizers(), 0);
+    for (std::size_t a = 0; a < code_.num_stabilizers(); ++a) {
+      const double p =
+          anc_leaked_[a] ? ml_.p_detect_leaked : ml_.p_false_leaked;
+      obs.ancilla_reads_two[a] = rng_.bernoulli(p) ? 1 : 0;
+    }
+  }
+
+  prev_syndrome_ = obs.syndrome;
+  return obs;
+}
+
+void LeakageSimulator::apply_lrc_data(std::size_t q, double p_fix,
+                                      double p_induce) {
+  MLQR_CHECK(q < data_leaked_.size());
+  if (data_leaked_[q]) {
+    if (rng_.bernoulli(p_fix)) data_leaked_[q] = 0;
+  } else if (rng_.bernoulli(p_induce)) {
+    data_leaked_[q] = 1;
+  }
+}
+
+void LeakageSimulator::apply_lrc_ancilla(std::size_t a, double p_fix,
+                                         double p_induce) {
+  MLQR_CHECK(a < anc_leaked_.size());
+  if (anc_leaked_[a]) {
+    if (rng_.bernoulli(p_fix)) anc_leaked_[a] = 0;
+  } else if (rng_.bernoulli(p_induce)) {
+    anc_leaked_[a] = 1;
+  }
+}
+
+double LeakageSimulator::leakage_population() const {
+  std::size_t leaked = 0;
+  for (auto l : data_leaked_) leaked += l;
+  for (auto l : anc_leaked_) leaked += l;
+  return static_cast<double>(leaked) /
+         static_cast<double>(data_leaked_.size() + anc_leaked_.size());
+}
+
+}  // namespace mlqr

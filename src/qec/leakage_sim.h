@@ -1,0 +1,82 @@
+// Phenomenological leakage dynamics on a surface code (paper SSIII, SSVII-E).
+//
+// Tracks a leaked/not-leaked flag per data and ancilla qubit across QEC
+// cycles. Per cycle: leakage is injected (CZ gates), transported across
+// CZ partners, decays (|2> T1), scrambles the syndromes of adjacent
+// stabilizers, and — with multi-level readout — ancilla leakage is observed
+// directly with the discriminator's |2>-detection statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "qec/surface_code.h"
+
+namespace mlqr {
+
+/// Physical rates per QEC cycle.
+struct LeakageRates {
+  double p_leak_data = 8e-4;     ///< Injection per data qubit per cycle.
+  double p_leak_ancilla = 8e-4;  ///< Injection per ancilla per cycle.
+  double p_transport = 0.017;    ///< Leakage hop across a CZ to a partner.
+  double p_decay = 0.08;         ///< |2> relaxation per cycle (T1 seepage).
+  double p_depol = 0.004;        ///< Data Pauli error per cycle.
+  double p_meas_err = 0.008;     ///< Syndrome bit-flip (readout error).
+  double p_scramble = 1.0;       ///< Syndrome randomization per adjacent
+                                 ///  leaked data qubit (CZs with a leaked
+                                 ///  partner malfunction every cycle).
+};
+
+/// Multi-level readout quality for ancilla |2> detection (ERASER+M).
+/// Derived from a discriminator's confusion matrix in the benches.
+struct MultiLevelReadout {
+  bool enabled = false;
+  double p_detect_leaked = 0.95;  ///< P(read |2> | ancilla leaked).
+  double p_false_leaked = 0.01;   ///< P(read |2> | ancilla computational).
+};
+
+/// Observable state after one cycle.
+struct CycleObservation {
+  std::vector<std::uint8_t> syndrome;       ///< Per stabilizer (this cycle).
+  std::vector<std::uint8_t> ancilla_reads_two;  ///< Only if ML readout on.
+};
+
+/// Mutable simulation state + stepper.
+class LeakageSimulator {
+ public:
+  LeakageSimulator(const SurfaceCode& code, LeakageRates rates,
+                   MultiLevelReadout ml, std::uint64_t seed);
+
+  /// Advances one QEC cycle and returns the observation.
+  CycleObservation step();
+
+  /// Ground-truth leakage flags (for scoring speculation).
+  const std::vector<std::uint8_t>& data_leaked() const { return data_leaked_; }
+  const std::vector<std::uint8_t>& ancilla_leaked() const {
+    return anc_leaked_;
+  }
+
+  /// Applies a leakage-reduction circuit to a data qubit / ancilla.
+  /// Imperfect: fails to reset with (1 - p_fix), induces leakage on a
+  /// computational qubit with p_induce.
+  void apply_lrc_data(std::size_t q, double p_fix, double p_induce);
+  void apply_lrc_ancilla(std::size_t a, double p_fix, double p_induce);
+
+  /// Fraction of all qubits (data + ancilla) currently leaked.
+  double leakage_population() const;
+
+  const SurfaceCode& code() const { return code_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  const SurfaceCode& code_;
+  LeakageRates rates_;
+  MultiLevelReadout ml_;
+  Rng rng_;
+  std::vector<std::uint8_t> data_leaked_;
+  std::vector<std::uint8_t> anc_leaked_;
+  std::vector<std::uint8_t> prev_syndrome_;  ///< For error toggling.
+};
+
+}  // namespace mlqr

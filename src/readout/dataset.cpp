@@ -1,0 +1,109 @@
+#include "readout/dataset.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cluster/leakage_labeler.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "dsp/demodulator.h"
+#include "dsp/filters.h"
+#include "sim/readout_simulator.h"
+
+namespace mlqr {
+
+ReadoutDataset generate_dataset(const DatasetConfig& cfg) {
+  MLQR_CHECK(cfg.shots_per_basis_state >= 4);
+  MLQR_CHECK(cfg.train_fraction > 0.0 && cfg.train_fraction < 1.0);
+
+  ReadoutDataset ds;
+  ds.chip = cfg.chip;
+  const std::size_t n_qubits = cfg.chip.num_qubits();
+  const std::size_t n_basis = std::size_t{1} << n_qubits;
+
+  // ---- Simulate every computational basis preparation. ----
+  std::vector<std::vector<int>> prepared;
+  prepared.reserve(n_basis * cfg.shots_per_basis_state);
+  for (std::size_t b = 0; b < n_basis; ++b) {
+    std::vector<int> state(n_qubits);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+      state[q] = (b >> q) & 1u ? 1 : 0;
+    for (std::size_t s = 0; s < cfg.shots_per_basis_state; ++s)
+      prepared.push_back(state);
+  }
+
+  ReadoutSimulator sim(cfg.chip);
+  std::vector<ShotRecord> records = sim.simulate_batch(prepared, cfg.seed);
+
+  const std::size_t n_shots = records.size();
+  ds.shots.n_qubits = n_qubits;
+  ds.shots.traces.resize(n_shots);
+  ds.shots.labels.resize(n_shots * n_qubits);
+  for (std::size_t s = 0; s < n_shots; ++s) {
+    ds.shots.traces[s] = std::move(records[s].trace);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+      ds.shots.labels[s * n_qubits + q] = records[s].label[q];
+  }
+
+  // ---- Label mining: spectral clustering on per-qubit MTV points. ----
+  ds.training_labels.assign(ds.shots.labels.begin(), ds.shots.labels.end());
+  ds.mined_leakage_per_qubit.assign(n_qubits, 0);
+  ds.label_accuracy_per_qubit.assign(n_qubits, 1.0);
+
+  if (cfg.use_clustered_labels) {
+    const Demodulator demod(cfg.chip);
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      std::vector<std::complex<double>> mtv(n_shots);
+      parallel_for(0, n_shots, [&](std::size_t s) {
+        mtv[s] = mean_trace_value(demod.demodulate(ds.shots.traces[s], q, 0));
+      });
+      std::vector<int> prep_bits(n_shots);
+      for (std::size_t s = 0; s < n_shots; ++s)
+        prep_bits[s] = prepared[s][q];
+
+      const LeakageLabeling labeling = label_natural_leakage(mtv, prep_bits);
+
+      // The experimenter *knows* the prepared computational label; the
+      // clustering only contributes the leakage tag (paper SSV-A). Traces
+      // not tagged |2> keep their preparation label, so relaxed traces
+      // remain labeled with their initial state — which is what the
+      // relaxation matched filters train on.
+      ds.mined_leakage_per_qubit[q] = labeling.leakage_count;
+      std::size_t agree = 0;
+      for (std::size_t s = 0; s < n_shots; ++s) {
+        const int est = labeling.levels[s] == 2 ? 2 : prep_bits[s];
+        ds.training_labels[s * n_qubits + q] = est;
+        if (est == ds.shots.labels[s * n_qubits + q]) ++agree;
+      }
+      ds.label_accuracy_per_qubit[q] =
+          static_cast<double>(agree) / static_cast<double>(n_shots);
+    }
+  }
+
+  // ---- Stratified 30-70 split: per (basis state, any-mined-leak) group
+  // so that the rare leakage traces split proportionally. ----
+  std::map<std::pair<std::size_t, bool>, std::vector<std::size_t>> groups;
+  for (std::size_t s = 0; s < n_shots; ++s) {
+    const std::size_t basis = s / cfg.shots_per_basis_state;
+    bool leaked = false;
+    for (std::size_t q = 0; q < n_qubits && !leaked; ++q)
+      leaked = ds.training_labels[s * n_qubits + q] == 2;
+    groups[{basis, leaked}].push_back(s);
+  }
+  Rng split_rng(cfg.seed ^ 0xbb67ae8584caa73bULL);
+  for (auto& [key, members] : groups) {
+    for (std::size_t i = members.size(); i > 1; --i)
+      std::swap(members[i - 1], members[split_rng.uniform_index(i)]);
+    const std::size_t n_train = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg.train_fraction *
+                                    static_cast<double>(members.size())));
+    for (std::size_t i = 0; i < members.size(); ++i)
+      (i < n_train ? ds.train_idx : ds.test_idx).push_back(members[i]);
+  }
+  std::sort(ds.train_idx.begin(), ds.train_idx.end());
+  std::sort(ds.test_idx.begin(), ds.test_idx.end());
+  ds.shots.validate();
+  return ds;
+}
+
+}  // namespace mlqr

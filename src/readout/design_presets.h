@@ -1,0 +1,34 @@
+// FPGA DesignSpec presets for the three readout architectures, derived
+// from the paper's topologies (Fig 2, Fig 4). Used by the Fig 1(d) /
+// Fig 5(a) / power / latency benches.
+#pragma once
+
+#include <cstddef>
+
+#include "fpga/resource_model.h"
+
+namespace mlqr {
+
+/// Proposed design: per-qubit demodulation + 9 matched filters per qubit +
+/// one small per-qubit head (P -> P/2 -> P/4 -> k), fully unrolled 8-bit.
+DesignSpec proposed_design_spec(std::size_t n_qubits, int n_levels,
+                                std::size_t kernel_len);
+
+/// HERQULES: demodulation + 6 filters per qubit (QMF+RMF) + one joint head
+/// (6n -> 60 -> 120 -> k^n), fully unrolled 8-bit.
+DesignSpec herqules_design_spec(std::size_t n_qubits, int n_levels,
+                                std::size_t kernel_len);
+
+/// FNN: raw traces, no DSP front-end; 2*samples -> 500 -> 250 -> k^n.
+/// Fully unrolled 8-bit — deliberately, to expose the paper's point that
+/// the design cannot fit the device.
+DesignSpec fnn_design_spec(std::size_t n_qubits, int n_levels,
+                           std::size_t samples);
+
+/// FNN folded onto the DSP budget (reuse factor chosen to fit), for the
+/// latency comparison (Table VI "Slow").
+DesignSpec fnn_folded_design_spec(std::size_t n_qubits, int n_levels,
+                                  std::size_t samples,
+                                  const FpgaDevice& device);
+
+}  // namespace mlqr

@@ -1,0 +1,37 @@
+// Quadrature (IQ) signal containers shared across the simulator and DSP.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+using Complexd = std::complex<double>;
+
+/// Digitized quadrature trace: one I and one Q sample per ADC time bin.
+/// For a frequency-multiplexed feedline this is the *shared* physical
+/// channel carrying every qubit's readout tone.
+struct IqTrace {
+  std::vector<float> i;
+  std::vector<float> q;
+
+  IqTrace() = default;
+  explicit IqTrace(std::size_t n) : i(n, 0.0f), q(n, 0.0f) {}
+
+  std::size_t size() const { return i.size(); }
+  bool empty() const { return i.empty(); }
+
+  Complexd sample(std::size_t t) const {
+    return {static_cast<double>(i[t]), static_cast<double>(q[t])};
+  }
+
+  void check_consistent() const { MLQR_CHECK(i.size() == q.size()); }
+};
+
+/// Complex baseband trace (post digital-down-conversion, one per qubit).
+using BasebandTrace = std::vector<Complexd>;
+
+}  // namespace mlqr

@@ -1,0 +1,112 @@
+#include "sim/readout_simulator.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "sim/resonator.h"
+
+namespace mlqr {
+
+ReadoutSimulator::ReadoutSimulator(ChipProfile chip) : chip_(std::move(chip)) {
+  chip_.validate();
+  const double window = chip_.duration_ns();
+  rates_.reserve(chip_.num_qubits());
+  tone_step_.reserve(chip_.num_qubits());
+  for (const auto& q : chip_.qubits) {
+    rates_.push_back(TransitionRates::from_profile(q, window));
+    const double omega =
+        2.0 * std::numbers::pi * q.if_freq_mhz * 1e-3 * chip_.dt_ns();
+    tone_step_.push_back(std::polar(1.0, omega));
+  }
+}
+
+int ReadoutSimulator::sample_initial_level(const QubitProfile& q, int prepared,
+                                           Rng& rng) const {
+  MLQR_CHECK(prepared >= 0 && prepared < kNumLevels);
+  int level = prepared;
+  // Preparation bit error within the computational subspace.
+  if (level <= 1 && rng.bernoulli(q.p_prep_error)) level = 1 - level;
+  // Natural leakage: the qubit begins the window in |2> although a
+  // computational state was intended.
+  if (level == 1 && rng.bernoulli(q.p_natural_leak_from_1)) level = 2;
+  else if (level == 0 && rng.bernoulli(q.p_natural_leak_from_0)) level = 2;
+  return level;
+}
+
+ShotRecord ReadoutSimulator::simulate_shot(const std::vector<int>& prepared,
+                                           Rng& rng) const {
+  const std::size_t n_qubits = chip_.num_qubits();
+  MLQR_CHECK_MSG(prepared.size() == n_qubits,
+                 "prepared state has " << prepared.size() << " entries for a "
+                                       << n_qubits << "-qubit chip");
+  const std::size_t n = chip_.n_samples;
+  const double dt = chip_.dt_ns();
+
+  ShotRecord shot;
+  shot.prepared = prepared;
+  shot.label.resize(n_qubits);
+  shot.final_level.resize(n_qubits);
+  shot.trajectory.resize(n_qubits);
+
+  // Per-qubit dynamics and envelopes.
+  std::vector<BasebandTrace> envelopes(n_qubits);
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    const int initial = sample_initial_level(chip_.qubits[q], prepared[q], rng);
+    shot.label[q] = initial;
+    shot.trajectory[q] =
+        sample_trajectory(initial, chip_.duration_ns(), rates_[q], rng);
+    shot.final_level[q] = shot.trajectory[q].final_level();
+    envelopes[q] = synthesize_envelope(chip_.qubits[q], shot.trajectory[q], n, dt);
+  }
+
+  // Crosstalk mixing: each qubit's effective envelope picks up a complex
+  // fraction of its neighbours'.
+  std::vector<BasebandTrace> mixed(n_qubits, BasebandTrace(n));
+  for (std::size_t i = 0; i < n_qubits; ++i) {
+    for (std::size_t j = 0; j < n_qubits; ++j) {
+      const Complexd c = chip_.crosstalk[i][j];
+      if (c == Complexd{0.0, 0.0}) continue;
+      for (std::size_t t = 0; t < n; ++t) mixed[i][t] += c * envelopes[j][t];
+    }
+  }
+
+  // Modulate every envelope onto its IF tone, sum onto the feedline, add
+  // amplifier noise, digitize.
+  shot.trace = IqTrace(n);
+  const double step = chip_.adc_full_scale / std::ldexp(1.0, chip_.adc_bits - 1);
+  const double fs = chip_.adc_full_scale;
+  std::vector<Complexd> phase(n_qubits, Complexd{1.0, 0.0});
+  for (std::size_t t = 0; t < n; ++t) {
+    Complexd acc{0.0, 0.0};
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      acc += mixed[q][t] * phase[q];
+      phase[q] *= tone_step_[q];
+    }
+    acc += Complexd{rng.normal(0.0, chip_.noise_sigma),
+                    rng.normal(0.0, chip_.noise_sigma)};
+    // ADC: clamp to full scale and round to the code grid.
+    auto digitize = [step, fs](double v) {
+      const double clamped = std::clamp(v, -fs, fs - step);
+      return static_cast<float>(std::nearbyint(clamped / step) * step);
+    };
+    shot.trace.i[t] = digitize(acc.real());
+    shot.trace.q[t] = digitize(acc.imag());
+  }
+  return shot;
+}
+
+std::vector<ShotRecord> ReadoutSimulator::simulate_batch(
+    const std::vector<std::vector<int>>& prepared, std::uint64_t seed) const {
+  std::vector<ShotRecord> shots(prepared.size());
+  parallel_for(0, prepared.size(), [&](std::size_t s) {
+    // Independent deterministic stream per shot: reproducible regardless of
+    // the number of worker threads.
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (s + 1)));
+    shots[s] = simulate_shot(prepared[s], rng);
+  });
+  return shots;
+}
+
+}  // namespace mlqr

@@ -1,0 +1,60 @@
+// End-to-end readout shot simulation.
+//
+// One "shot" prepares a joint state across the chip, evolves each qubit
+// through its CTMC during the measurement window, synthesizes each
+// resonator envelope, applies inter-resonator crosstalk, modulates every
+// envelope onto its IF tone on the shared feedline, adds amplifier noise,
+// and digitizes with the ADC model. The result is the single multiplexed
+// IQ trace that all discriminators consume — exactly the data product the
+// paper's pipeline starts from (Fig 1(b)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/chip_profile.h"
+#include "sim/iq.h"
+#include "sim/transmon.h"
+
+namespace mlqr {
+
+/// Ground-truth record for one simulated shot.
+struct ShotRecord {
+  IqTrace trace;                        ///< Multiplexed feedline trace.
+  std::vector<int> prepared;            ///< Intended level per qubit.
+  std::vector<int> label;               ///< Actual level at readout start.
+  std::vector<int> final_level;         ///< Level at the end of the window.
+  std::vector<LevelTrajectory> trajectory;  ///< Full per-qubit dynamics.
+};
+
+/// Simulates multiplexed dispersive readout for a chip profile.
+class ReadoutSimulator {
+ public:
+  explicit ReadoutSimulator(ChipProfile chip);
+
+  const ChipProfile& chip() const { return chip_; }
+
+  /// Simulates a single shot for the given intended preparation
+  /// (one level in [0, kNumLevels) per qubit). State-preparation errors and
+  /// natural leakage are sampled here, so `label` may differ from
+  /// `prepared`.
+  ShotRecord simulate_shot(const std::vector<int>& prepared, Rng& rng) const;
+
+  /// Batch variant, parallelized over shots with deterministic per-shot
+  /// RNG streams derived from `seed` (same seed → identical batch
+  /// regardless of thread count).
+  std::vector<ShotRecord> simulate_batch(
+      const std::vector<std::vector<int>>& prepared, std::uint64_t seed) const;
+
+ private:
+  /// Applies preparation noise: bit error and natural leakage.
+  int sample_initial_level(const QubitProfile& q, int prepared, Rng& rng) const;
+
+  ChipProfile chip_;
+  std::vector<TransitionRates> rates_;  ///< Per qubit, for the full window.
+  /// Per-qubit phase increment per sample: exp(i*2*pi*f*dt).
+  std::vector<Complexd> tone_step_;
+};
+
+}  // namespace mlqr

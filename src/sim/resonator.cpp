@@ -1,0 +1,33 @@
+#include "sim/resonator.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+BasebandTrace synthesize_envelope(const QubitProfile& qubit,
+                                  const LevelTrajectory& traj,
+                                  std::size_t n_samples, double dt_ns) {
+  MLQR_CHECK(n_samples > 0 && dt_ns > 0.0);
+  const double decay = std::exp(-dt_ns / qubit.resonator_tau_ns);
+
+  BasebandTrace env(n_samples);
+  Complexd b{0.0, 0.0};  // Probe just switched on: empty cavity.
+  std::size_t next_jump = 0;
+  int level = traj.initial_level;
+  for (std::size_t t = 0; t < n_samples; ++t) {
+    const double now_ns = static_cast<double>(t) * dt_ns;
+    while (next_jump < traj.jumps.size() &&
+           traj.jumps[next_jump].t_ns <= now_ns) {
+      level = traj.jumps[next_jump].to;
+      ++next_jump;
+    }
+    const Complexd target = qubit.alpha[level];
+    b = target + (b - target) * decay;
+    env[t] = b;
+  }
+  return env;
+}
+
+}  // namespace mlqr

@@ -1,0 +1,24 @@
+// Dispersive resonator response synthesis.
+//
+// The readout resonator's transmitted field pulls toward a level-dependent
+// steady state alpha[level]; when the qubit jumps mid-readout the field
+// follows with the cavity time constant. This first-order model captures
+// exactly the trace features the paper's matched filters exploit: ring-up
+// transients at the start and mid-trace relaxation/excitation signatures.
+#pragma once
+
+#include "sim/chip_profile.h"
+#include "sim/iq.h"
+#include "sim/transmon.h"
+
+namespace mlqr {
+
+/// Synthesizes the complex baseband envelope b(t) of one qubit's resonator
+/// over `n_samples` bins of width dt_ns, following the level trajectory:
+///   b(t+dt) = alpha[level(t)] + (b(t) - alpha[level(t)]) * exp(-dt/tau).
+/// The envelope starts from zero field (probe just switched on).
+BasebandTrace synthesize_envelope(const QubitProfile& qubit,
+                                  const LevelTrajectory& traj,
+                                  std::size_t n_samples, double dt_ns);
+
+}  // namespace mlqr

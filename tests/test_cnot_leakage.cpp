@@ -1,0 +1,52 @@
+#include "qec/cnot_leakage.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mlqr {
+namespace {
+
+TEST(CnotLeakage, LeakedControlGrowsTargetLeakage) {
+  const CnotLeakageModel model;
+  const auto base = run_repeated_cnot(model, 12, 20000, false, 3);
+  const auto leak = run_repeated_cnot(model, 12, 20000, true, 3);
+  // Paper SSIII-A: ~3x higher leakage growth within 12 CNOTs.
+  const double ratio =
+      leak.target_leak_fraction.back() / base.target_leak_fraction.back();
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(CnotLeakage, SingleGateTransferInPaperRange) {
+  CnotLeakageModel model;
+  model.p_background = 0.0;  // Isolate the transfer channel.
+  const auto r = run_repeated_cnot(model, 1, 100000, true, 5);
+  // Gate + measurement transfer: paper observed 1.5-2%.
+  EXPECT_GT(r.target_leak_fraction.back(), 0.012);
+  EXPECT_LT(r.target_leak_fraction.back(), 0.022);
+}
+
+TEST(CnotLeakage, LeakedControlCausesRandomBitFlips) {
+  CnotLeakageModel model;
+  const auto base = run_repeated_cnot(model, 3, 20000, false, 7);
+  const auto leak = run_repeated_cnot(model, 3, 20000, true, 7);
+  EXPECT_LT(base.target_bitflip_fraction, 0.01);
+  EXPECT_GT(leak.target_bitflip_fraction, 0.3);  // ~Random flips.
+}
+
+TEST(CnotLeakage, LeakageIsMonotoneInGateCount) {
+  const CnotLeakageModel model;
+  const auto r = run_repeated_cnot(model, 12, 30000, true, 9);
+  for (std::size_t g = 1; g < r.target_leak_fraction.size(); ++g)
+    EXPECT_GE(r.target_leak_fraction[g], r.target_leak_fraction[g - 1] - 1e-9);
+}
+
+TEST(CnotLeakage, InputValidation) {
+  const CnotLeakageModel model;
+  EXPECT_THROW(run_repeated_cnot(model, 0, 10, false, 1), Error);
+  EXPECT_THROW(run_repeated_cnot(model, 5, 0, false, 1), Error);
+}
+
+}  // namespace
+}  // namespace mlqr

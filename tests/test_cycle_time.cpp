@@ -1,0 +1,41 @@
+#include "qec/cycle_time.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mlqr {
+namespace {
+
+TEST(CycleTime, DefaultScheduleMatchesVersluis) {
+  const QecCycleSchedule s;
+  // 2 x 20 ns single-qubit layers + 4 x 40 ns CZ layers + 1 us readout.
+  EXPECT_DOUBLE_EQ(s.cycle_ns(), 1200.0);
+}
+
+TEST(CycleTime, PaperReductionAt800ns) {
+  const QecCycleSchedule s;
+  // Paper SSVII-B: 200 ns faster measurement -> ~17% shorter QEC cycle.
+  const double reduction = cycle_time_reduction(s, 800.0);
+  EXPECT_NEAR(reduction, 0.1667, 0.005);
+}
+
+TEST(CycleTime, NoReductionWhenUnchanged) {
+  const QecCycleSchedule s;
+  EXPECT_DOUBLE_EQ(cycle_time_reduction(s, s.measurement_ns), 0.0);
+}
+
+TEST(CycleTime, RuntimeScalesLinearly) {
+  const QecCycleSchedule s;
+  EXPECT_DOUBLE_EQ(qec_runtime_ns(s, 10), 12000.0);
+}
+
+TEST(CycleTime, InvalidMeasurementThrows) {
+  const QecCycleSchedule s;
+  EXPECT_THROW(cycle_time_reduction(s, 0.0), Error);
+  EXPECT_THROW(cycle_time_reduction(s, 2000.0), Error);
+  EXPECT_THROW(qec_runtime_ns(s, 0), Error);
+}
+
+}  // namespace
+}  // namespace mlqr

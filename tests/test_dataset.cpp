@@ -1,0 +1,99 @@
+#include "readout/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mlqr {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.shots_per_basis_state = 60;  // 32 x 60 = 1920 shots: seconds-scale.
+  cfg.seed = 4242;
+  return cfg;
+}
+
+class DatasetFixture : public ::testing::Test {
+ protected:
+  static const ReadoutDataset& dataset() {
+    static const ReadoutDataset ds = generate_dataset(small_config());
+    return ds;
+  }
+};
+
+TEST_F(DatasetFixture, ShapesAreConsistent) {
+  const ReadoutDataset& ds = dataset();
+  EXPECT_EQ(ds.shots.size(), 32u * 60u);
+  EXPECT_EQ(ds.shots.n_qubits, 5u);
+  EXPECT_EQ(ds.training_labels.size(), ds.shots.labels.size());
+  EXPECT_EQ(ds.train_idx.size() + ds.test_idx.size(), ds.shots.size());
+}
+
+TEST_F(DatasetFixture, SplitIsDisjointAndComplete) {
+  const ReadoutDataset& ds = dataset();
+  std::set<std::size_t> all(ds.train_idx.begin(), ds.train_idx.end());
+  for (std::size_t s : ds.test_idx) EXPECT_TRUE(all.insert(s).second);
+  EXPECT_EQ(all.size(), ds.shots.size());
+}
+
+TEST_F(DatasetFixture, TrainFractionRoughlyHonored) {
+  const ReadoutDataset& ds = dataset();
+  const double frac =
+      static_cast<double>(ds.train_idx.size()) / ds.shots.size();
+  EXPECT_NEAR(frac, 0.30, 0.03);
+}
+
+TEST_F(DatasetFixture, EveryQubitMinesSomeLeakage) {
+  const ReadoutDataset& ds = dataset();
+  for (std::size_t q = 0; q < 5; ++q)
+    EXPECT_GT(ds.mined_leakage_per_qubit[q], 0u)
+        << "no mined |2> traces for qubit " << q;
+}
+
+TEST_F(DatasetFixture, MinedLabelsAgreeWithGroundTruth) {
+  const ReadoutDataset& ds = dataset();
+  for (std::size_t q = 0; q < 5; ++q)
+    EXPECT_GT(ds.label_accuracy_per_qubit[q], 0.97)
+        << "label mining too noisy for qubit " << q;
+}
+
+TEST_F(DatasetFixture, LeakProneQubitsMineMoreTraces) {
+  const ReadoutDataset& ds = dataset();
+  // Chip profile: qubit 4 has the highest natural leakage (paper: largest
+  // mined cluster), qubit 0 among the lowest.
+  EXPECT_GT(ds.mined_leakage_per_qubit[4], ds.mined_leakage_per_qubit[0]);
+}
+
+TEST_F(DatasetFixture, TrainSplitContainsEveryLevelPerQubit) {
+  const ReadoutDataset& ds = dataset();
+  for (std::size_t q = 0; q < 5; ++q) {
+    std::set<int> seen;
+    for (std::size_t s : ds.train_idx)
+      seen.insert(ds.training_labels[s * 5 + q]);
+    EXPECT_EQ(seen.size(), 3u) << "missing level in train split, qubit " << q;
+  }
+}
+
+TEST(Dataset, OracleLabelsModeSkipsClustering) {
+  DatasetConfig cfg = small_config();
+  cfg.shots_per_basis_state = 30;
+  cfg.use_clustered_labels = false;
+  const ReadoutDataset ds = generate_dataset(cfg);
+  EXPECT_EQ(ds.training_labels, ds.shots.labels);
+  for (double acc : ds.label_accuracy_per_qubit) EXPECT_DOUBLE_EQ(acc, 1.0);
+}
+
+TEST(Dataset, DeterministicForSameSeed) {
+  DatasetConfig cfg = small_config();
+  cfg.shots_per_basis_state = 20;
+  const ReadoutDataset a = generate_dataset(cfg);
+  const ReadoutDataset b = generate_dataset(cfg);
+  EXPECT_EQ(a.shots.labels, b.shots.labels);
+  EXPECT_EQ(a.train_idx, b.train_idx);
+  for (std::size_t t = 0; t < a.shots.traces[0].size(); ++t)
+    EXPECT_EQ(a.shots.traces[7].i[t], b.shots.traces[7].i[t]);
+}
+
+}  // namespace
+}  // namespace mlqr

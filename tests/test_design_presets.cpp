@@ -1,0 +1,67 @@
+#include "readout/design_presets.h"
+
+#include <gtest/gtest.h>
+
+#include "fpga/latency.h"
+
+namespace mlqr {
+namespace {
+
+TEST(DesignPresets, ProposedLayoutMatchesPaper) {
+  const DesignSpec s = proposed_design_spec(5, 3, 500);
+  EXPECT_EQ(s.demod_channels, 5u);
+  EXPECT_EQ(s.matched_filters, 45u);   // 9 per qubit.
+  EXPECT_EQ(s.nns.size(), 5u);         // One head per qubit.
+  // Head: 45 -> 22 -> 11 -> 3.
+  ASSERT_EQ(s.nns[0].size(), 4u);
+  EXPECT_EQ(s.nns[0][0], 45u);
+  EXPECT_EQ(s.nns[0][1], 22u);
+  EXPECT_EQ(s.nns[0][2], 11u);
+  EXPECT_EQ(s.nns[0][3], 3u);
+}
+
+TEST(DesignPresets, HerqulesLayoutMatchesPaper) {
+  const DesignSpec s3 = herqules_design_spec(5, 3, 500);
+  EXPECT_EQ(s3.matched_filters, 30u);  // 6 per qubit at k=3.
+  ASSERT_EQ(s3.nns.size(), 1u);
+  EXPECT_EQ(s3.nns[0].front(), 30u);
+  EXPECT_EQ(s3.nns[0].back(), 243u);
+
+  const DesignSpec s2 = herqules_design_spec(5, 2, 500);
+  EXPECT_EQ(s2.matched_filters, 10u);  // 2 per qubit at k=2.
+  EXPECT_EQ(s2.nns[0].back(), 32u);
+}
+
+TEST(DesignPresets, FnnLayoutMatchesPaper) {
+  const DesignSpec s = fnn_design_spec(5, 3, 500);
+  EXPECT_EQ(s.demod_channels, 0u);  // Raw traces, no DSP front-end.
+  EXPECT_EQ(s.matched_filters, 0u);
+  ASSERT_EQ(s.nns.size(), 1u);
+  EXPECT_EQ(s.nns[0][0], 1000u);
+  EXPECT_EQ(s.nns[0][1], 500u);
+  EXPECT_EQ(s.nns[0][2], 250u);
+  EXPECT_EQ(s.nns[0][3], 243u);
+  EXPECT_NEAR(static_cast<double>(s.total_nn_parameters()), 686.0e3, 4e3);
+}
+
+TEST(DesignPresets, ScalingIsPolynomialVsExponential) {
+  // Growing n at k=3: the proposed design grows polynomially; FNN's output
+  // layer multiplies by 3 per added qubit.
+  const std::size_t ours5 = proposed_design_spec(5, 3, 500).total_nn_parameters();
+  const std::size_t ours10 =
+      proposed_design_spec(10, 3, 500).total_nn_parameters();
+  const std::size_t fnn5 = fnn_design_spec(5, 3, 500).total_nn_parameters();
+  const std::size_t fnn10 = fnn_design_spec(10, 3, 500).total_nn_parameters();
+  EXPECT_LT(static_cast<double>(ours10) / ours5, 20.0);   // ~n^2 k^4.
+  EXPECT_GT(static_cast<double>(fnn10) / fnn5, 20.0);     // ~3^5 on output.
+}
+
+TEST(DesignPresets, FoldedFnnFitsDspBudget) {
+  const FpgaDevice dev = FpgaDevice::xczu7ev();
+  const DesignSpec folded = fnn_folded_design_spec(5, 3, 500, dev);
+  EXPECT_LE(estimate_design(folded).dsps, static_cast<double>(dev.dsps));
+  EXPECT_GT(folded.hls.reuse_factor, 100);
+}
+
+}  // namespace
+}  // namespace mlqr

@@ -1,0 +1,134 @@
+// Integration tests: every discriminator design trained end-to-end on a
+// shared small five-qubit dataset, scored against ground truth.
+#include <gtest/gtest.h>
+
+#include "discrim/fnn_baseline.h"
+#include "discrim/gaussian_discriminator.h"
+#include "discrim/herqules_baseline.h"
+#include "discrim/proposed.h"
+#include "readout/experiment.h"
+
+namespace mlqr {
+namespace {
+
+/// One shared dataset for the whole file (generation is the expensive part).
+const ReadoutDataset& shared_dataset() {
+  static const ReadoutDataset ds = [] {
+    DatasetConfig cfg;
+    cfg.shots_per_basis_state = 80;
+    cfg.seed = 777;
+    return generate_dataset(cfg);
+  }();
+  return ds;
+}
+
+TEST(Discriminators, ProposedReachesHighComputationalFidelity) {
+  const ReadoutDataset& ds = shared_dataset();
+  ProposedConfig cfg;
+  const ProposedDiscriminator d = ProposedDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
+  const FidelityReport r = evaluate_on_test(
+      [&](const IqTrace& t) { return d.classify(t); }, ds);
+
+  // Computational-level accuracy must be solid on the good qubits even at
+  // this reduced shot count; macro includes the data-starved |2> level.
+  for (std::size_t q : {0u, 2u, 4u}) {
+    EXPECT_GT(r.per_qubit[q].per_level_accuracy(0), 0.9) << "qubit " << q;
+    EXPECT_GT(r.per_qubit[q].per_level_accuracy(1), 0.9) << "qubit " << q;
+  }
+  EXPECT_GT(r.geometric_mean_fidelity(), 0.6);
+  EXPECT_EQ(d.feature_dim(), 45u);
+  EXPECT_LT(d.parameter_count(), 8000u);
+}
+
+TEST(Discriminators, ProposedDurationTruncationWorks) {
+  const ReadoutDataset& ds = shared_dataset();
+  ProposedConfig cfg;
+  cfg.duration_ns = 600.0;
+  const ProposedDiscriminator d = ProposedDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
+  EXPECT_EQ(d.samples_used(), 300u);
+  const FidelityReport r = evaluate_on_test(
+      [&](const IqTrace& t) { return d.classify(t); }, ds);
+  EXPECT_GT(r.per_qubit[0].per_level_accuracy(0), 0.85);
+}
+
+TEST(Discriminators, QmfOnlyAblationHasFewerFeatures) {
+  const ReadoutDataset& ds = shared_dataset();
+  ProposedConfig cfg;
+  cfg.mf.use_rmf = false;
+  cfg.mf.use_emf = false;
+  const ProposedDiscriminator d = ProposedDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
+  EXPECT_EQ(d.feature_dim(), 15u);
+}
+
+TEST(Discriminators, GaussianDiscriminatorsTrainAndClassify) {
+  const ReadoutDataset& ds = shared_dataset();
+  GaussianDiscriminatorConfig lda_cfg;
+  const GaussianShotDiscriminator lda = GaussianShotDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, lda_cfg);
+  const FidelityReport r = evaluate_on_test(
+      [&](const IqTrace& t) { return lda.classify(t); }, ds);
+  EXPECT_GT(r.geometric_mean_fidelity(), 0.6);
+  EXPECT_EQ(lda.name(), "LDA");
+}
+
+TEST(Discriminators, FnnTrainsAndDecodesJointClasses) {
+  const ReadoutDataset& ds = shared_dataset();
+  FnnConfig cfg;
+  cfg.trainer.epochs = 6;  // Light training: integration smoke, not a bench.
+  const FnnDiscriminator fnn = FnnDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
+  EXPECT_EQ(fnn.input_dim(), 1000u);
+  EXPECT_GT(fnn.parameter_count(), 600000u);
+
+  const FidelityReport r = evaluate_on_test(
+      [&](const IqTrace& t) { return fnn.classify(t); }, ds);
+  // Even a lightly-trained FNN should beat chance clearly on the
+  // computational levels of a good qubit.
+  EXPECT_GT(r.per_qubit[0].per_level_accuracy(0), 0.7);
+}
+
+TEST(Discriminators, HerqulesTrainsJointHead) {
+  const ReadoutDataset& ds = shared_dataset();
+  HerqulesConfig cfg;
+  cfg.trainer.epochs = 10;
+  const HerqulesDiscriminator h = HerqulesDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
+  EXPECT_EQ(h.model().input_size(), 30u);   // 6 filters x 5 qubits.
+  EXPECT_EQ(h.model().output_size(), 243u);
+
+  const FidelityReport r = evaluate_on_test(
+      [&](const IqTrace& t) { return h.classify(t); }, ds);
+  EXPECT_GT(r.per_qubit[0].per_level_accuracy(0), 0.7);
+}
+
+TEST(Discriminators, HerqulesTwoLevelModeUsesReducedLayout) {
+  const ReadoutDataset& ds = shared_dataset();
+  HerqulesConfig cfg;
+  cfg.n_levels = 2;
+  cfg.trainer.epochs = 8;
+  const HerqulesDiscriminator h = HerqulesDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
+  EXPECT_EQ(h.model().input_size(), 10u);  // 2 filters x 5 qubits.
+  EXPECT_EQ(h.model().output_size(), 32u);
+  const std::vector<int> out = h.classify(ds.shots.traces[0]);
+  for (int l : out) EXPECT_LT(l, 2);
+}
+
+TEST(Discriminators, LeakDetectionRatesComeFromConfusion) {
+  FidelityReport r;
+  r.per_qubit.resize(1);
+  QubitConfusion& c = r.per_qubit[0];
+  for (int i = 0; i < 90; ++i) c.add(2, 2);
+  for (int i = 0; i < 10; ++i) c.add(2, 1);
+  for (int i = 0; i < 990; ++i) c.add(0, 0);
+  for (int i = 0; i < 10; ++i) c.add(0, 2);
+  const auto [detect, fp] = leak_detection_rates(r);
+  EXPECT_NEAR(detect, 0.9, 1e-9);
+  EXPECT_NEAR(fp, 10.0 / 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mlqr

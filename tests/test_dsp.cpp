@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "dsp/channelizer.h"
+#include "dsp/demodulator.h"
+#include "dsp/filters.h"
+#include "sim/readout_simulator.h"
+
+namespace mlqr {
+namespace {
+
+ChipProfile noiseless_chip() {
+  ChipProfile chip = ChipProfile::test_two_qubit();
+  chip.noise_sigma = 0.0;
+  for (auto& q : chip.qubits) {
+    q.p_prep_error = 0.0;
+    q.p_natural_leak_from_0 = 0.0;
+    q.p_natural_leak_from_1 = 0.0;
+    q.p_excite_01 = 0.0;
+    q.p_excite_12 = 0.0;
+    q.p_excite_02 = 0.0;
+    q.t1_ns = 1e12;
+  }
+  return chip;
+}
+
+TEST(Demodulator, RecoversStatePointAtBaseband) {
+  const ChipProfile chip = noiseless_chip();
+  const ReadoutSimulator sim(chip);
+  const Demodulator demod(chip);
+  Rng rng(1);
+  const ShotRecord shot = sim.simulate_shot({0, 1}, rng);
+
+  for (std::size_t q = 0; q < 2; ++q) {
+    const BasebandTrace bb = demod.demodulate(shot.trace, q, 0);
+    // The tail of the demodulated trace must sit near the crosstalk-mixed
+    // steady-state response of the prepared level; at minimum it must be
+    // much closer to its own alpha than to the other level's.
+    const Complexd target = chip.qubits[q].alpha[q == 0 ? 0 : 1];
+    const Complexd other = chip.qubits[q].alpha[q == 0 ? 1 : 0];
+    // Average the last quarter to suppress the residual image tones.
+    const Complexd tail = window_mean(bb, bb.size() * 3 / 4, bb.size());
+    EXPECT_LT(std::abs(tail - target), std::abs(tail - other));
+  }
+}
+
+TEST(Demodulator, TruncationLimitsSamples) {
+  const ChipProfile chip = noiseless_chip();
+  const Demodulator demod(chip);
+  IqTrace trace(chip.n_samples);
+  const BasebandTrace bb = demod.demodulate(trace, 0, 100);
+  EXPECT_EQ(bb.size(), 100u);
+}
+
+TEST(Demodulator, OutOfRangeQubitThrows) {
+  const Demodulator demod(ChipProfile::test_two_qubit());
+  IqTrace trace(16);
+  EXPECT_THROW(demod.demodulate(trace, 5, 0), Error);
+}
+
+TEST(Filters, MeanTraceValue) {
+  BasebandTrace tr{{1.0, 0.0}, {3.0, 2.0}};
+  const Complexd m = mean_trace_value(tr);
+  EXPECT_DOUBLE_EQ(m.real(), 2.0);
+  EXPECT_DOUBLE_EQ(m.imag(), 1.0);
+}
+
+TEST(Filters, WindowMeanSubrange) {
+  BasebandTrace tr{{0, 0}, {2, 0}, {4, 0}, {6, 0}};
+  EXPECT_DOUBLE_EQ(window_mean(tr, 1, 3).real(), 3.0);
+  EXPECT_THROW(window_mean(tr, 2, 2), Error);
+  EXPECT_THROW(window_mean(tr, 0, 5), Error);
+}
+
+TEST(Filters, BoxcarSmoothsStep) {
+  BasebandTrace tr(20, {0.0, 0.0});
+  for (std::size_t t = 10; t < 20; ++t) tr[t] = {1.0, 0.0};
+  const BasebandTrace sm = boxcar(tr, 4);
+  EXPECT_DOUBLE_EQ(sm[9].real(), 0.0);
+  EXPECT_DOUBLE_EQ(sm[10].real(), 0.25);
+  EXPECT_DOUBLE_EQ(sm[13].real(), 1.0);
+  EXPECT_EQ(sm.size(), tr.size());
+}
+
+TEST(Filters, DecimateKeepsEveryNth) {
+  BasebandTrace tr;
+  for (int i = 0; i < 10; ++i) tr.push_back({static_cast<double>(i), 0.0});
+  const BasebandTrace d = decimate(tr, 3);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[1].real(), 3.0);
+  EXPECT_DOUBLE_EQ(d[3].real(), 9.0);
+}
+
+TEST(Channelizer, ProducesPerQubitChannels) {
+  const ChipProfile chip = noiseless_chip();
+  const ReadoutSimulator sim(chip);
+  Rng rng(2);
+  const ShotRecord shot = sim.simulate_shot({1, 0}, rng);
+
+  const Channelizer chan(chip);
+  const ChannelizedShot ch = chan.channelize(shot.trace);
+  EXPECT_EQ(ch.baseband.size(), 2u);
+  EXPECT_EQ(ch.baseband[0].size(), chip.n_samples);
+}
+
+TEST(Channelizer, DurationTruncates) {
+  const ChipProfile chip = noiseless_chip();
+  const Channelizer chan(chip, 200.0);  // 200 ns at 2 ns/sample -> 100.
+  EXPECT_EQ(chan.samples_used(), 100u);
+  EXPECT_DOUBLE_EQ(chan.duration_ns(), 200.0);
+}
+
+TEST(Channelizer, InvalidDurationThrows) {
+  const ChipProfile chip = noiseless_chip();
+  EXPECT_THROW(Channelizer(chip, 1e9), Error);
+  EXPECT_THROW(Channelizer(chip, 0.5), Error);  // Below one sample.
+}
+
+TEST(Channelizer, BatchMatchesSingle) {
+  const ChipProfile chip = noiseless_chip();
+  const ReadoutSimulator sim(chip);
+  Rng rng(3);
+  std::vector<IqTrace> traces;
+  for (int s = 0; s < 5; ++s)
+    traces.push_back(sim.simulate_shot({0, 1}, rng).trace);
+  const Channelizer chan(chip);
+  const auto batch = chan.channelize_batch(traces);
+  ASSERT_EQ(batch.size(), 5u);
+  const ChannelizedShot single = chan.channelize(traces[3]);
+  for (std::size_t t = 0; t < single.baseband[0].size(); ++t)
+    EXPECT_EQ(batch[3].baseband[0][t], single.baseband[0][t]);
+}
+
+}  // namespace
+}  // namespace mlqr

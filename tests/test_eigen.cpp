@@ -1,0 +1,91 @@
+#include "linalg/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mlqr {
+namespace {
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const EigenDecomposition e = jacobi_eigen_symmetric(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[2], 3.0, 1e-10);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  const EigenDecomposition e = jacobi_eigen_symmetric(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  Matrix a(2, 2, 0.0);
+  a(0, 1) = 1.0;
+  EXPECT_THROW(jacobi_eigen_symmetric(a), Error);
+}
+
+TEST(Eigen, RejectsNonSquare) {
+  EXPECT_THROW(jacobi_eigen_symmetric(Matrix(2, 3)), Error);
+}
+
+class EigenRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenRandom, ReconstructionAndOrthogonality) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 37);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) {
+      a(r, c) = rng.normal();
+      a(c, r) = a(r, c);
+    }
+  const EigenDecomposition e = jacobi_eigen_symmetric(a);
+
+  // Eigenvalues ascending.
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_LE(e.eigenvalues[i - 1], e.eigenvalues[i] + 1e-12);
+
+  // V orthonormal: V^T V = I.
+  const Matrix vtv = e.eigenvectors.transposed().multiply(e.eigenvectors);
+  EXPECT_LT(vtv.frobenius_distance(Matrix::identity(n)), 1e-8);
+
+  // A = V diag(w) V^T.
+  Matrix vd = e.eigenvectors;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) vd(r, c) *= e.eigenvalues[c];
+  const Matrix recon = vd.multiply(e.eigenvectors.transposed());
+  EXPECT_LT(recon.frobenius_distance(a), 1e-7 * std::max<double>(1.0, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenRandom,
+                         ::testing::Values(2, 3, 5, 8, 16, 40));
+
+TEST(Eigen, LaplacianHasZeroEigenvalue) {
+  // Path graph Laplacian: smallest eigenvalue is 0.
+  const std::size_t n = 6;
+  Matrix lap(n, n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    lap(i, i) += 1.0;
+    lap(i + 1, i + 1) += 1.0;
+    lap(i, i + 1) -= 1.0;
+    lap(i + 1, i) -= 1.0;
+  }
+  const EigenDecomposition e = jacobi_eigen_symmetric(lap);
+  EXPECT_NEAR(e.eigenvalues[0], 0.0, 1e-10);
+  EXPECT_GT(e.eigenvalues[1], 1e-6);
+}
+
+}  // namespace
+}  // namespace mlqr

@@ -1,0 +1,28 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mlqr {
+namespace {
+
+TEST(Env, IntFallback) {
+  unsetenv("MLQR_TEST_VALUE_XYZ");
+  EXPECT_EQ(env_int("MLQR_TEST_VALUE_XYZ", 42), 42);
+  setenv("MLQR_TEST_VALUE_XYZ", "17", 1);
+  EXPECT_EQ(env_int("MLQR_TEST_VALUE_XYZ", 42), 17);
+  unsetenv("MLQR_TEST_VALUE_XYZ");
+}
+
+TEST(Env, FastScaledRespectsFloor) {
+  if (fast_mode()) {
+    EXPECT_EQ(fast_scaled(1000, 10, 200), 200u);  // Floor wins.
+    EXPECT_EQ(fast_scaled(10000, 10, 200), 1000u);
+  } else {
+    EXPECT_EQ(fast_scaled(1000, 10, 200), 1000u);  // Untouched.
+  }
+}
+
+}  // namespace
+}  // namespace mlqr

@@ -1,0 +1,91 @@
+#include "qec/eraser.h"
+
+#include <gtest/gtest.h>
+
+namespace mlqr {
+namespace {
+
+TEST(Eraser, StatsArithmetic) {
+  SpeculationStats s;
+  s.true_positive = 80;
+  s.false_negative = 20;
+  s.true_negative = 990;
+  s.false_positive = 10;
+  EXPECT_NEAR(s.recall(), 0.8, 1e-12);
+  EXPECT_NEAR(s.specificity(), 0.99, 1e-12);
+  EXPECT_NEAR(s.speculation_accuracy(), 0.895, 1e-12);
+}
+
+TEST(Eraser, AccountingIsConsistent) {
+  const SurfaceCode code(3);
+  LeakageRates rates;
+  rates.p_leak_data = 0.01;  // Enough injections for episodes to occur.
+  rates.p_leak_ancilla = 0.01;
+  const EraserConfig cfg;
+  const std::size_t cycles = 10, trials = 50;
+  const SpeculationStats s = run_eraser(code, rates, MultiLevelReadout{}, cfg,
+                                        cycles, trials, 3);
+  // Negatives are per qubit-cycle, positives per episode: the negative
+  // count is bounded by the total qubit-cycles, and episodes exist.
+  EXPECT_LE(s.true_negative + s.false_positive,
+            trials * cycles * (code.num_data() + code.num_stabilizers()));
+  EXPECT_GT(s.true_positive + s.false_negative, 0u);
+  EXPECT_GE(s.speculation_accuracy(), 0.0);
+  EXPECT_LE(s.speculation_accuracy(), 1.0);
+  EXPECT_GE(s.recall(), 0.0);
+  EXPECT_LE(s.recall(), 1.0);
+}
+
+TEST(Eraser, MultiLevelReadoutImprovesSpeculation) {
+  const SurfaceCode code(5);
+  const LeakageRates rates;
+  EraserConfig base;
+  const SpeculationStats s_base = run_eraser(
+      code, rates, MultiLevelReadout{}, base, 10, 300, 5);
+
+  EraserConfig ml_cfg = base;
+  ml_cfg.multi_level = true;
+  MultiLevelReadout ml;
+  ml.p_detect_leaked = 0.95;
+  ml.p_false_leaked = 0.005;
+  const SpeculationStats s_ml =
+      run_eraser(code, rates, ml, ml_cfg, 10, 300, 5);
+
+  EXPECT_GT(s_ml.speculation_accuracy(), s_base.speculation_accuracy());
+  EXPECT_LT(s_ml.final_leakage_population, s_base.final_leakage_population);
+}
+
+TEST(Eraser, WorseReadoutDegradesSpeculation) {
+  const SurfaceCode code(5);
+  const LeakageRates rates;
+  EraserConfig cfg;
+  cfg.multi_level = true;
+
+  MultiLevelReadout good, bad;
+  good.p_detect_leaked = 0.97;
+  good.p_false_leaked = 0.005;
+  bad.p_detect_leaked = 0.55;
+  bad.p_false_leaked = 0.05;
+
+  const SpeculationStats s_good =
+      run_eraser(code, rates, good, cfg, 10, 300, 7);
+  const SpeculationStats s_bad =
+      run_eraser(code, rates, bad, cfg, 10, 300, 7);
+  EXPECT_GT(s_good.speculation_accuracy(), s_bad.speculation_accuracy());
+}
+
+TEST(Eraser, DeterministicGivenSeed) {
+  const SurfaceCode code(3);
+  const LeakageRates rates;
+  const EraserConfig cfg;
+  const SpeculationStats a = run_eraser(code, rates, MultiLevelReadout{}, cfg,
+                                        5, 10, 42);
+  const SpeculationStats b = run_eraser(code, rates, MultiLevelReadout{}, cfg,
+                                        5, 10, 42);
+  EXPECT_EQ(a.true_positive, b.true_positive);
+  EXPECT_EQ(a.lrc_applications, b.lrc_applications);
+  EXPECT_DOUBLE_EQ(a.final_leakage_population, b.final_leakage_population);
+}
+
+}  // namespace
+}  // namespace mlqr

@@ -1,0 +1,106 @@
+#include "mf/error_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/resonator.h"
+
+namespace mlqr {
+namespace {
+
+/// Builds noisy envelopes with optional mid-trace transitions.
+struct MinerFixture {
+  QubitProfile qubit;
+  std::vector<BasebandTrace> traces;
+  std::vector<int> labels;
+  std::vector<int> truth;  // 0 = clean, 1 = relax, 2 = excite.
+  Rng rng{17};
+
+  MinerFixture() {
+    qubit.alpha[0] = {1.0, 0.0};
+    qubit.alpha[1] = {-0.5, 0.9};
+    qubit.alpha[2] = {-0.5, -0.9};
+    qubit.resonator_tau_ns = 60.0;
+  }
+
+  void add(int level, int dest, double jump_ns, int count) {
+    for (int i = 0; i < count; ++i) {
+      LevelTrajectory traj;
+      traj.initial_level = level;
+      if (dest >= 0) traj.jumps = {{jump_ns, level, dest}};
+      BasebandTrace env = synthesize_envelope(qubit, traj, 400, 2.0);
+      for (auto& z : env)
+        z += Complexd{rng.normal(0.0, 0.25), rng.normal(0.0, 0.25)};
+      traces.push_back(std::move(env));
+      labels.push_back(level);
+      truth.push_back(dest < 0 ? 0 : (dest < level ? 1 : 2));
+    }
+  }
+};
+
+TEST(ErrorMiner, FindsRelaxationTraces) {
+  MinerFixture fx;
+  fx.add(0, -1, 0, 200);
+  fx.add(1, -1, 0, 200);
+  fx.add(2, -1, 0, 40);
+  fx.add(1, 0, 250.0, 30);  // Relax 1->0 early enough to tag.
+
+  const MinedErrorTraces mined = mine_error_traces(fx.traces, fx.labels);
+  // Pair 0 is 1->0.
+  EXPECT_GE(mined.relaxation[0].size(), 20u);
+  // Everything mined as 1->0 must truly be a relaxation trace.
+  for (std::size_t s : mined.relaxation[0]) EXPECT_EQ(fx.truth[s], 1);
+}
+
+TEST(ErrorMiner, FindsExcitationTraces) {
+  MinerFixture fx;
+  fx.add(0, -1, 0, 200);
+  fx.add(1, -1, 0, 200);
+  fx.add(2, -1, 0, 40);
+  fx.add(1, 2, 300.0, 25);  // Excite 1->2.
+
+  const MinedErrorTraces mined = mine_error_traces(fx.traces, fx.labels);
+  // Pair 2 is 1->2.
+  EXPECT_GE(mined.excitation[2].size(), 15u);
+  for (std::size_t s : mined.excitation[2]) EXPECT_EQ(fx.truth[s], 2);
+}
+
+TEST(ErrorMiner, CleanTracesStayClean) {
+  MinerFixture fx;
+  fx.add(0, -1, 0, 150);
+  fx.add(1, -1, 0, 150);
+  fx.add(2, -1, 0, 30);
+
+  const MinedErrorTraces mined = mine_error_traces(fx.traces, fx.labels);
+  // Nearly everything should be classified clean.
+  const std::size_t n_clean =
+      mined.clean[0].size() + mined.clean[1].size() + mined.clean[2].size();
+  EXPECT_GE(n_clean, fx.traces.size() * 95 / 100);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_LE(mined.relaxation[p].size(), 3u);
+    EXPECT_LE(mined.excitation[p].size(), 3u);
+  }
+}
+
+TEST(ErrorMiner, LateTransitionsAreNotTagged) {
+  // A decay within the final 10% of the window leaves the late-window mean
+  // close to the original state: must remain clean.
+  MinerFixture fx;
+  fx.add(0, -1, 0, 100);
+  fx.add(1, -1, 0, 100);
+  fx.add(2, -1, 0, 20);
+  fx.add(1, 0, 780.0, 20);  // 780 of 800 ns.
+
+  const MinedErrorTraces mined = mine_error_traces(fx.traces, fx.labels);
+  EXPECT_LE(mined.relaxation[0].size(), 4u);
+}
+
+TEST(ErrorMiner, InputValidation) {
+  MinerFixture fx;
+  fx.add(0, -1, 0, 5);
+  std::vector<int> bad_labels(fx.traces.size(), 7);
+  EXPECT_THROW(mine_error_traces(fx.traces, bad_labels), Error);
+}
+
+}  // namespace
+}  // namespace mlqr

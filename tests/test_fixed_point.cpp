@@ -1,0 +1,84 @@
+#include "common/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mlqr {
+namespace {
+
+TEST(FixedPoint, ResolutionAndBounds) {
+  const FixedPointFormat fmt{8, 4};
+  EXPECT_DOUBLE_EQ(fmt.resolution(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(fmt.max_value(), (127.0) / 16.0);
+  EXPECT_DOUBLE_EQ(fmt.min_value(), -128.0 / 16.0);
+}
+
+TEST(FixedPoint, QuantizeRoundsToGrid) {
+  const FixedPointFormat fmt{8, 4};
+  EXPECT_DOUBLE_EQ(quantize(0.1, fmt), 2.0 / 16.0);  // Nearest step.
+  EXPECT_DOUBLE_EQ(quantize(0.0, fmt), 0.0);
+  EXPECT_DOUBLE_EQ(quantize(1.0, fmt), 1.0);  // Exactly representable.
+}
+
+TEST(FixedPoint, QuantizeSaturates) {
+  const FixedPointFormat fmt{8, 4};
+  EXPECT_DOUBLE_EQ(quantize(1000.0, fmt), fmt.max_value());
+  EXPECT_DOUBLE_EQ(quantize(-1000.0, fmt), fmt.min_value());
+}
+
+TEST(FixedPoint, MaxErrorBoundedByHalfStep) {
+  const FixedPointFormat fmt{12, 8};
+  std::vector<float> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(-3.0f + 0.006f * i);
+  EXPECT_LE(max_quantization_error(xs, fmt), 0.5 * fmt.resolution() + 1e-12);
+}
+
+TEST(FixedPoint, QuantizeInPlace) {
+  const FixedPointFormat fmt{6, 2};
+  std::vector<float> xs{0.13f, -0.61f, 5.0f};
+  quantize_in_place(xs, fmt);
+  for (float x : xs) {
+    const double steps = x / fmt.resolution();
+    EXPECT_NEAR(steps, std::round(steps), 1e-6);
+  }
+}
+
+TEST(FixedPoint, FitFormatHoldsRange) {
+  const FixedPointFormat fmt = fit_format(-2.5, 3.7, 16);
+  EXPECT_GE(fmt.max_value(), 3.7);
+  EXPECT_LE(fmt.min_value(), -2.5);
+  EXPECT_EQ(fmt.total_bits, 16);
+}
+
+TEST(FixedPoint, FitFormatMaximizesFraction) {
+  // Range within [-1, 1): only the sign + fraction are needed.
+  const FixedPointFormat fmt = fit_format(-0.9, 0.9, 8);
+  EXPECT_GE(fmt.frac_bits, 6);
+}
+
+TEST(FixedPoint, RejectsBadWidths) {
+  EXPECT_THROW(quantize(1.0, FixedPointFormat{1, 0}), Error);
+  EXPECT_THROW(fit_format(0.0, 1.0, 64), Error);
+}
+
+class FixedPointRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedPointRoundTrip, GridValuesAreFixedPoints) {
+  const int bits = GetParam();
+  const FixedPointFormat fmt{bits, bits / 2};
+  // Every representable value must quantize to itself.
+  for (int code = -10; code <= 10; ++code) {
+    const double v = code * fmt.resolution();
+    EXPECT_DOUBLE_EQ(quantize(v, fmt), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FixedPointRoundTrip,
+                         ::testing::Values(6, 8, 12, 16, 24));
+
+}  // namespace
+}  // namespace mlqr

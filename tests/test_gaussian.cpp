@@ -1,0 +1,97 @@
+#include "discrim/gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mlqr {
+namespace {
+
+void blob(std::vector<double>& x, std::vector<int>& y, double cx, double cy,
+          double sx, double sy, int label, int n, Rng& rng) {
+  for (int i = 0; i < n; ++i) {
+    x.push_back(rng.normal(cx, sx));
+    x.push_back(rng.normal(cy, sy));
+    y.push_back(label);
+  }
+}
+
+TEST(Gaussian, LdaSeparatesEqualCovarianceBlobs) {
+  Rng rng(127);
+  std::vector<double> x;
+  std::vector<int> y;
+  blob(x, y, -2, 0, 0.5, 0.5, 0, 500, rng);
+  blob(x, y, 2, 0, 0.5, 0.5, 1, 500, rng);
+  blob(x, y, 0, 2.5, 0.5, 0.5, 2, 500, rng);
+  const GaussianClassifier g =
+      GaussianClassifier::fit(x, 2, y, 3, GaussianKind::kLda);
+
+  int correct = 0;
+  for (std::size_t s = 0; s < y.size(); ++s)
+    if (g.predict(std::span<const double>(x).subspan(s * 2, 2)) == y[s])
+      ++correct;
+  EXPECT_GT(static_cast<double>(correct) / y.size(), 0.97);
+}
+
+TEST(Gaussian, QdaBeatsLdaOnUnequalCovariances) {
+  // Class 1 is a thin ring-shaped ellipse around class 0's center line.
+  Rng rng(131);
+  std::vector<double> x;
+  std::vector<int> y;
+  blob(x, y, 0, 0, 0.3, 0.3, 0, 800, rng);
+  blob(x, y, 0, 0, 3.0, 3.0, 1, 800, rng);
+
+  const GaussianClassifier lda =
+      GaussianClassifier::fit(x, 2, y, 2, GaussianKind::kLda);
+  const GaussianClassifier qda =
+      GaussianClassifier::fit(x, 2, y, 2, GaussianKind::kQda);
+
+  auto accuracy = [&](const GaussianClassifier& g) {
+    int correct = 0;
+    for (std::size_t s = 0; s < y.size(); ++s)
+      if (g.predict(std::span<const double>(x).subspan(s * 2, 2)) == y[s])
+        ++correct;
+    return static_cast<double>(correct) / y.size();
+  };
+  EXPECT_GT(accuracy(qda), accuracy(lda) + 0.1);
+}
+
+TEST(Gaussian, MissingClassIsNeverPredicted) {
+  Rng rng(137);
+  std::vector<double> x;
+  std::vector<int> y;
+  blob(x, y, -2, 0, 0.5, 0.5, 0, 100, rng);
+  blob(x, y, 2, 0, 0.5, 0.5, 2, 100, rng);  // Class 1 absent.
+  const GaussianClassifier g =
+      GaussianClassifier::fit(x, 2, y, 3, GaussianKind::kQda);
+  for (double px = -4.0; px <= 4.0; px += 0.5) {
+    const std::vector<double> p{px, 0.0};
+    EXPECT_NE(g.predict(p), 1);
+  }
+}
+
+TEST(Gaussian, ScoresAreOrderedPosteriors) {
+  Rng rng(139);
+  std::vector<double> x;
+  std::vector<int> y;
+  blob(x, y, -3, 0, 0.5, 0.5, 0, 200, rng);
+  blob(x, y, 3, 0, 0.5, 0.5, 1, 200, rng);
+  const GaussianClassifier g =
+      GaussianClassifier::fit(x, 2, y, 2, GaussianKind::kLda);
+  const std::vector<double> near0{-3.0, 0.0};
+  const auto s = g.scores(near0);
+  EXPECT_GT(s[0], s[1]);
+}
+
+TEST(Gaussian, InputValidation) {
+  std::vector<double> x{0.0, 0.0};
+  std::vector<int> y{0};
+  EXPECT_THROW(
+      GaussianClassifier::fit(x, 2, y, 1, GaussianKind::kLda), Error);
+  EXPECT_THROW(
+      GaussianClassifier::fit(x, 3, y, 2, GaussianKind::kLda), Error);
+}
+
+}  // namespace
+}  // namespace mlqr

@@ -1,0 +1,96 @@
+#include "linalg/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlqr {
+namespace {
+
+// Naive reference implementation.
+void ref_gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k,
+              float alpha, const std::vector<float>& a, std::size_t lda,
+              const std::vector<float>& b, std::size_t ldb, float beta,
+              std::vector<float>& c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a[kk * lda + i] : a[i * lda + kk];
+        const float bv = tb ? b[j * ldb + kk] : b[kk * ldb + j];
+        acc += av * bv;
+      }
+      c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
+    }
+  }
+}
+
+using Shape = std::tuple<bool, bool, std::size_t, std::size_t, std::size_t>;
+
+class GemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmShapes, MatchesReference) {
+  const auto [ta, tb, m, n, k] = GetParam();
+  Rng rng(m * 1000 + n * 100 + k);
+  const std::size_t lda = ta ? m : k;
+  const std::size_t ldb = tb ? k : n;
+  std::vector<float> a((ta ? k : m) * lda);
+  std::vector<float> b((tb ? n : k) * ldb);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  std::vector<float> c(m * n), c_ref;
+  for (auto& v : c) v = static_cast<float>(rng.normal());
+  c_ref = c;
+
+  sgemm(ta, tb, m, n, k, 1.3f, a.data(), lda, b.data(), ldb, 0.7f, c.data(),
+        n);
+  ref_gemm(ta, tb, m, n, k, 1.3f, a, lda, b, ldb, 0.7f, c_ref, n);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], c_ref[i], 1e-3f * (std::abs(c_ref[i]) + 1.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, GemmShapes,
+    ::testing::Values(Shape{false, false, 3, 4, 5},
+                      Shape{false, true, 7, 9, 11},
+                      Shape{true, false, 8, 6, 4},
+                      Shape{true, true, 5, 5, 5},
+                      Shape{false, false, 64, 32, 128},
+                      Shape{false, true, 33, 65, 17},
+                      Shape{false, false, 128, 96, 64},  // Parallel path.
+                      Shape{false, true, 1, 3, 500}));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  std::vector<float> a{1.0f, 2.0f};
+  std::vector<float> b{3.0f, 4.0f};
+  std::vector<float> c{std::numeric_limits<float>::quiet_NaN()};
+  sgemm(false, false, 1, 1, 2, 1.0f, a.data(), 2, b.data(), 1, 0.0f, c.data(),
+        1);
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+}
+
+TEST(Gemv, MatchesManual) {
+  // 2x3 matrix times vector plus bias.
+  std::vector<float> a{1, 2, 3, 4, 5, 6};
+  std::vector<float> x{1, 0, -1};
+  std::vector<float> bias{10, 20};
+  std::vector<float> y(2);
+  sgemv(2, 3, a.data(), 3, x.data(), bias.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 10 + 1 - 3);
+  EXPECT_FLOAT_EQ(y[1], 20 + 4 - 6);
+}
+
+TEST(Gemv, NullBiasMeansZero) {
+  std::vector<float> a{2, 0, 0, 2};
+  std::vector<float> x{3, 4};
+  std::vector<float> y(2);
+  sgemv(2, 2, a.data(), 2, x.data(), nullptr, y.data());
+  EXPECT_FLOAT_EQ(y[0], 6);
+  EXPECT_FLOAT_EQ(y[1], 8);
+}
+
+}  // namespace
+}  // namespace mlqr

@@ -1,0 +1,86 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mlqr {
+namespace {
+
+std::vector<double> three_blobs(std::size_t per_blob, Rng& rng) {
+  const std::array<std::pair<double, double>, 3> centers{
+      {{0.0, 0.0}, {10.0, 0.0}, {5.0, 8.0}}};
+  std::vector<double> pts;
+  for (const auto& [cx, cy] : centers) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      pts.push_back(rng.normal(cx, 0.5));
+      pts.push_back(rng.normal(cy, 0.5));
+    }
+  }
+  return pts;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  Rng rng(31);
+  const std::size_t per = 100;
+  const std::vector<double> pts = three_blobs(per, rng);
+  const KMeansResult km = kmeans(pts, 2, 3, rng);
+
+  // Every blob must be internally consistent: one dominant label.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::array<int, 3> counts{};
+    for (std::size_t i = 0; i < per; ++i)
+      ++counts[km.labels[blob * per + i]];
+    const int top = std::max({counts[0], counts[1], counts[2]});
+    EXPECT_GE(top, static_cast<int>(per) - 2);
+  }
+}
+
+TEST(KMeans, CentroidsNearTrueCenters) {
+  Rng rng(37);
+  const std::vector<double> pts = three_blobs(200, rng);
+  const KMeansResult km = kmeans(pts, 2, 3, rng);
+  // Each true center must have a centroid within 0.5.
+  const std::array<std::pair<double, double>, 3> centers{
+      {{0.0, 0.0}, {10.0, 0.0}, {5.0, 8.0}}};
+  for (const auto& [cx, cy] : centers) {
+    double best = 1e9;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const double dx = km.centroids[c * 2] - cx;
+      const double dy = km.centroids[c * 2 + 1] - cy;
+      best = std::min(best, std::sqrt(dx * dx + dy * dy));
+    }
+    EXPECT_LT(best, 0.5);
+  }
+}
+
+TEST(KMeans, InertiaIsSumOfSquares) {
+  // Two points, one cluster: centroid at midpoint.
+  const std::vector<double> pts{0.0, 0.0, 2.0, 0.0};
+  Rng rng(41);
+  const KMeansResult km = kmeans(pts, 2, 1, rng);
+  EXPECT_NEAR(km.inertia, 2.0, 1e-9);
+  EXPECT_NEAR(km.centroids[0], 1.0, 1e-9);
+}
+
+TEST(KMeans, AssignToCentroids) {
+  const std::vector<double> centroids{0.0, 0.0, 10.0, 10.0};
+  const std::vector<double> pts{1.0, 1.0, 9.0, 9.5, -2.0, 0.0};
+  const auto labels = assign_to_centroids(pts, 2, centroids);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 1);
+  EXPECT_EQ(labels[2], 0);
+}
+
+TEST(KMeans, TooFewPointsThrows) {
+  Rng rng(43);
+  const std::vector<double> pts{0.0, 0.0};
+  EXPECT_THROW(kmeans(pts, 2, 3, rng), Error);
+}
+
+}  // namespace
+}  // namespace mlqr

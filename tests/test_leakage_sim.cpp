@@ -1,0 +1,127 @@
+#include "qec/leakage_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mlqr {
+namespace {
+
+LeakageRates quiet_rates() {
+  LeakageRates r;
+  r.p_leak_data = 0.0;
+  r.p_leak_ancilla = 0.0;
+  r.p_transport = 0.0;
+  r.p_decay = 0.0;
+  r.p_depol = 0.0;
+  r.p_meas_err = 0.0;
+  r.p_scramble = 0.0;
+  return r;
+}
+
+TEST(LeakageSim, QuietSystemStaysClean) {
+  const SurfaceCode code(5);
+  LeakageSimulator sim(code, quiet_rates(), MultiLevelReadout{}, 1);
+  for (int c = 0; c < 5; ++c) {
+    const CycleObservation obs = sim.step();
+    for (auto s : obs.syndrome) EXPECT_EQ(s, 0);
+  }
+  EXPECT_DOUBLE_EQ(sim.leakage_population(), 0.0);
+}
+
+TEST(LeakageSim, InjectionRateIsHonored) {
+  const SurfaceCode code(5);
+  LeakageRates r = quiet_rates();
+  r.p_leak_data = 0.01;
+  double total = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    LeakageSimulator sim(code, r, MultiLevelReadout{}, 100 + t);
+    sim.step();
+    const auto& leaked = sim.data_leaked();
+    total += std::accumulate(leaked.begin(), leaked.end(), 0.0);
+  }
+  const double mean_leaked = total / trials;
+  EXPECT_NEAR(mean_leaked, 0.01 * code.num_data(), 0.1);
+}
+
+TEST(LeakageSim, DecayDrainsLeakage) {
+  const SurfaceCode code(3);
+  LeakageRates r = quiet_rates();
+  r.p_leak_data = 1.0;  // Everything leaks at step 1...
+  LeakageSimulator sim(code, r, MultiLevelReadout{}, 7);
+  sim.step();
+  EXPECT_GT(sim.leakage_population(), 0.4);
+  // ...then stop injecting and let decay drain it.
+  LeakageRates drain = quiet_rates();
+  drain.p_decay = 0.5;
+  LeakageSimulator sim2(code, r, MultiLevelReadout{}, 7);
+  sim2.step();
+  // Manually apply LRCs as a proxy for decay-to-zero behaviour.
+  for (std::size_t q = 0; q < code.num_data(); ++q)
+    sim2.apply_lrc_data(q, 1.0, 0.0);
+  for (std::size_t a = 0; a < code.num_stabilizers(); ++a)
+    sim2.apply_lrc_ancilla(a, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(sim2.leakage_population(), 0.0);
+}
+
+TEST(LeakageSim, LeakedAncillaScramblesItsSyndrome) {
+  const SurfaceCode code(3);
+  LeakageRates r = quiet_rates();
+  r.p_leak_ancilla = 1.0;  // All ancillas leaked from cycle 1.
+  LeakageSimulator sim(code, r, MultiLevelReadout{}, 11);
+  std::size_t ones = 0, total = 0;
+  for (int c = 0; c < 200; ++c) {
+    const CycleObservation obs = sim.step();
+    for (auto s : obs.syndrome) {
+      ones += s;
+      ++total;
+    }
+  }
+  const double rate = static_cast<double>(ones) / total;
+  EXPECT_NEAR(rate, 0.5, 0.05);
+}
+
+TEST(LeakageSim, TransportSpreadsLeakage) {
+  const SurfaceCode code(5);
+  LeakageRates r = quiet_rates();
+  r.p_leak_data = 0.5;
+  r.p_transport = 0.5;
+  LeakageSimulator sim(code, r, MultiLevelReadout{}, 13);
+  sim.step();
+  const auto& anc = sim.ancilla_leaked();
+  const double anc_leaked =
+      std::accumulate(anc.begin(), anc.end(), 0.0) / anc.size();
+  EXPECT_GT(anc_leaked, 0.2);  // Ancillas caught it from data.
+}
+
+TEST(LeakageSim, MultiLevelReadoutReportsDetections) {
+  const SurfaceCode code(3);
+  LeakageRates r = quiet_rates();
+  r.p_leak_ancilla = 1.0;
+  MultiLevelReadout ml;
+  ml.enabled = true;
+  ml.p_detect_leaked = 1.0;
+  ml.p_false_leaked = 0.0;
+  LeakageSimulator sim(code, r, ml, 17);
+  const CycleObservation obs = sim.step();
+  ASSERT_EQ(obs.ancilla_reads_two.size(), code.num_stabilizers());
+  for (auto v : obs.ancilla_reads_two) EXPECT_EQ(v, 1);
+}
+
+TEST(LeakageSim, LrcInducedLeakageOnCleanQubit) {
+  const SurfaceCode code(3);
+  LeakageSimulator sim(code, quiet_rates(), MultiLevelReadout{}, 19);
+  int induced = 0;
+  for (int i = 0; i < 2000; ++i) {
+    sim.apply_lrc_data(0, 1.0, 0.05);
+    if (sim.data_leaked()[0]) {
+      ++induced;
+      sim.apply_lrc_data(0, 1.0, 0.0);  // Reset for the next trial.
+    }
+  }
+  EXPECT_NEAR(induced / 2000.0, 0.05, 0.02);
+}
+
+}  // namespace
+}  // namespace mlqr

@@ -1,0 +1,90 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mlqr {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNoop) {
+  Matrix a(3, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  const Matrix i = Matrix::identity(3);
+  const Matrix prod = a.multiply(i);
+  EXPECT_DOUBLE_EQ(prod.frobenius_distance(a), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  const std::vector<double> x{5.0, 6.0};
+  const std::vector<double> y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 4, 0.0);
+  a(0, 3) = 5.0;
+  a(1, 0) = -2.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 4u);
+  EXPECT_DOUBLE_EQ(t(3, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(t.transposed().frobenius_distance(a), 0.0);
+}
+
+TEST(Matrix, BoundsChecking) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.multiply(b), Error);
+}
+
+TEST(Matrix, MaxOffDiagonal) {
+  Matrix m = Matrix::identity(3);
+  m(0, 2) = -7.0;
+  EXPECT_DOUBLE_EQ(m.max_off_diagonal(), 7.0);
+}
+
+TEST(Matrix, RowSpanIsMutable) {
+  Matrix m(2, 2, 0.0);
+  auto row = m.row(1);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+}  // namespace
+}  // namespace mlqr

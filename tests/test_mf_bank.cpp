@@ -1,0 +1,155 @@
+#include "mf/mf_bank.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sim/resonator.h"
+
+namespace mlqr {
+namespace {
+
+struct BankFixture {
+  QubitProfile qubit;
+  std::vector<BasebandTrace> traces;
+  std::vector<int> labels;
+  Rng rng{23};
+
+  BankFixture() {
+    qubit.alpha[0] = {1.0, 0.0};
+    qubit.alpha[1] = {-0.5, 0.9};
+    qubit.alpha[2] = {-0.5, -0.9};
+    qubit.resonator_tau_ns = 60.0;
+    add(0, 300);
+    add(1, 300);
+    add(2, 40);
+  }
+
+  void add(int level, int count) {
+    for (int i = 0; i < count; ++i) {
+      LevelTrajectory traj;
+      traj.initial_level = level;
+      BasebandTrace env = synthesize_envelope(qubit, traj, 300, 2.0);
+      for (auto& z : env)
+        z += Complexd{rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)};
+      traces.push_back(std::move(env));
+      labels.push_back(level);
+    }
+  }
+};
+
+TEST(MfBank, FullConfigYieldsNineFilters) {
+  BankFixture fx;
+  MfBankConfig cfg;
+  const QubitMfBank bank = QubitMfBank::train(fx.traces, fx.labels, 300, cfg);
+  EXPECT_EQ(bank.feature_count(), 9u);
+  std::vector<float> feats;
+  bank.features(fx.traces[0], feats);
+  EXPECT_EQ(feats.size(), 9u);
+}
+
+TEST(MfBank, GroupTogglesShrinkFeatureVector) {
+  BankFixture fx;
+  MfBankConfig cfg;
+  cfg.use_emf = false;
+  EXPECT_EQ(cfg.filters_per_qubit(), 6u);
+  const QubitMfBank bank = QubitMfBank::train(fx.traces, fx.labels, 300, cfg);
+  EXPECT_EQ(bank.feature_count(), 6u);
+
+  MfBankConfig qmf_only;
+  qmf_only.use_rmf = false;
+  qmf_only.use_emf = false;
+  EXPECT_EQ(qmf_only.filters_per_qubit(), 3u);
+}
+
+TEST(MfBank, QmfScoresSeparateLevels) {
+  BankFixture fx;
+  MfBankConfig cfg;
+  const QubitMfBank bank = QubitMfBank::train(fx.traces, fx.labels, 300, cfg);
+
+  // QMF(0,1) is filter 0: level 0 traces score negative, level 1 positive.
+  double mean0 = 0.0, mean1 = 0.0;
+  int n0 = 0, n1 = 0;
+  std::vector<float> feats;
+  for (std::size_t s = 0; s < fx.traces.size(); ++s) {
+    feats.clear();
+    bank.features(fx.traces[s], feats);
+    if (fx.labels[s] == 0) {
+      mean0 += feats[0];
+      ++n0;
+    } else if (fx.labels[s] == 1) {
+      mean1 += feats[0];
+      ++n1;
+    }
+  }
+  EXPECT_LT(mean0 / n0, -0.3);
+  EXPECT_GT(mean1 / n1, 0.3);
+}
+
+TEST(MfBank, MissingLevelThrows) {
+  BankFixture fx;
+  // Relabel all level-2 traces as level 1.
+  for (auto& l : fx.labels)
+    if (l == 2) l = 1;
+  MfBankConfig cfg;
+  EXPECT_THROW(QubitMfBank::train(fx.traces, fx.labels, 300, cfg), Error);
+}
+
+TEST(MfBank, ChipBankConcatenatesQubits) {
+  BankFixture fx0, fx1;
+  MfBankConfig cfg;
+  const ChipMfBank chip = ChipMfBank::train({fx0.traces, fx1.traces},
+                                            {fx0.labels, fx1.labels}, 300, cfg);
+  EXPECT_EQ(chip.num_qubits(), 2u);
+  EXPECT_EQ(chip.total_features(), 18u);
+
+  std::vector<float> feats;
+  chip.features({fx0.traces[0], fx1.traces[0]}, feats);
+  EXPECT_EQ(feats.size(), 18u);
+}
+
+TEST(MfBank, AdoptValidatesLayout) {
+  BankFixture fx;
+  MfBankConfig cfg;
+  QubitMfBank bank = QubitMfBank::train(fx.traces, fx.labels, 300, cfg);
+  ChipMfBank chip;
+  MfBankConfig other;
+  other.use_emf = false;  // 6 filters expected, bank has 9.
+  std::vector<QubitMfBank> banks{bank};
+  EXPECT_THROW(chip.adopt(other, std::move(banks)), Error);
+}
+
+TEST(MfBank, CrossFitFeaturesMatchShape) {
+  BankFixture fx;
+  MfBankConfig cfg;
+  const std::vector<float> xfit =
+      cross_fit_features(fx.traces, fx.labels, 300, cfg);
+  EXPECT_EQ(xfit.size(), fx.traces.size() * 9u);
+  for (float v : xfit) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MfBank, CrossFitScoresAgreeWithFullBankOnAverage) {
+  BankFixture fx;
+  MfBankConfig cfg;
+  const QubitMfBank bank = QubitMfBank::train(fx.traces, fx.labels, 300, cfg);
+  const std::vector<float> xfit =
+      cross_fit_features(fx.traces, fx.labels, 300, cfg);
+
+  // Mean QMF(0,1) score per level should agree between the two paths for
+  // the abundant computational levels (cross-fitting matters for |2>).
+  double full0 = 0.0, xf0 = 0.0;
+  int n = 0;
+  std::vector<float> feats;
+  for (std::size_t s = 0; s < fx.traces.size(); ++s) {
+    if (fx.labels[s] != 0) continue;
+    feats.clear();
+    bank.features(fx.traces[s], feats);
+    full0 += feats[0];
+    xf0 += xfit[s * 9];
+    ++n;
+  }
+  EXPECT_NEAR(full0 / n, xf0 / n, 0.1);
+}
+
+}  // namespace
+}  // namespace mlqr

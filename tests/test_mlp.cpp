@@ -1,0 +1,134 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mlqr {
+namespace {
+
+TEST(Mlp, TopologyAndParameterCount) {
+  const Mlp m({45, 22, 11, 3});
+  EXPECT_EQ(m.input_size(), 45u);
+  EXPECT_EQ(m.output_size(), 3u);
+  EXPECT_EQ(m.num_layers(), 3u);
+  // 45*22+22 + 22*11+11 + 11*3+3 = 1012 + 253 + 36 = 1301.
+  EXPECT_EQ(m.parameter_count(), 1301u);
+}
+
+TEST(Mlp, PaperTopologiesMatchClaimedSizes) {
+  // FNN baseline ~686k parameters (1000-500-250-243).
+  const Mlp fnn({1000, 500, 250, 243});
+  EXPECT_NEAR(static_cast<double>(fnn.parameter_count()), 686.0e3, 4e3);
+
+  // Proposed per-qubit head is ~100x smaller even with 5 instances.
+  const Mlp head({45, 22, 11, 3});
+  EXPECT_GT(fnn.parameter_count(), 100u * head.parameter_count());
+}
+
+TEST(Mlp, ForwardMatchesManualComputation) {
+  Mlp m({2, 2, 2});
+  auto& layers = m.mutable_layers();
+  layers[0].w = {1.0f, 0.0f, 0.0f, 1.0f};  // Identity.
+  layers[0].b = {0.0f, -1.0f};
+  layers[1].w = {1.0f, 2.0f, 3.0f, 4.0f};
+  layers[1].b = {0.5f, -0.5f};
+
+  const std::vector<float> x{2.0f, 0.5f};
+  // Layer0: (2, -0.5) -> ReLU -> (2, 0).
+  // Layer1: (1*2+2*0+0.5, 3*2+4*0-0.5) = (2.5, 5.5).
+  const std::vector<float> z = m.logits(x);
+  EXPECT_FLOAT_EQ(z[0], 2.5f);
+  EXPECT_FLOAT_EQ(z[1], 5.5f);
+  EXPECT_EQ(m.predict(x), 1);
+}
+
+TEST(Mlp, BatchForwardMatchesSingle) {
+  Mlp m({4, 6, 3});
+  Rng rng(71);
+  m.init_weights(rng);
+  std::vector<float> batch;
+  std::vector<std::vector<float>> singles;
+  for (int s = 0; s < 5; ++s) {
+    std::vector<float> x(4);
+    for (auto& v : x) v = static_cast<float>(rng.normal());
+    batch.insert(batch.end(), x.begin(), x.end());
+    singles.push_back(m.logits(x));
+  }
+  const std::vector<float> out = m.forward_batch(batch, 5);
+  for (int s = 0; s < 5; ++s)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(out[s * 3 + c], singles[s][c], 1e-4);
+}
+
+TEST(Mlp, InitWeightsDeterministic) {
+  Mlp a({8, 4, 2}), b({8, 4, 2});
+  Rng ra(5), rb(5);
+  a.init_weights(ra);
+  b.init_weights(rb);
+  EXPECT_EQ(a.layers()[0].w, b.layers()[0].w);
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Mlp m({10, 7, 4});
+  Rng rng(77);
+  m.init_weights(rng);
+  std::stringstream ss;
+  m.save(ss);
+  const Mlp loaded = Mlp::load(ss);
+  EXPECT_EQ(loaded.parameter_count(), m.parameter_count());
+  std::vector<float> x(10, 0.3f);
+  EXPECT_EQ(loaded.logits(x), m.logits(x));
+}
+
+TEST(Mlp, QuantizeBoundsOutputChange) {
+  Mlp m({16, 8, 3});
+  Rng rng(79);
+  m.init_weights(rng);
+  Mlp q = m;
+  const float bound = q.max_abs_weight();
+  q.quantize(fit_format(-bound, bound, 12));
+
+  std::vector<float> x(16);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  const auto z0 = m.logits(x);
+  const auto z1 = q.logits(x);
+  for (std::size_t c = 0; c < z0.size(); ++c)
+    EXPECT_NEAR(z0[c], z1[c], 0.1f);
+}
+
+TEST(Mlp, SoftmaxIsNormalizedAndStable) {
+  const std::vector<float> logits{1000.0f, 1001.0f, 999.0f};
+  const std::vector<float> p = softmax(logits);
+  float total = 0.0f;
+  for (float v : p) {
+    EXPECT_TRUE(std::isfinite(v));
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5);
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(Mlp, InvalidConstructionThrows) {
+  EXPECT_THROW(Mlp({5}), Error);
+  EXPECT_THROW(Mlp({5, 0, 2}), Error);
+}
+
+TEST(Mlp, WrongInputSizeThrows) {
+  const Mlp m({4, 2});
+  std::vector<float> x(3, 0.0f);
+  EXPECT_THROW(m.logits(x), Error);
+}
+
+TEST(Mlp, CorruptStreamThrows) {
+  std::stringstream ss;
+  ss << "garbage";
+  EXPECT_THROW(Mlp::load(ss), Error);
+}
+
+}  // namespace
+}  // namespace mlqr

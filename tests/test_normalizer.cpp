@@ -1,0 +1,72 @@
+#include "nn/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mlqr {
+namespace {
+
+TEST(Normalizer, ZeroMeanUnitVarianceAfterApply) {
+  Rng rng(113);
+  const std::size_t n = 2000, dim = 3;
+  std::vector<float> x(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i * dim + 0] = static_cast<float>(rng.normal(5.0, 2.0));
+    x[i * dim + 1] = static_cast<float>(rng.normal(-1.0, 0.1));
+    x[i * dim + 2] = static_cast<float>(rng.normal(0.0, 10.0));
+  }
+  const FeatureNormalizer norm = FeatureNormalizer::fit(x, dim);
+  norm.apply(x);
+
+  for (std::size_t c = 0; c < dim; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += x[i * dim + c];
+    mean /= n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = x[i * dim + c] - mean;
+      var += d * d;
+    }
+    var /= (n - 1);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(Normalizer, AppliesSameTransformToSingleRows) {
+  std::vector<float> train{0.0f, 10.0f, 2.0f, 20.0f, 4.0f, 30.0f};
+  const FeatureNormalizer norm = FeatureNormalizer::fit(train, 2);
+  std::vector<float> row{2.0f, 20.0f};  // The column means.
+  norm.apply(row);
+  EXPECT_NEAR(row[0], 0.0f, 1e-5);
+  EXPECT_NEAR(row[1], 0.0f, 1e-5);
+}
+
+TEST(Normalizer, ClampsPathologicalOutliers) {
+  std::vector<float> train{0.0f, 1.0f, 2.0f, 0.5f, 1.5f, 0.7f};
+  const FeatureNormalizer norm = FeatureNormalizer::fit(train, 1);
+  std::vector<float> wild{1e9f};
+  norm.apply(wild);
+  EXPECT_LE(std::abs(wild[0]), 12.0f);
+}
+
+TEST(Normalizer, ConstantColumnDoesNotDivideByZero) {
+  std::vector<float> train{3.0f, 3.0f, 3.0f, 3.0f};
+  const FeatureNormalizer norm = FeatureNormalizer::fit(train, 1);
+  std::vector<float> row{3.0f};
+  norm.apply(row);
+  EXPECT_TRUE(std::isfinite(row[0]));
+}
+
+TEST(Normalizer, InputValidation) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f};
+  EXPECT_THROW(FeatureNormalizer::fit(x, 2), Error);  // Not a multiple.
+  std::vector<float> one_row{1.0f, 2.0f};
+  EXPECT_THROW(FeatureNormalizer::fit(one_row, 2), Error);  // n < 2.
+}
+
+}  // namespace
+}  // namespace mlqr

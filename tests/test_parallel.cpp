@@ -1,0 +1,59 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mlqr {
+namespace {
+
+TEST(Parallel, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(0, visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ChunkedCoversRangeContiguously) {
+  std::vector<std::atomic<int>> visits(777);
+  parallel_for_chunked(0, visits.size(), [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw Error("boom");
+                   }),
+      Error);
+}
+
+TEST(Parallel, ThreadCountIsPositiveAndBounded) {
+  EXPECT_GE(parallel_thread_count(), 1u);
+  EXPECT_LE(parallel_thread_count(), 64u);
+}
+
+TEST(Parallel, SumMatchesSerial) {
+  std::vector<double> xs(10000);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  std::vector<double> out(xs.size());
+  parallel_for(0, xs.size(), [&](std::size_t i) { out[i] = xs[i] * 2.0; });
+  double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 9999.0 * 10000.0);
+}
+
+}  // namespace
+}  // namespace mlqr

@@ -1,0 +1,69 @@
+#include "sim/resonator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlqr {
+namespace {
+
+TEST(Resonator, RingsUpTowardSteadyState) {
+  QubitProfile q;
+  q.alpha[0] = {1.0, 0.5};
+  q.resonator_tau_ns = 100.0;
+  LevelTrajectory traj;
+  traj.initial_level = 0;
+
+  const BasebandTrace env = synthesize_envelope(q, traj, 500, 2.0);
+  // Starts near zero, ends near alpha[0].
+  EXPECT_LT(std::abs(env.front()), 0.1);
+  EXPECT_LT(std::abs(env.back() - q.alpha[0]), 0.01);
+  // Monotone approach (magnitude of error decreases).
+  for (std::size_t t = 1; t < env.size(); ++t)
+    EXPECT_LE(std::abs(env[t] - q.alpha[0]),
+              std::abs(env[t - 1] - q.alpha[0]) + 1e-12);
+}
+
+TEST(Resonator, TimeConstantMatches) {
+  QubitProfile q;
+  q.alpha[0] = {1.0, 0.0};
+  q.resonator_tau_ns = 120.0;
+  LevelTrajectory traj;
+  traj.initial_level = 0;
+  const double dt = 2.0;
+  const BasebandTrace env = synthesize_envelope(q, traj, 500, dt);
+  // After exactly tau, the envelope should be 1 - 1/e of the way there.
+  const std::size_t idx = static_cast<std::size_t>(120.0 / dt);
+  EXPECT_NEAR(env[idx - 1].real(), 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(Resonator, FollowsMidTraceJump) {
+  QubitProfile q;
+  q.alpha[0] = {1.0, 0.0};
+  q.alpha[1] = {-1.0, 0.0};
+  q.resonator_tau_ns = 50.0;
+  LevelTrajectory traj;
+  traj.initial_level = 1;
+  traj.jumps = {{500.0, 1, 0}};  // Relax halfway through a 1 us trace.
+
+  const BasebandTrace env = synthesize_envelope(q, traj, 500, 2.0);
+  // Before the jump: near alpha[1]; at the end: near alpha[0].
+  EXPECT_LT(std::abs(env[240] - q.alpha[1]), 0.05);
+  EXPECT_LT(std::abs(env.back() - q.alpha[0]), 0.05);
+  // Shortly after the jump the envelope is still in transit.
+  const std::size_t after = 250 + 10;
+  EXPECT_GT(std::abs(env[after] - q.alpha[0]), 0.2);
+}
+
+TEST(Resonator, LeakedLevelHasDistinctResponse) {
+  QubitProfile q;
+  LevelTrajectory t0, t2;
+  t0.initial_level = 0;
+  t2.initial_level = 2;
+  const BasebandTrace e0 = synthesize_envelope(q, t0, 300, 2.0);
+  const BasebandTrace e2 = synthesize_envelope(q, t2, 300, 2.0);
+  EXPECT_GT(std::abs(e0.back() - e2.back()), 0.5);
+}
+
+}  // namespace
+}  // namespace mlqr

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/table.h"
+
+namespace mlqr {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Title");
+  t.set_header({"A", "B"});
+  t.add_row({"1", "22"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t;
+  t.set_header({"A", "B", "C"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.render(os));
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(Csv, WritesAndEscapes) {
+  const std::string path = "test_csv_tmp.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"a", "b,c", "d\"e"});
+    w.write_row(std::vector<double>{1.5, 2.0});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1.5,2");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace mlqr

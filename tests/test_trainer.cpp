@@ -1,0 +1,171 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mlqr {
+namespace {
+
+/// Three Gaussian blobs in 2-D; returns row-major features + labels.
+void make_blobs(std::vector<float>& x, std::vector<int>& y, int per_class,
+                std::uint64_t seed, double sigma = 0.5) {
+  Rng rng(seed);
+  const double cx[3] = {-2.0, 2.0, 0.0};
+  const double cy[3] = {0.0, 0.0, 2.5};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      x.push_back(static_cast<float>(rng.normal(cx[c], sigma)));
+      x.push_back(static_cast<float>(rng.normal(cy[c], sigma)));
+      y.push_back(c);
+    }
+  }
+}
+
+TEST(Trainer, LearnsSeparableBlobs) {
+  std::vector<float> x;
+  std::vector<int> y;
+  make_blobs(x, y, 300, 83);
+  Mlp m({2, 8, 3});
+  Rng rng(5);
+  m.init_weights(rng);
+  TrainerConfig cfg;
+  cfg.epochs = 50;
+  cfg.validation_fraction = 0.0f;
+  const TrainHistory h = train_classifier(m, x, y, cfg);
+  EXPECT_GT(evaluate_accuracy(m, x, y), 0.97);
+  EXPECT_LT(h.train_loss.back(), h.train_loss.front());
+}
+
+TEST(Trainer, GeneralizesToFreshData) {
+  std::vector<float> x, xt;
+  std::vector<int> y, yt;
+  make_blobs(x, y, 400, 89);
+  make_blobs(xt, yt, 200, 97);
+  Mlp m({2, 8, 3});
+  Rng rng(7);
+  m.init_weights(rng);
+  TrainerConfig cfg;
+  cfg.epochs = 30;
+  train_classifier(m, x, y, cfg);
+  EXPECT_GT(evaluate_accuracy(m, xt, yt), 0.95);
+}
+
+TEST(Trainer, ClassWeightsRescueMinorityClass) {
+  // Class 2 has 1% prevalence and overlaps class 1 slightly.
+  Rng rng(101);
+  std::vector<float> x;
+  std::vector<int> y;
+  auto add = [&](double cx, double cy, int c, int n) {
+    for (int i = 0; i < n; ++i) {
+      x.push_back(static_cast<float>(rng.normal(cx, 0.6)));
+      x.push_back(static_cast<float>(rng.normal(cy, 0.6)));
+      y.push_back(c);
+    }
+  };
+  add(-2, 0, 0, 1000);
+  add(2, 0, 1, 1000);
+  add(0.5, 2.0, 2, 18);
+
+  TrainerConfig weighted;
+  weighted.epochs = 40;
+  weighted.weight_decay = 5e-4f;
+  weighted.validation_fraction = 0.0f;
+  weighted.class_weights = inverse_frequency_weights(y, 3);
+
+  Mlp mw({2, 8, 4, 3});
+  Rng ir(3);
+  mw.init_weights(ir);
+  train_classifier(mw, x, y, weighted);
+
+  // Fresh minority samples must be mostly recovered.
+  int hits = 0;
+  Rng fresh(103);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<float> p{static_cast<float>(fresh.normal(0.5, 0.6)),
+                         static_cast<float>(fresh.normal(2.0, 0.6))};
+    if (mw.predict(p) == 2) ++hits;
+  }
+  EXPECT_GT(hits, 180);
+}
+
+TEST(Trainer, BalancedAccuracyWeighsClassesEqually) {
+  // A constant predictor of class 0 on a 90/10 split: plain accuracy 0.9,
+  // balanced accuracy 0.5.
+  Mlp m({1, 2});
+  auto& l = m.mutable_layers()[0];
+  l.w = {0.0f, 0.0f};
+  l.b = {1.0f, 0.0f};  // Always predicts class 0.
+  std::vector<float> x;
+  std::vector<int> y;
+  for (int i = 0; i < 90; ++i) {
+    x.push_back(0.0f);
+    y.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(0.0f);
+    y.push_back(1);
+  }
+  EXPECT_NEAR(evaluate_accuracy(m, x, y), 0.9, 1e-12);
+  EXPECT_NEAR(evaluate_balanced_accuracy(m, x, y), 0.5, 1e-12);
+}
+
+TEST(Trainer, InverseFrequencyWeights) {
+  const std::vector<int> y{0, 0, 0, 1};
+  const auto w = inverse_frequency_weights(y, 3);
+  EXPECT_NEAR(w[0], 4.0 / (2.0 * 3.0), 1e-6);
+  EXPECT_NEAR(w[1], 4.0 / (2.0 * 1.0), 1e-6);
+  EXPECT_FLOAT_EQ(w[2], 0.0f);  // Absent class.
+}
+
+TEST(Trainer, RejectsOutOfRangeLabels) {
+  Mlp m({2, 3});
+  Rng rng(1);
+  m.init_weights(rng);
+  std::vector<float> x{0.0f, 0.0f};
+  std::vector<int> y{5};
+  TrainerConfig cfg;
+  EXPECT_THROW(train_classifier(m, x, y, cfg), Error);
+}
+
+TEST(Trainer, RejectsShapeMismatch) {
+  Mlp m({2, 3});
+  Rng rng(1);
+  m.init_weights(rng);
+  std::vector<float> x{0.0f, 0.0f, 0.0f};
+  std::vector<int> y{0};
+  TrainerConfig cfg;
+  EXPECT_THROW(train_classifier(m, x, y, cfg), Error);
+}
+
+TEST(Trainer, WeightDecayShrinksWeights) {
+  std::vector<float> x;
+  std::vector<int> y;
+  make_blobs(x, y, 100, 107);
+  TrainerConfig plain, decayed;
+  plain.epochs = decayed.epochs = 20;
+  plain.learning_rate = decayed.learning_rate = 1e-2f;
+  plain.validation_fraction = decayed.validation_fraction = 0.0f;
+  decayed.weight_decay = 0.5f;
+
+  Mlp m1({2, 16, 3}), m2({2, 16, 3});
+  Rng r1(9), r2(9);
+  m1.init_weights(r1);
+  m2.init_weights(r2);
+  train_classifier(m1, x, y, plain);
+  train_classifier(m2, x, y, decayed);
+
+  // Compare total weight energy (max can be dominated by a single
+  // decision-critical weight that decay barely touches).
+  auto l2 = [](const Mlp& m) {
+    double acc = 0.0;
+    for (const DenseLayer& l : m.layers())
+      for (float w : l.w) acc += static_cast<double>(w) * w;
+    return acc;
+  };
+  EXPECT_LT(l2(m2), 0.8 * l2(m1));
+}
+
+}  // namespace
+}  // namespace mlqr
