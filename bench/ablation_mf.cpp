@@ -40,8 +40,7 @@ int main() {
     cfg.mf.use_emf = v.emf;
     const ProposedDiscriminator d = ProposedDiscriminator::train(
         ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
-    const FidelityReport r = evaluate_on_test(
-        [&](const IqTrace& t) { return d.classify(t); }, ds);
+    const FidelityReport r = evaluate_on_test(make_backend(d), ds);
     add_fidelity_row(table, v.name, r);
   }
   table.print();

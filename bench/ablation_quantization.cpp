@@ -19,8 +19,7 @@ int main() {
   ProposedConfig cfg;
   const ProposedDiscriminator trained = ProposedDiscriminator::train(
       ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
-  const FidelityReport base = evaluate_on_test(
-      [&](const IqTrace& t) { return trained.classify(t); }, ds);
+  const FidelityReport base = evaluate_on_test(make_backend(trained), ds);
 
   Table table("Ablation — weight quantization of the per-qubit heads");
   table.set_header({"Weights", "F5Q", "Delta vs float"});
@@ -33,8 +32,7 @@ int main() {
       const float bound = m.max_abs_weight();
       m.quantize(fit_format(-bound, bound, bits));
     }
-    const FidelityReport r = evaluate_on_test(
-        [&](const IqTrace& t) { return quantized.classify(t); }, ds);
+    const FidelityReport r = evaluate_on_test(make_backend(quantized), ds);
     table.add_row({"ap_fixed<" + std::to_string(bits) + ">",
                    Table::num(r.geometric_mean_fidelity()),
                    Table::num(r.geometric_mean_fidelity() -

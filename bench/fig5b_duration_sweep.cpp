@@ -37,8 +37,7 @@ int main() {
     pcfg.duration_ns = duration;
     const ProposedDiscriminator d = ProposedDiscriminator::train(
         ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
-    const FidelityReport r = evaluate_on_test(
-        [&](const IqTrace& t) { return d.classify(t); }, ds);
+    const FidelityReport r = evaluate_on_test(make_backend(d), ds);
     const double mean_f = r.mean_fidelity_excluding({});
     const double mean_f_x = r.mean_fidelity_excluding(exclude);
     table.add_row({Table::num(duration, 0),

@@ -7,6 +7,7 @@
 #include "discrim/fnn_baseline.h"
 #include "discrim/proposed.h"
 #include "dsp/demodulator.h"
+#include "pipeline/readout_engine.h"
 #include "readout/dataset.h"
 #include "readout/experiment.h"
 
@@ -87,6 +88,40 @@ void BM_FnnClassifyShot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FnnClassifyShot);
+
+// The scratch-reusing hot path the streaming engine runs per shot — the
+// delta vs BM_ProposedClassifyShot is the per-shot allocation cost the
+// engine eliminates.
+void BM_ProposedClassifyShotScratch(benchmark::State& state) {
+  const BenchState& s = BenchState::get();
+  const IqTrace& trace = s.ds.shots.traces[3];
+  InferenceScratch scratch;
+  std::vector<int> out(s.ds.shots.n_qubits);
+  for (auto _ : state) {
+    s.proposed.classify_into(trace, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ProposedClassifyShotScratch);
+
+// Whole-batch classification through ReadoutEngine, single worker: the
+// streaming path's per-shot cost including engine bookkeeping.
+void BM_EngineProcessBatch(benchmark::State& state) {
+  const BenchState& s = BenchState::get();
+  const std::size_t batch =
+      std::min<std::size_t>(static_cast<std::size_t>(state.range(0)),
+                            s.ds.shots.size());
+  EngineConfig cfg;
+  cfg.threads = 1;
+  ReadoutEngine engine(make_backend(s.proposed), cfg);
+  const std::span<const IqTrace> frames(s.ds.shots.traces.data(), batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.process_batch(frames));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EngineProcessBatch)->Arg(1)->Arg(64)->Arg(1024);
 
 }  // namespace
 

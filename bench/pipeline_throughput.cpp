@@ -1,0 +1,144 @@
+// Streaming-engine throughput: shots/sec and per-shot latency percentiles
+// for the proposed discriminator behind ReadoutEngine::process_batch, swept
+// over batch size {1, 64, 1024} x worker count {1, N_hw}. Batch 1 with one
+// worker is the old one-shot-at-a-time glue; batch 1024 with all workers is
+// the deployment shape. The ratio between those corners is the headline
+// number (the engine's reason to exist).
+//
+//   MLQR_THREADS caps N_hw; MLQR_SHOTS sizes the calibration dataset;
+//   MLQR_FAST=1 shrinks everything to CI scale.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "pipeline/readout_engine.h"
+
+namespace {
+
+using namespace mlqr;
+
+struct ConfigResult {
+  double shots_per_sec = 0.0;
+  LatencyStats lat;
+};
+
+/// Streams `total` shots through the engine in `batch_size` chunks (frames
+/// reused round-robin) and reports sustained throughput; a second, smaller
+/// pass samples per-shot latency so timer reads don't tax the throughput
+/// number.
+ConfigResult run_config(const EngineBackend& backend,
+                        const std::vector<IqTrace>& frames,
+                        std::size_t batch_size, std::size_t threads,
+                        std::size_t total) {
+  ConfigResult result;
+  EngineConfig cfg;
+  cfg.threads = threads;
+  // Throughput pass.
+  {
+    ReadoutEngine engine(backend, cfg);
+    std::size_t done = 0, offset = 0;
+    Timer wall;
+    while (done < total) {
+      const std::size_t n =
+          std::min({batch_size, total - done, frames.size() - offset});
+      engine.process_batch({frames.data() + offset, n});
+      done += n;
+      offset = (offset + n) % frames.size();
+    }
+    result.shots_per_sec = static_cast<double>(total) / wall.seconds();
+  }
+  // Latency pass.
+  {
+    cfg.record_shot_latency = true;
+    ReadoutEngine engine(backend, cfg);
+    std::vector<double> micros;
+    std::size_t done = 0, offset = 0;
+    const std::size_t lat_total = std::max<std::size_t>(total / 4, 1);
+    while (done < lat_total) {
+      const std::size_t n =
+          std::min({batch_size, lat_total - done, frames.size() - offset});
+      EngineBatch batch = engine.process_batch({frames.data() + offset, n});
+      micros.insert(micros.end(), batch.shot_micros.begin(),
+                    batch.shot_micros.end());
+      done += n;
+      offset = (offset + n) % frames.size();
+    }
+    result.lat = summarize_latency(std::move(micros));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlqr::bench;
+
+  DatasetConfig dcfg;
+  // Floor of 80/state: below that the default seed can mine zero |2>
+  // traces for a qubit and the matched-filter bank is unbuildable.
+  dcfg.shots_per_basis_state =
+      fast_scaled(static_cast<std::size_t>(env_int("MLQR_SHOTS", 200)), 2, 80);
+  std::cout << "[pipeline_throughput] generating dataset ("
+            << dcfg.shots_per_basis_state << " shots/state)...\n";
+  const ReadoutDataset ds = generate_dataset(dcfg);
+
+  ProposedConfig pcfg;
+  pcfg.trainer.epochs = fast_mode() ? 8 : 20;
+  std::cout << "[pipeline_throughput] training proposed discriminator...\n";
+  const ProposedDiscriminator proposed = ProposedDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
+  const EngineBackend backend = make_backend(proposed);
+
+  // Frame pool: the test split, padded by repetition to cover the largest
+  // batch (classification cost does not depend on trace content).
+  std::vector<IqTrace> frames;
+  frames.reserve(std::max<std::size_t>(ds.test_idx.size(), 1024));
+  for (std::size_t s : ds.test_idx) frames.push_back(ds.shots.traces[s]);
+  while (frames.size() < 1024) frames.push_back(frames[frames.size() % ds.test_idx.size()]);
+
+  const std::size_t n_hw = parallel_thread_count();
+  const std::size_t total = fast_scaled(
+      static_cast<std::size_t>(env_int("MLQR_BENCH_SHOTS", 16384)), 4, 2048);
+
+  Table table("Streaming engine throughput (proposed design, " +
+              std::to_string(frames.size()) + "-frame pool)");
+  table.set_header({"Batch", "Workers", "shots/s", "p50 (us)", "p99 (us)",
+                    "vs batch1 x1"});
+  CsvWriter csv("pipeline_throughput.csv");
+  csv.write_row(std::vector<std::string>{"batch", "workers", "shots_per_sec",
+                                         "p50_us", "p99_us"});
+
+  double baseline = 0.0;
+  double best = 0.0;
+  const std::size_t batch_sizes[] = {1, 64, 1024};
+  std::vector<std::size_t> worker_counts{1};
+  if (n_hw > 1) worker_counts.push_back(n_hw);
+  for (std::size_t batch : batch_sizes) {
+    for (std::size_t workers : worker_counts) {
+      const ConfigResult r =
+          run_config(backend, frames, batch, workers, total);
+      if (batch == 1 && workers == 1) baseline = r.shots_per_sec;
+      best = std::max(best, r.shots_per_sec);
+      table.add_row({std::to_string(batch), std::to_string(workers),
+                     Table::num(r.shots_per_sec, 0),
+                     Table::num(r.lat.p50_us, 1), Table::num(r.lat.p99_us, 1),
+                     baseline > 0.0
+                         ? Table::num(r.shots_per_sec / baseline, 2) + "x"
+                         : "-"});
+      csv.write_row(std::vector<double>{
+          static_cast<double>(batch), static_cast<double>(workers),
+          r.shots_per_sec, r.lat.p50_us, r.lat.p99_us});
+    }
+  }
+  table.print();
+  std::cout << "\nPeak " << Table::num(best, 0) << " shots/s = "
+            << Table::num(best / baseline, 2)
+            << "x the one-shot single-worker glue path (N_hw = " << n_hw
+            << "; raise with MLQR_THREADS on bigger machines).\n"
+               "Series written to pipeline_throughput.csv\n";
+  return 0;
+}

@@ -25,8 +25,8 @@ int main() {
   nn_cfg.mf.use_emf = false;
   const ProposedDiscriminator nn_only = ProposedDiscriminator::train(
       ds.shots, ds.training_labels, ds.train_idx, ds.chip, nn_cfg);
-  const FidelityReport nn_report = evaluate_on_test(
-      [&](const IqTrace& t) { return nn_only.classify(t); }, ds);
+  const FidelityReport nn_report =
+      evaluate_on_test(make_backend(nn_only), ds);
 
   Table table("Table V — single-qutrit fidelity, excitation-prone qubits");
   table.set_header({"Design", "Qubit 3", "Qubit 4"});

@@ -34,8 +34,7 @@ int main(int argc, char** argv) {
     pcfg.duration_ns = duration;
     const ProposedDiscriminator d = ProposedDiscriminator::train(
         ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
-    const FidelityReport report = evaluate_on_test(
-        [&](const IqTrace& t) { return d.classify(t); }, ds);
+    const FidelityReport report = evaluate_on_test(make_backend(d), ds);
     QecCycleSchedule reduced = schedule;
     reduced.measurement_ns = duration;
     table.add_row({Table::num(duration, 0),

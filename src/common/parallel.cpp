@@ -21,14 +21,15 @@ std::size_t parallel_thread_count() {
   return count;
 }
 
-void parallel_for_chunked(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+void parallel_for_slots(
+    std::size_t begin, std::size_t end, std::size_t workers,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t workers = std::min(parallel_thread_count(), n);
+  if (workers == 0) workers = parallel_thread_count();
+  workers = std::min(workers, n);
   if (workers <= 1 || n < 2) {
-    body(begin, end);
+    body(0, begin, end);
     return;
   }
 
@@ -41,9 +42,9 @@ void parallel_for_chunked(
     const std::size_t lo = begin + w * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    threads.emplace_back([&, lo, hi] {
+    threads.emplace_back([&, w, lo, hi] {
       try {
-        body(lo, hi);
+        body(w, lo, hi);
       } catch (...) {
         std::scoped_lock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -52,6 +53,15 @@ void parallel_for_chunked(
   }
   threads.clear();  // join
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for_slots(begin, end, 0,
+                     [&](std::size_t, std::size_t lo, std::size_t hi) {
+                       body(lo, hi);
+                     });
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -27,4 +27,15 @@ void parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body);
 
+/// Worker-slot variant with an explicit worker budget: the range is split
+/// into at most `workers` contiguous chunks and body(slot, lo, hi) runs one
+/// chunk per worker, with `slot` in [0, workers). The slot index lets
+/// callers keep stable per-worker scratch pools (the streaming engine's
+/// allocation-free hot path). workers == 0 means parallel_thread_count();
+/// workers == 1 (or a tiny range) runs inline on the calling thread with
+/// slot 0.
+void parallel_for_slots(
+    std::size_t begin, std::size_t end, std::size_t workers,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
 }  // namespace mlqr

@@ -20,12 +20,18 @@ std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
 }  // namespace
 
 std::vector<float> FnnDiscriminator::raw_features(const IqTrace& trace) const {
-  MLQR_CHECK(trace.size() >= samples_used_);
   std::vector<float> x;
+  raw_features_into(trace, x);
+  return x;
+}
+
+void FnnDiscriminator::raw_features_into(const IqTrace& trace,
+                                         std::vector<float>& x) const {
+  MLQR_CHECK(trace.size() >= samples_used_);
+  x.clear();
   x.reserve(2 * samples_used_);
   x.insert(x.end(), trace.i.begin(), trace.i.begin() + samples_used_);
   x.insert(x.end(), trace.q.begin(), trace.q.begin() + samples_used_);
-  return x;
 }
 
 FnnDiscriminator FnnDiscriminator::train(const ShotSet& shots,
@@ -89,11 +95,22 @@ FnnDiscriminator FnnDiscriminator::train(const ShotSet& shots,
 }
 
 std::vector<int> FnnDiscriminator::classify(const IqTrace& trace) const {
-  std::vector<float> x = raw_features(trace);
+  InferenceScratch scratch;
+  std::vector<int> out(n_qubits_);
+  classify_into(trace, scratch, out);
+  return out;
+}
+
+void FnnDiscriminator::classify_into(const IqTrace& trace,
+                                     InferenceScratch& scratch,
+                                     std::span<int> out) const {
+  MLQR_CHECK(out.size() == n_qubits_);
+  std::vector<float>& x = scratch.features;
+  raw_features_into(trace, x);
   normalizer_.apply(x);
-  const int joint = model_.predict(x);
-  return decode_joint(static_cast<std::size_t>(joint), n_qubits_,
-                      cfg_.n_levels);
+  const int joint =
+      model_.predict_reusing(x, scratch.logits, scratch.activations);
+  decode_joint_into(static_cast<std::size_t>(joint), cfg_.n_levels, out);
 }
 
 }  // namespace mlqr

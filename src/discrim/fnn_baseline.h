@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "discrim/inference_scratch.h"
 #include "discrim/shot_set.h"
 #include "nn/mlp.h"
 #include "nn/normalizer.h"
@@ -57,8 +58,14 @@ class FnnDiscriminator {
   /// Per-qubit level predictions (argmax joint class, base-k decoded).
   std::vector<int> classify(const IqTrace& trace) const;
 
+  /// Allocation-free classify (see InferenceScratch). `out` must hold one
+  /// entry per qubit.
+  void classify_into(const IqTrace& trace, InferenceScratch& scratch,
+                     std::span<int> out) const;
+
   std::string name() const { return "FNN"; }
 
+  std::size_t num_qubits() const { return n_qubits_; }
   std::size_t parameter_count() const { return model_.parameter_count(); }
   const Mlp& model() const { return model_; }
   std::size_t input_dim() const { return model_.input_size(); }
@@ -66,6 +73,10 @@ class FnnDiscriminator {
  private:
   /// Raw-trace feature vector: [I(0..n-1), Q(0..n-1)].
   std::vector<float> raw_features(const IqTrace& trace) const;
+
+  /// Same layout written into a reused buffer — the single source of truth
+  /// shared by training and the scratch inference path.
+  void raw_features_into(const IqTrace& trace, std::vector<float>& x) const;
 
   FnnConfig cfg_;
   std::size_t n_qubits_ = 0;

@@ -55,12 +55,22 @@ GaussianShotDiscriminator GaussianShotDiscriminator::train(
 
 std::vector<int> GaussianShotDiscriminator::classify(
     const IqTrace& trace) const {
+  InferenceScratch scratch;
   std::vector<int> out(per_qubit_.size());
+  classify_into(trace, scratch, out);
+  return out;
+}
+
+void GaussianShotDiscriminator::classify_into(const IqTrace& trace,
+                                              InferenceScratch& scratch,
+                                              std::span<int> out) const {
+  MLQR_CHECK(out.size() == per_qubit_.size());
+  if (scratch.baseband.empty()) scratch.baseband.resize(1);
+  BasebandTrace& baseband = scratch.baseband.front();
   for (std::size_t q = 0; q < per_qubit_.size(); ++q) {
-    const BasebandTrace baseband = demod_.demodulate(trace, q, samples_used_);
+    demod_.demodulate_into(trace, q, samples_used_, baseband);
     out[q] = per_qubit_[q].predict(extract(baseband, cfg_.split_window));
   }
-  return out;
 }
 
 std::string GaussianShotDiscriminator::name() const {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "discrim/gaussian.h"
+#include "discrim/inference_scratch.h"
 #include "discrim/shot_set.h"
 #include "dsp/demodulator.h"
 #include "sim/chip_profile.h"
@@ -43,7 +44,14 @@ class GaussianShotDiscriminator {
   /// Per-qubit level predictions for one multiplexed trace. Thread-safe.
   std::vector<int> classify(const IqTrace& trace) const;
 
+  /// Classify reusing the scratch's baseband buffer (the per-shot heap
+  /// traffic that matters; the 2-4-dim MTV features stay on the stack-ish
+  /// small-vector path). `out` must hold one entry per qubit.
+  void classify_into(const IqTrace& trace, InferenceScratch& scratch,
+                     std::span<int> out) const;
+
   std::string name() const;
+  std::size_t num_qubits() const { return per_qubit_.size(); }
 
  private:
   GaussianDiscriminatorConfig cfg_;

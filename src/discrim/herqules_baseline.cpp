@@ -1,6 +1,7 @@
 #include "discrim/herqules_baseline.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/error.h"
 #include "discrim/joint_label.h"
@@ -20,9 +21,13 @@ std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
 /// Per-qubit feature indices used at a given level count. The bank always
 /// holds 3 QMF + 3 RMF; two-level mode keeps only the |0>vs|1> QMF and the
 /// 1->0 RMF (the published two-level input layout, 2 features per qubit).
-std::vector<std::size_t> active_filter_indices(int n_levels) {
-  if (n_levels >= 3) return {0, 1, 2, 3, 4, 5};
-  return {0, 3};
+/// Shared by training and the allocation-free inference path so the two
+/// can never disagree on the feature layout.
+std::span<const std::size_t> active_filter_indices(int n_levels) {
+  static constexpr std::array<std::size_t, 6> kThreeLevel{0, 1, 2, 3, 4, 5};
+  static constexpr std::array<std::size_t, 2> kTwoLevel{0, 3};
+  if (n_levels >= 3) return kThreeLevel;
+  return kTwoLevel;
 }
 
 }  // namespace
@@ -48,7 +53,8 @@ HerqulesDiscriminator HerqulesDiscriminator::train(
   bank_cfg.use_emf = false;  // HERQULES has no excitation filters.
   bank_cfg.min_error_traces = cfg.min_error_traces;
 
-  const std::vector<std::size_t> active = active_filter_indices(cfg.n_levels);
+  const std::span<const std::size_t> active =
+      active_filter_indices(cfg.n_levels);
   const std::size_t per_q = active.size();
   const std::size_t feat_dim = per_q * shots.n_qubits;
   const std::size_t n_train = train_idx.size();
@@ -131,21 +137,34 @@ HerqulesDiscriminator HerqulesDiscriminator::train(
 }
 
 std::vector<int> HerqulesDiscriminator::classify(const IqTrace& trace) const {
-  const std::vector<std::size_t> active = active_filter_indices(cfg_.n_levels);
+  InferenceScratch scratch;
+  std::vector<int> out(n_qubits_);
+  classify_into(trace, scratch, out);
+  return out;
+}
+
+void HerqulesDiscriminator::classify_into(const IqTrace& trace,
+                                          InferenceScratch& scratch,
+                                          std::span<int> out) const {
+  MLQR_CHECK(out.size() == n_qubits_);
+  const std::span<const std::size_t> active =
+      active_filter_indices(cfg_.n_levels);
   const std::size_t per_q = active.size();
-  std::vector<float> feats(per_q * n_qubits_, 0.0f);
-  std::vector<float> scratch;
+  std::vector<float>& feats = scratch.features;
+  feats.assign(per_q * n_qubits_, 0.0f);
+  if (scratch.baseband.empty()) scratch.baseband.resize(1);
+  BasebandTrace& baseband = scratch.baseband.front();
   for (std::size_t q = 0; q < n_qubits_; ++q) {
-    const BasebandTrace baseband = demod_.demodulate(trace, q, samples_used_);
-    scratch.clear();
-    bank_.bank(q).features(baseband, scratch);
+    demod_.demodulate_into(trace, q, samples_used_, baseband);
+    scratch.qubit_features.clear();
+    bank_.bank(q).features(baseband, scratch.qubit_features);
     for (std::size_t f = 0; f < per_q; ++f)
-      feats[q * per_q + f] = scratch[active[f]];
+      feats[q * per_q + f] = scratch.qubit_features[active[f]];
   }
   normalizer_.apply(feats);
-  const int joint = model_.predict(feats);
-  return decode_joint(static_cast<std::size_t>(joint), n_qubits_,
-                      cfg_.n_levels);
+  const int joint =
+      model_.predict_reusing(feats, scratch.logits, scratch.activations);
+  decode_joint_into(static_cast<std::size_t>(joint), cfg_.n_levels, out);
 }
 
 }  // namespace mlqr

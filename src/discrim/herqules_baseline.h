@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "discrim/inference_scratch.h"
 #include "discrim/shot_set.h"
 #include "dsp/demodulator.h"
 #include "mf/mf_bank.h"
@@ -57,8 +58,14 @@ class HerqulesDiscriminator {
 
   std::vector<int> classify(const IqTrace& trace) const;
 
+  /// Allocation-free classify (see InferenceScratch). `out` must hold one
+  /// entry per qubit.
+  void classify_into(const IqTrace& trace, InferenceScratch& scratch,
+                     std::span<int> out) const;
+
   std::string name() const { return "HERQULES"; }
 
+  std::size_t num_qubits() const { return n_qubits_; }
   std::size_t parameter_count() const { return model_.parameter_count(); }
   const Mlp& model() const { return model_; }
   const ChipMfBank& mf_bank() const { return bank_; }

@@ -1,0 +1,33 @@
+// Reusable per-worker scratch buffers for the allocation-free inference
+// paths (the *_into methods on every discriminator).
+//
+// The per-shot classify() entry points allocate baseband traces, feature
+// vectors and MLP activations on every call — fine for a table bench, a
+// throughput killer for the streaming engine. Each engine worker owns one
+// InferenceScratch; after the first shot of a batch every buffer has grown
+// to its steady-state size and the hot loop performs zero heap allocations.
+#pragma once
+
+#include <vector>
+
+#include "sim/iq.h"
+
+namespace mlqr {
+
+/// Scratch space shared by every discriminator's classify_into path. A
+/// single instance may be reused across *different* discriminators (the
+/// buffers are sized on demand) but never across concurrent threads.
+struct InferenceScratch {
+  /// Per-qubit demodulated channels (proposed design) or a single reused
+  /// channel buffer (per-qubit sequential designs).
+  std::vector<BasebandTrace> baseband;
+  /// Merged / raw feature vector handed to the classifier head.
+  std::vector<float> features;
+  /// One qubit's matched-filter scores before merging.
+  std::vector<float> qubit_features;
+  /// MLP activation ping-pong buffers (see Mlp::logits_into).
+  std::vector<float> logits;
+  std::vector<float> activations;
+};
+
+}  // namespace mlqr

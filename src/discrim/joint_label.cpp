@@ -33,14 +33,18 @@ std::size_t encode_joint(std::span<const int> levels, int n_levels) {
 
 std::vector<int> decode_joint(std::size_t joint, std::size_t n_qubits,
                               int n_levels) {
-  const std::size_t total = joint_class_count(n_qubits, n_levels);
-  MLQR_CHECK_MSG(joint < total, "joint index " << joint << " out of range");
   std::vector<int> levels(n_qubits);
-  for (std::size_t q = 0; q < n_qubits; ++q) {
-    levels[q] = static_cast<int>(joint % static_cast<std::size_t>(n_levels));
+  decode_joint_into(joint, n_levels, levels);
+  return levels;
+}
+
+void decode_joint_into(std::size_t joint, int n_levels, std::span<int> out) {
+  const std::size_t total = joint_class_count(out.size(), n_levels);
+  MLQR_CHECK_MSG(joint < total, "joint index " << joint << " out of range");
+  for (std::size_t q = 0; q < out.size(); ++q) {
+    out[q] = static_cast<int>(joint % static_cast<std::size_t>(n_levels));
     joint /= static_cast<std::size_t>(n_levels);
   }
-  return levels;
 }
 
 }  // namespace mlqr

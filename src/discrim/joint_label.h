@@ -22,4 +22,7 @@ std::size_t encode_joint(std::span<const int> levels, int n_levels);
 std::vector<int> decode_joint(std::size_t joint, std::size_t n_qubits,
                               int n_levels);
 
+/// Allocation-free decode into a caller-provided span of size n_qubits.
+void decode_joint_into(std::size_t joint, int n_levels, std::span<int> out);
+
 }  // namespace mlqr

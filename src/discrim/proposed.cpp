@@ -117,23 +117,36 @@ std::size_t ProposedDiscriminator::parameter_count() const {
 
 std::vector<float> ProposedDiscriminator::features(
     const IqTrace& trace) const {
-  std::vector<BasebandTrace> baseband;
-  baseband.reserve(num_qubits());
+  InferenceScratch scratch;
+  features_into(trace, scratch);
+  return std::move(scratch.features);
+}
+
+void ProposedDiscriminator::features_into(const IqTrace& trace,
+                                          InferenceScratch& scratch) const {
+  scratch.baseband.resize(num_qubits());
   for (std::size_t q = 0; q < num_qubits(); ++q)
-    baseband.push_back(demod_.demodulate(trace, q, samples_used_));
-  std::vector<float> feats;
-  feats.reserve(feature_dim());
-  bank_.features(baseband, feats);
-  normalizer_.apply(feats);
-  return feats;
+    demod_.demodulate_into(trace, q, samples_used_, scratch.baseband[q]);
+  scratch.features.clear();
+  bank_.features(scratch.baseband, scratch.features);
+  normalizer_.apply(scratch.features);
 }
 
 std::vector<int> ProposedDiscriminator::classify(const IqTrace& trace) const {
-  const std::vector<float> feats = features(trace);
+  InferenceScratch scratch;
   std::vector<int> out(models_.size());
-  for (std::size_t q = 0; q < models_.size(); ++q)
-    out[q] = models_[q].predict(feats);
+  classify_into(trace, scratch, out);
   return out;
+}
+
+void ProposedDiscriminator::classify_into(const IqTrace& trace,
+                                          InferenceScratch& scratch,
+                                          std::span<int> out) const {
+  MLQR_CHECK(out.size() == models_.size());
+  features_into(trace, scratch);
+  for (std::size_t q = 0; q < models_.size(); ++q)
+    out[q] = models_[q].predict_reusing(scratch.features, scratch.logits,
+                                        scratch.activations);
 }
 
 }  // namespace mlqr

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "discrim/inference_scratch.h"
 #include "discrim/shot_set.h"
 #include "dsp/demodulator.h"
 #include "mf/mf_bank.h"
@@ -62,6 +63,17 @@ class ProposedDiscriminator {
 
   /// Per-qubit level predictions for one multiplexed trace. Thread-safe.
   std::vector<int> classify(const IqTrace& trace) const;
+
+  /// Allocation-free classify: demod -> matched filters -> per-qubit heads
+  /// entirely inside `scratch`'s reused buffers. `out` must hold
+  /// num_qubits() entries. Thread-safe as long as each thread owns its
+  /// scratch.
+  void classify_into(const IqTrace& trace, InferenceScratch& scratch,
+                     std::span<int> out) const;
+
+  /// Allocation-free feature extraction into scratch.features (normalized,
+  /// same values as features()).
+  void features_into(const IqTrace& trace, InferenceScratch& scratch) const;
 
   std::string name() const { return "OURS"; }
 

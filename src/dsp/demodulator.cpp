@@ -18,20 +18,27 @@ Demodulator::Demodulator(const ChipProfile& chip) {
 
 BasebandTrace Demodulator::demodulate(const IqTrace& trace, std::size_t qubit,
                                       std::size_t max_samples) const {
+  BasebandTrace out;
+  demodulate_into(trace, qubit, max_samples, out);
+  return out;
+}
+
+void Demodulator::demodulate_into(const IqTrace& trace, std::size_t qubit,
+                                  std::size_t max_samples,
+                                  BasebandTrace& out) const {
   MLQR_CHECK_MSG(qubit < tone_step_.size(),
                  "qubit index " << qubit << " out of range");
   trace.check_consistent();
   std::size_t n = trace.size();
   if (max_samples != 0) n = std::min(n, max_samples);
 
-  BasebandTrace out(n);
+  out.resize(n);
   Complexd lo{1.0, 0.0};  // Local oscillator phase.
   const Complexd step = tone_step_[qubit];
   for (std::size_t t = 0; t < n; ++t) {
     out[t] = trace.sample(t) * lo;
     lo *= step;
   }
-  return out;
 }
 
 std::vector<BasebandTrace> Demodulator::demodulate_all(

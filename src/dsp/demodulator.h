@@ -31,6 +31,11 @@ class Demodulator {
   BasebandTrace demodulate(const IqTrace& trace, std::size_t qubit,
                            std::size_t max_samples = 0) const;
 
+  /// Allocation-free variant: writes into `out` (resized to the window),
+  /// reusing its capacity. The streaming engine's per-worker scratch path.
+  void demodulate_into(const IqTrace& trace, std::size_t qubit,
+                       std::size_t max_samples, BasebandTrace& out) const;
+
   /// All qubits at once.
   std::vector<BasebandTrace> demodulate_all(const IqTrace& trace,
                                             std::size_t max_samples = 0) const;

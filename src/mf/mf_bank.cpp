@@ -19,10 +19,13 @@ QubitMfBank QubitMfBank::train(std::span<const BasebandTrace> traces,
   std::array<std::vector<std::size_t>, kNumLevels> by_level;
   for (std::size_t s = 0; s < labels.size(); ++s)
     by_level[labels[s]].push_back(s);
+  // A single trace still defines a (noisy) kernel mean — RunningStats
+  // reports zero variance and the denominator floor regularizes it — so CI
+  // datasets where clustering mines one |2> trace for a qubit stay
+  // constructible. Zero traces means the kernel shape is undefined.
   for (int l = 0; l < kNumLevels; ++l)
-    MLQR_CHECK_MSG(by_level[l].size() >= 2,
-                   "need >=2 traces for level " << l << ", got "
-                                                << by_level[l].size());
+    MLQR_CHECK_MSG(!by_level[l].empty(),
+                   "need >=1 trace for level " << l << ", got none");
 
   // Prefer transition-free traces for state kernels; fall back to all
   // traces of the level when the clean subset is too small.
@@ -93,13 +96,26 @@ std::vector<float> cross_fit_features(std::span<const BasebandTrace> traces,
   std::vector<float> features(traces.size() * per_q, 0.0f);
 
   // Stratified fold assignment: alternate within each level so every
-  // fold's complement keeps >= 2 traces of every level.
-  std::vector<std::size_t> fold(traces.size(), 0);
-  std::array<std::size_t, kNumLevels> counter{};
+  // fold's complement keeps >= 2 traces of every level. Levels with fewer
+  // than 2*n_folds traces are not stratified: splitting them would leave
+  // some fold complement with 0-1 traces of the level — a missing or
+  // degenerate single-trace kernel — so their traces are pinned into every
+  // fold's fit set and scored by the fold-0 bank. The self-scoring
+  // inflation this function exists to avoid is unavoidable for them, but at
+  // the paper's mined-trace counts (hundreds per qubit) the pin never
+  // triggers; it only keeps CI-scale datasets constructible.
+  constexpr std::size_t kNoFold = static_cast<std::size_t>(-1);
+  std::array<std::size_t, kNumLevels> level_count{};
   for (std::size_t s = 0; s < traces.size(); ++s) {
     const int l = labels[s];
     MLQR_CHECK(l >= 0 && l < kNumLevels);
-    fold[s] = counter[l]++ % n_folds;
+    ++level_count[l];
+  }
+  std::vector<std::size_t> fold(traces.size(), kNoFold);
+  std::array<std::size_t, kNumLevels> counter{};
+  for (std::size_t s = 0; s < traces.size(); ++s) {
+    const int l = labels[s];
+    if (level_count[l] >= 2 * n_folds) fold[s] = counter[l]++ % n_folds;
   }
 
   std::vector<float> scratch;
@@ -115,7 +131,7 @@ std::vector<float> cross_fit_features(std::span<const BasebandTrace> traces,
     const QubitMfBank bank =
         QubitMfBank::train(fit_traces, fit_labels, n_samples, cfg);
     for (std::size_t s = 0; s < traces.size(); ++s) {
-      if (fold[s] != f) continue;
+      if (fold[s] != f && !(f == 0 && fold[s] == kNoFold)) continue;
       scratch.clear();
       bank.features(traces[s], scratch);
       std::copy(scratch.begin(), scratch.end(),

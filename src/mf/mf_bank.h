@@ -43,7 +43,8 @@ struct MfBankConfig {
 class QubitMfBank {
  public:
   /// Trains from that qubit's baseband traces and 3-level start-of-readout
-  /// labels. Requires at least two traces for every level.
+  /// labels. Requires at least one trace for every level (a single trace
+  /// yields a noisy but well-defined kernel — the CI-scale scarce-|2> case).
   static QubitMfBank train(std::span<const BasebandTrace> traces,
                            std::span<const int> labels,
                            std::size_t n_samples, const MfBankConfig& cfg);

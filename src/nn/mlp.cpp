@@ -50,26 +50,44 @@ std::size_t Mlp::parameter_count() const {
 }
 
 std::vector<float> Mlp::logits(std::span<const float> x) const {
+  std::vector<float> out, scratch;
+  logits_into(x, out, scratch);
+  return out;
+}
+
+void Mlp::logits_into(std::span<const float> x, std::vector<float>& out,
+                      std::vector<float>& scratch) const {
   MLQR_CHECK_MSG(x.size() == input_size(),
                  "MLP input size " << x.size() << " != " << input_size());
-  std::vector<float> act(x.begin(), x.end());
-  std::vector<float> next;
+  // Ping-pong between the two buffers; whichever holds the final
+  // activations is swapped into `out`, so no copy and no allocation once
+  // both buffers have grown to the widest layer.
+  scratch.assign(x.begin(), x.end());
+  std::vector<float>* cur = &scratch;
+  std::vector<float>* next = &out;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const DenseLayer& layer = layers_[l];
-    next.assign(layer.out, 0.0f);
-    sgemv(layer.out, layer.in, layer.w.data(), layer.in, act.data(),
-          layer.b.data(), next.data());
+    next->assign(layer.out, 0.0f);
+    sgemv(layer.out, layer.in, layer.w.data(), layer.in, cur->data(),
+          layer.b.data(), next->data());
     if (l + 1 < layers_.size())
-      for (float& v : next) v = std::max(v, 0.0f);
-    act = std::move(next);
+      for (float& v : *next) v = std::max(v, 0.0f);
+    std::swap(cur, next);
   }
-  return act;
+  if (cur != &out) std::swap(out, scratch);
 }
 
 int Mlp::predict(std::span<const float> x) const {
   const std::vector<float> z = logits(x);
   return static_cast<int>(
       std::max_element(z.begin(), z.end()) - z.begin());
+}
+
+int Mlp::predict_reusing(std::span<const float> x, std::vector<float>& out,
+                         std::vector<float>& scratch) const {
+  logits_into(x, out, scratch);
+  return static_cast<int>(
+      std::max_element(out.begin(), out.end()) - out.begin());
 }
 
 std::vector<float> Mlp::forward_batch(std::span<const float> x,

@@ -48,8 +48,18 @@ class Mlp {
   /// Logits for a single sample (x.size() == input_size()).
   std::vector<float> logits(std::span<const float> x) const;
 
+  /// Allocation-free logits: the result lands in `out`; `scratch` holds the
+  /// intermediate activations. Both reuse their capacity call-to-call —
+  /// the streaming engine's per-worker scratch path.
+  void logits_into(std::span<const float> x, std::vector<float>& out,
+                   std::vector<float>& scratch) const;
+
   /// argmax of logits(x).
   int predict(std::span<const float> x) const;
+
+  /// argmax via logits_into — allocation-free predict.
+  int predict_reusing(std::span<const float> x, std::vector<float>& out,
+                      std::vector<float>& scratch) const;
 
   /// Batch forward: X is row-major (batch x in); returns row-major logits
   /// (batch x out). Scratch buffers are caller-invisible.

@@ -1,0 +1,157 @@
+#include "pipeline/readout_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace mlqr {
+
+LatencyStats summarize_latency(std::vector<double> micros) {
+  LatencyStats stats;
+  if (micros.empty()) return stats;
+  std::sort(micros.begin(), micros.end());
+  stats.count = micros.size();
+  const auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(micros.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, micros.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return micros[lo] + frac * (micros[hi] - micros[lo]);
+  };
+  stats.p50_us = quantile(0.50);
+  stats.p99_us = quantile(0.99);
+  stats.max_us = micros.back();
+  double sum = 0.0;
+  for (double m : micros) sum += m;
+  stats.mean_us = sum / static_cast<double>(micros.size());
+  return stats;
+}
+
+EngineBackend make_backend(const ProposedDiscriminator& d) {
+  return EngineBackend(
+      d.name(), d.num_qubits(),
+      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
+        d.classify_into(t, s, out);
+      });
+}
+
+EngineBackend make_backend(const FnnDiscriminator& d) {
+  return EngineBackend(
+      d.name(), d.num_qubits(),
+      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
+        d.classify_into(t, s, out);
+      });
+}
+
+EngineBackend make_backend(const HerqulesDiscriminator& d) {
+  return EngineBackend(
+      d.name(), d.num_qubits(),
+      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
+        d.classify_into(t, s, out);
+      });
+}
+
+EngineBackend make_backend(const GaussianShotDiscriminator& d) {
+  return EngineBackend(
+      d.name(), d.num_qubits(),
+      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
+        d.classify_into(t, s, out);
+      });
+}
+
+ReadoutEngine::ReadoutEngine(EngineBackend backend, EngineConfig cfg)
+    : backend_(std::move(backend)), cfg_(cfg) {
+  MLQR_CHECK_MSG(backend_.valid(), "engine needs a classify backend");
+  MLQR_CHECK_MSG(backend_.num_qubits() > 0, "backend reports zero qubits");
+}
+
+EngineBatch ReadoutEngine::run(
+    std::size_t n,
+    const std::function<const IqTrace&(std::size_t)>& frame_at) {
+  const std::size_t n_qubits = backend_.num_qubits();
+
+  EngineBatch batch;
+  batch.n_shots = n;
+  batch.n_qubits = n_qubits;
+  batch.labels.assign(n * n_qubits, 0);
+  if (cfg_.record_shot_latency) batch.shot_micros.assign(n, 0.0);
+  if (n == 0) return batch;
+
+  // Worker budget: the configured cap, shrunk so every worker has at least
+  // min_shots_per_thread shots (spawning a jthread for two shots loses).
+  std::size_t workers = cfg_.threads ? cfg_.threads : parallel_thread_count();
+  const std::size_t per_thread = std::max<std::size_t>(
+      cfg_.min_shots_per_thread, 1);
+  workers = std::clamp<std::size_t>(workers, 1,
+                                    std::max<std::size_t>(n / per_thread, 1));
+  if (scratch_.size() < workers) scratch_.resize(workers);
+
+  int* labels = batch.labels.data();
+  double* micros =
+      cfg_.record_shot_latency ? batch.shot_micros.data() : nullptr;
+  Timer wall;
+  parallel_for_slots(
+      0, n, workers,
+      [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+        InferenceScratch& scratch = scratch_[slot];
+        for (std::size_t s = lo; s < hi; ++s) {
+          if (micros) {
+            Timer shot_timer;
+            backend_.classify_into(frame_at(s), scratch,
+                                   {labels + s * n_qubits, n_qubits});
+            micros[s] = shot_timer.seconds() * 1e6;
+          } else {
+            backend_.classify_into(frame_at(s), scratch,
+                                   {labels + s * n_qubits, n_qubits});
+          }
+        }
+      });
+  batch.wall_seconds = wall.seconds();
+  total_shots_ += n;
+  total_seconds_ += batch.wall_seconds;
+  return batch;
+}
+
+EngineBatch ReadoutEngine::process_batch(std::span<const IqTrace> frames) {
+  return run(frames.size(),
+             [frames](std::size_t s) -> const IqTrace& { return frames[s]; });
+}
+
+EngineBatch ReadoutEngine::process_batch(
+    const ShotSet& shots, std::span<const std::size_t> subset) {
+  MLQR_CHECK(shots.n_qubits == backend_.num_qubits());
+  return run(subset.size(), [&shots, subset](std::size_t s) -> const IqTrace& {
+    return shots.traces[subset[s]];
+  });
+}
+
+EngineBatch ReadoutEngine::process_prepared(
+    const ReadoutSimulator& sim,
+    const std::vector<std::vector<int>>& prepared, std::uint64_t seed,
+    std::vector<ShotRecord>* records) {
+  std::vector<ShotRecord> shots = sim.simulate_batch(prepared, seed);
+  EngineBatch batch =
+      run(shots.size(), [&shots](std::size_t s) -> const IqTrace& {
+        return shots[s].trace;
+      });
+  if (records) *records = std::move(shots);
+  return batch;
+}
+
+FidelityReport ReadoutEngine::evaluate(const ShotSet& shots,
+                                       std::span<const std::size_t> subset) {
+  const EngineBatch batch = process_batch(shots, subset);
+  FidelityReport report;
+  report.per_qubit.resize(shots.n_qubits);
+  for (std::size_t s = 0; s < batch.n_shots; ++s) {
+    const std::span<const int> assigned = batch.shot_labels(s);
+    for (std::size_t q = 0; q < shots.n_qubits; ++q)
+      report.per_qubit[q].add(shots.label(subset[s], q), assigned[q]);
+  }
+  return report;
+}
+
+}  // namespace mlqr

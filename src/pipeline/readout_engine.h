@@ -1,0 +1,164 @@
+// Batched, multi-threaded streaming readout engine.
+//
+// The table benches and examples used to drive the layers one shot at a
+// time through ad-hoc glue: simulate, demodulate, filter, classify, each
+// call allocating its own baseband traces, feature vectors and MLP
+// activations. ReadoutEngine is the load-bearing composition instead — it
+// puts any trained discriminator (proposed MF+NN, FNN, HERQULES, LDA/QDA)
+// behind one process_batch(frames) API, fans shot batches out over
+// common/parallel workers, and hands every worker a persistent
+// InferenceScratch so the hot loop performs zero heap allocations after
+// warm-up. Per-shot classification is pure, so results are bit-identical
+// across batch sizes and thread counts (tests/test_pipeline.cpp pins this
+// down); later scaling work (sharding, async ingest, multi-backend fleets)
+// plugs in here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "discrim/fnn_baseline.h"
+#include "discrim/gaussian_discriminator.h"
+#include "discrim/herqules_baseline.h"
+#include "discrim/inference_scratch.h"
+#include "discrim/metrics.h"
+#include "discrim/proposed.h"
+#include "discrim/shot_set.h"
+#include "sim/iq.h"
+#include "sim/readout_simulator.h"
+
+namespace mlqr {
+
+/// Order statistics of per-shot classification latency, in microseconds.
+struct LatencyStats {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  std::size_t count = 0;
+};
+
+/// Summarizes a sample of per-shot latencies (takes a copy: the input is
+/// sorted internally). Empty input yields all-zero stats.
+LatencyStats summarize_latency(std::vector<double> micros);
+
+struct EngineConfig {
+  /// Worker budget per batch; 0 means parallel_thread_count() (which
+  /// honours MLQR_THREADS). The effective count never exceeds the batch.
+  std::size_t threads = 0;
+  /// Batches smaller than threads * min_shots_per_thread stay on fewer
+  /// workers — thread spawn overhead dominates tiny batches.
+  std::size_t min_shots_per_thread = 8;
+  /// Record a per-shot wall-clock sample (two steady_clock reads per shot)
+  /// for LatencyStats. Off for peak throughput.
+  bool record_shot_latency = false;
+};
+
+/// One processed batch: per-qubit level assignments for every frame, flat
+/// shot-major like ShotSet::labels, plus timing.
+struct EngineBatch {
+  std::vector<int> labels;  ///< n_shots x n_qubits, shot-major.
+  std::size_t n_shots = 0;
+  std::size_t n_qubits = 0;
+  double wall_seconds = 0.0;
+  /// Per-shot latency samples (only when cfg.record_shot_latency).
+  std::vector<double> shot_micros;
+
+  std::span<const int> shot_labels(std::size_t shot) const {
+    return {labels.data() + shot * n_qubits, n_qubits};
+  }
+  double shots_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(n_shots) / wall_seconds
+                              : 0.0;
+  }
+};
+
+/// Type-erased, scratch-aware discriminator stage. Build one with
+/// make_backend(<trained discriminator>); the wrapped object must outlive
+/// the backend (non-owning, discriminators are heavy to copy).
+class EngineBackend {
+ public:
+  using ClassifyInto =
+      std::function<void(const IqTrace&, InferenceScratch&, std::span<int>)>;
+
+  EngineBackend() = default;
+  EngineBackend(std::string name, std::size_t n_qubits, ClassifyInto fn)
+      : name_(std::move(name)), n_qubits_(n_qubits), fn_(std::move(fn)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t num_qubits() const { return n_qubits_; }
+  bool valid() const { return static_cast<bool>(fn_); }
+
+  void classify_into(const IqTrace& trace, InferenceScratch& scratch,
+                     std::span<int> out) const {
+    fn_(trace, scratch, out);
+  }
+
+ private:
+  std::string name_;
+  std::size_t n_qubits_ = 0;
+  ClassifyInto fn_;
+};
+
+EngineBackend make_backend(const ProposedDiscriminator& d);
+EngineBackend make_backend(const FnnDiscriminator& d);
+EngineBackend make_backend(const HerqulesDiscriminator& d);
+EngineBackend make_backend(const GaussianShotDiscriminator& d);
+
+/// The streaming engine. Owns its per-worker scratch pool, so an instance
+/// is cheap to call repeatedly (batch-of-1 streaming reuses buffers) but
+/// must not be shared across threads — create one engine per stream.
+class ReadoutEngine {
+ public:
+  explicit ReadoutEngine(EngineBackend backend, EngineConfig cfg = {});
+
+  const EngineBackend& backend() const { return backend_; }
+  const EngineConfig& config() const { return cfg_; }
+  std::size_t num_qubits() const { return backend_.num_qubits(); }
+
+  /// Hot path: classify a contiguous batch of multiplexed frames.
+  EngineBatch process_batch(std::span<const IqTrace> frames);
+
+  /// Indexed variant over a stored ShotSet — no trace copies.
+  EngineBatch process_batch(const ShotSet& shots,
+                            std::span<const std::size_t> subset);
+
+  /// Full simulate -> demod -> filter -> classify path: synthesizes the
+  /// prepared states' frames with `sim`, then classifies them. The shot
+  /// records are returned through `records` when non-null (ground truth for
+  /// closed-loop studies).
+  EngineBatch process_prepared(const ReadoutSimulator& sim,
+                               const std::vector<std::vector<int>>& prepared,
+                               std::uint64_t seed,
+                               std::vector<ShotRecord>* records = nullptr);
+
+  /// Batched replacement for evaluate_classifier: classifies the subset and
+  /// scores it against the ShotSet's ground-truth labels.
+  FidelityReport evaluate(const ShotSet& shots,
+                          std::span<const std::size_t> subset);
+
+  /// Cumulative counters across all process_* calls on this engine.
+  std::size_t total_shots() const { return total_shots_; }
+  double total_seconds() const { return total_seconds_; }
+  double cumulative_shots_per_second() const {
+    return total_seconds_ > 0.0
+               ? static_cast<double>(total_shots_) / total_seconds_
+               : 0.0;
+  }
+
+ private:
+  /// Shared fan-out: frame_at(i) must be valid for i in [0, n).
+  EngineBatch run(std::size_t n,
+                  const std::function<const IqTrace&(std::size_t)>& frame_at);
+
+  EngineBackend backend_;
+  EngineConfig cfg_;
+  std::vector<InferenceScratch> scratch_;  ///< One slot per worker, reused.
+  std::size_t total_shots_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace mlqr

@@ -21,6 +21,12 @@ FidelityReport evaluate_on_test(const ShotClassifier& classify,
   return evaluate_classifier(classify, ds.shots, ds.test_idx);
 }
 
+FidelityReport evaluate_on_test(const EngineBackend& backend,
+                                const ReadoutDataset& ds) {
+  ReadoutEngine engine(backend);
+  return engine.evaluate(ds.shots, ds.test_idx);
+}
+
 std::pair<double, double> leak_detection_rates(const FidelityReport& report) {
   double detect = 0.0, false_pos = 0.0;
   std::size_t n = 0;
@@ -67,8 +73,7 @@ SuiteResult run_suite(const SuiteConfig& cfg_in) {
                                                    ds.train_idx, chip,
                                                    cfg.proposed);
     result.train_seconds_proposed = timer.seconds();
-    result.proposed_report = evaluate_on_test(
-        [&](const IqTrace& t) { return result.proposed->classify(t); }, ds);
+    result.proposed_report = evaluate_on_test(make_backend(*result.proposed), ds);
     if (cfg.verbose)
       std::cout << "[suite] proposed trained in "
                 << result.train_seconds_proposed << " s, F5Q = "
@@ -79,8 +84,7 @@ SuiteResult run_suite(const SuiteConfig& cfg_in) {
     result.fnn =
         FnnDiscriminator::train(ds.shots, labels, ds.train_idx, chip, cfg.fnn);
     result.train_seconds_fnn = timer.seconds();
-    result.fnn_report = evaluate_on_test(
-        [&](const IqTrace& t) { return result.fnn->classify(t); }, ds);
+    result.fnn_report = evaluate_on_test(make_backend(*result.fnn), ds);
     if (cfg.verbose)
       std::cout << "[suite] FNN trained in " << result.train_seconds_fnn
                 << " s, F5Q = "
@@ -92,8 +96,8 @@ SuiteResult run_suite(const SuiteConfig& cfg_in) {
                                                    ds.train_idx, chip,
                                                    cfg.herqules);
     result.train_seconds_herqules = timer.seconds();
-    result.herqules_report = evaluate_on_test(
-        [&](const IqTrace& t) { return result.herqules->classify(t); }, ds);
+    result.herqules_report =
+        evaluate_on_test(make_backend(*result.herqules), ds);
     if (cfg.verbose)
       std::cout << "[suite] HERQULES trained in "
                 << result.train_seconds_herqules << " s, F5Q = "
@@ -102,12 +106,10 @@ SuiteResult run_suite(const SuiteConfig& cfg_in) {
   if (cfg.train_gaussian) {
     result.lda = GaussianShotDiscriminator::train(ds.shots, labels,
                                                   ds.train_idx, chip, cfg.lda);
-    result.lda_report = evaluate_on_test(
-        [&](const IqTrace& t) { return result.lda->classify(t); }, ds);
+    result.lda_report = evaluate_on_test(make_backend(*result.lda), ds);
     result.qda = GaussianShotDiscriminator::train(ds.shots, labels,
                                                   ds.train_idx, chip, cfg.qda);
-    result.qda_report = evaluate_on_test(
-        [&](const IqTrace& t) { return result.qda->classify(t); }, ds);
+    result.qda_report = evaluate_on_test(make_backend(*result.qda), ds);
     if (cfg.verbose)
       std::cout << "[suite] LDA F5Q = "
                 << result.lda_report->geometric_mean_fidelity()

@@ -13,6 +13,7 @@
 #include "discrim/herqules_baseline.h"
 #include "discrim/metrics.h"
 #include "discrim/proposed.h"
+#include "pipeline/readout_engine.h"
 #include "readout/dataset.h"
 
 namespace mlqr {
@@ -65,7 +66,13 @@ struct SuiteResult {
 SuiteResult run_suite(const SuiteConfig& cfg);
 
 /// Evaluates one already-trained classifier on a dataset's test split.
+/// Prefer the EngineBackend overload: it batches through the streaming
+/// engine instead of invoking a std::function per shot.
 FidelityReport evaluate_on_test(const ShotClassifier& classify,
+                                const ReadoutDataset& ds);
+
+/// Batched evaluation through ReadoutEngine (the path run_suite uses).
+FidelityReport evaluate_on_test(const EngineBackend& backend,
                                 const ReadoutDataset& ds);
 
 /// |2>-detection statistics of a report's ancilla-relevant qubits, averaged:

@@ -1,0 +1,177 @@
+// The streaming engine's core contract: batching and threading are pure
+// performance knobs — labels and metrics are bit-identical whether shots
+// stream one at a time on one worker or 1024 at a time across all of them.
+#include "pipeline/readout_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "readout/dataset.h"
+#include "readout/experiment.h"
+
+namespace mlqr {
+namespace {
+
+/// Shared small two-qubit dataset + trained designs (training dominates the
+/// file's runtime, so it happens once).
+struct Fixture {
+  ReadoutDataset ds;
+  ProposedDiscriminator proposed;
+  GaussianShotDiscriminator lda;
+
+  static const Fixture& get() {
+    static const Fixture fx = [] {
+      DatasetConfig cfg;
+      cfg.chip = ChipProfile::test_two_qubit();
+      cfg.shots_per_basis_state = 220;
+      cfg.seed = 4242;
+      ReadoutDataset ds = generate_dataset(cfg);
+      ProposedConfig pcfg;
+      pcfg.trainer.epochs = 8;
+      ProposedDiscriminator p = ProposedDiscriminator::train(
+          ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
+      GaussianDiscriminatorConfig gcfg;
+      GaussianShotDiscriminator g = GaussianShotDiscriminator::train(
+          ds.shots, ds.training_labels, ds.train_idx, ds.chip, gcfg);
+      return Fixture{std::move(ds), std::move(p), std::move(g)};
+    }();
+    return fx;
+  }
+};
+
+/// Reference labels via the one-shot-at-a-time allocating path.
+std::vector<int> reference_labels(const Fixture& fx) {
+  std::vector<int> labels;
+  for (const IqTrace& t : fx.ds.shots.traces) {
+    const std::vector<int> shot = fx.proposed.classify(t);
+    labels.insert(labels.end(), shot.begin(), shot.end());
+  }
+  return labels;
+}
+
+TEST(Pipeline, BatchMatchesPerShotClassify) {
+  const Fixture& fx = Fixture::get();
+  ReadoutEngine engine(make_backend(fx.proposed));
+  const EngineBatch batch = engine.process_batch(fx.ds.shots.traces);
+  EXPECT_EQ(batch.n_shots, fx.ds.shots.size());
+  EXPECT_EQ(batch.n_qubits, fx.ds.shots.n_qubits);
+  EXPECT_EQ(batch.labels, reference_labels(fx));
+}
+
+TEST(Pipeline, BatchSizeDoesNotChangeLabels) {
+  const Fixture& fx = Fixture::get();
+  const std::vector<IqTrace>& traces = fx.ds.shots.traces;
+  ReadoutEngine whole(make_backend(fx.proposed));
+  const EngineBatch big = whole.process_batch(traces);
+
+  // Stream the same frames in batches of 1 through one persistent engine.
+  ReadoutEngine stream(make_backend(fx.proposed));
+  std::vector<int> streamed;
+  for (const IqTrace& t : traces) {
+    const EngineBatch one = stream.process_batch({&t, 1});
+    EXPECT_EQ(one.n_shots, 1u);
+    streamed.insert(streamed.end(), one.labels.begin(), one.labels.end());
+  }
+  EXPECT_EQ(big.labels, streamed);
+  EXPECT_EQ(stream.total_shots(), traces.size());
+}
+
+TEST(Pipeline, ThreadCountDoesNotChangeLabels) {
+  const Fixture& fx = Fixture::get();
+  EngineConfig serial;
+  serial.threads = 1;
+  ReadoutEngine one(make_backend(fx.proposed), serial);
+
+  EngineConfig parallel;
+  parallel.threads = 4;
+  parallel.min_shots_per_thread = 1;  // Force a real fan-out.
+  ReadoutEngine many(make_backend(fx.proposed), parallel);
+
+  const EngineBatch a = one.process_batch(fx.ds.shots.traces);
+  const EngineBatch b = many.process_batch(fx.ds.shots.traces);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Pipeline, EvaluateMatchesClassifierEvaluation) {
+  const Fixture& fx = Fixture::get();
+  ReadoutEngine engine(make_backend(fx.proposed));
+  const FidelityReport via_engine =
+      engine.evaluate(fx.ds.shots, fx.ds.test_idx);
+  const FidelityReport via_function = evaluate_classifier(
+      [&](const IqTrace& t) { return fx.proposed.classify(t); }, fx.ds.shots,
+      fx.ds.test_idx);
+  ASSERT_EQ(via_engine.per_qubit.size(), via_function.per_qubit.size());
+  for (std::size_t q = 0; q < via_engine.per_qubit.size(); ++q)
+    EXPECT_EQ(via_engine.per_qubit[q].counts, via_function.per_qubit[q].counts)
+        << "qubit " << q;
+  EXPECT_DOUBLE_EQ(via_engine.geometric_mean_fidelity(),
+                   via_function.geometric_mean_fidelity());
+}
+
+TEST(Pipeline, GaussianBackendMatchesClassify) {
+  const Fixture& fx = Fixture::get();
+  ReadoutEngine engine(make_backend(fx.lda));
+  const EngineBatch batch = engine.process_batch(fx.ds.shots.traces);
+  for (std::size_t s = 0; s < 25; ++s) {
+    const std::vector<int> expected = fx.lda.classify(fx.ds.shots.traces[s]);
+    const std::span<const int> got = batch.shot_labels(s);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t q = 0; q < expected.size(); ++q)
+      EXPECT_EQ(got[q], expected[q]) << "shot " << s << " qubit " << q;
+  }
+}
+
+TEST(Pipeline, ProcessPreparedRunsFullPath) {
+  const Fixture& fx = Fixture::get();
+  ReadoutSimulator sim(fx.ds.chip);
+  ReadoutEngine engine(make_backend(fx.proposed));
+  const std::vector<std::vector<int>> prepared(32, {1, 0});
+  std::vector<ShotRecord> records;
+  const EngineBatch batch = engine.process_prepared(sim, prepared, 99, &records);
+  EXPECT_EQ(batch.n_shots, prepared.size());
+  ASSERT_EQ(records.size(), prepared.size());
+  // Same seed -> same frames -> same labels, regardless of batch history.
+  const EngineBatch again = engine.process_prepared(sim, prepared, 99);
+  EXPECT_EQ(batch.labels, again.labels);
+}
+
+TEST(Pipeline, LatencyRecordingAndStats) {
+  const Fixture& fx = Fixture::get();
+  EngineConfig cfg;
+  cfg.record_shot_latency = true;
+  ReadoutEngine engine(make_backend(fx.proposed), cfg);
+  const EngineBatch batch = engine.process_batch(
+      std::span<const IqTrace>(fx.ds.shots.traces.data(), 100));
+  ASSERT_EQ(batch.shot_micros.size(), 100u);
+  const LatencyStats stats = summarize_latency(batch.shot_micros);
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_GT(stats.p50_us, 0.0);
+  EXPECT_LE(stats.p50_us, stats.p99_us);
+  EXPECT_LE(stats.p99_us, stats.max_us);
+  EXPECT_GT(batch.shots_per_second(), 0.0);
+
+  EXPECT_EQ(summarize_latency({}).count, 0u);
+}
+
+TEST(Pipeline, RejectsMismatchedShotSet) {
+  const Fixture& fx = Fixture::get();
+  ReadoutEngine engine(make_backend(fx.proposed));
+  ShotSet wrong;
+  wrong.traces.resize(1, IqTrace(8));
+  wrong.labels.assign(5, 0);
+  wrong.n_qubits = 5;  // Engine is wired for the two-qubit chip.
+  const std::size_t subset[] = {0};
+  EXPECT_THROW(engine.process_batch(wrong, subset), Error);
+}
+
+TEST(Pipeline, EmptyBatchIsWellFormed) {
+  const Fixture& fx = Fixture::get();
+  ReadoutEngine engine(make_backend(fx.proposed));
+  const EngineBatch batch = engine.process_batch(std::span<const IqTrace>{});
+  EXPECT_EQ(batch.n_shots, 0u);
+  EXPECT_TRUE(batch.labels.empty());
+  EXPECT_EQ(engine.total_shots(), 0u);
+}
+
+}  // namespace
+}  // namespace mlqr
