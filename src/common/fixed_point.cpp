@@ -13,18 +13,65 @@ double FixedPointFormat::resolution() const {
 
 double FixedPointFormat::max_value() const {
   // Largest positive code: 2^(W-1)-1 steps of 2^-F.
-  return (std::ldexp(1.0, total_bits - 1) - 1.0) * resolution();
+  return static_cast<double>(max_code()) * resolution();
 }
 
 double FixedPointFormat::min_value() const {
-  return -std::ldexp(1.0, total_bits - 1) * resolution();
+  return static_cast<double>(min_code()) * resolution();
+}
+
+std::int64_t FixedPointFormat::max_code() const {
+  return (std::int64_t{1} << (total_bits - 1)) - 1;
+}
+
+std::int64_t FixedPointFormat::min_code() const {
+  return -(std::int64_t{1} << (total_bits - 1));
+}
+
+double round_half_even(double value) {
+  // Doubles at or beyond 2^52 are already integers (and NaN falls through).
+  if (!(std::abs(value) < 4503599627370496.0)) return value;
+  const double fl = std::floor(value);
+  const double diff = value - fl;
+  if (diff < 0.5) return fl;
+  if (diff > 0.5) return fl + 1.0;
+  return std::fmod(fl, 2.0) == 0.0 ? fl : fl + 1.0;
+}
+
+std::int64_t to_code(double value, const FixedPointFormat& fmt) {
+  MLQR_CHECK(fmt.total_bits >= 2 && fmt.total_bits <= 48);
+  // Scaling by 2^F is exact in binary floating point, so the only rounding
+  // happens inside round_half_even — mode-independent by construction.
+  const double scaled = round_half_even(std::ldexp(value, fmt.frac_bits));
+  if (scaled <= static_cast<double>(fmt.min_code())) return fmt.min_code();
+  if (scaled >= static_cast<double>(fmt.max_code())) return fmt.max_code();
+  return static_cast<std::int64_t>(scaled);
+}
+
+double from_code(std::int64_t code, const FixedPointFormat& fmt) {
+  return std::ldexp(static_cast<double>(code), -fmt.frac_bits);
+}
+
+std::int64_t saturate_to_bits(std::int64_t code, int bits) {
+  MLQR_CHECK(bits >= 2 && bits <= 63);
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  return std::clamp(code, lo, hi);
+}
+
+std::int64_t shift_round_half_even(std::int64_t code, int shift) {
+  if (shift <= 0) return code << -shift;
+  MLQR_CHECK(shift < 63);
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  const std::int64_t mask = (std::int64_t{1} << shift) - 1;
+  std::int64_t q = code >> shift;  // Arithmetic shift: floor division.
+  const std::int64_t rem = code & mask;
+  if (rem > half || (rem == half && (q & 1))) ++q;
+  return q;
 }
 
 double quantize(double value, const FixedPointFormat& fmt) {
-  MLQR_CHECK(fmt.total_bits >= 2 && fmt.total_bits <= 48);
-  const double step = fmt.resolution();
-  const double clamped = std::clamp(value, fmt.min_value(), fmt.max_value());
-  return std::nearbyint(clamped / step) * step;
+  return from_code(to_code(value, fmt), fmt);
 }
 
 void quantize_in_place(std::span<float> values, const FixedPointFormat& fmt) {
@@ -39,14 +86,40 @@ double max_quantization_error(std::span<const float> values,
   return worst;
 }
 
+namespace {
+
+/// Widest fraction whose max_value still covers `bound` (min_value is one
+/// step deeper than max_value, so the positive side is binding). May exceed
+/// total_bits-1 for sub-unit bounds (ap_fixed<W,I> with I <= 0: every code
+/// bit lands below the binary point, so small kernels/weights use the full
+/// code range instead of collapsing onto a handful of levels). Negative
+/// result means the bound needs more than total_bits-1 integer bits.
+int widest_covering_frac(double bound, int total_bits) {
+  if (bound <= 0.0) return total_bits - 1;
+  int exp = 0;
+  std::frexp(bound, &exp);  // 2^(exp-1) <= bound < 2^exp.
+  int frac = std::min(total_bits - 1 - exp, 45);  // Shifts must stay < 63.
+  if ((FixedPointFormat{total_bits, frac}.max_value()) < bound) --frac;
+  return frac;
+}
+
+}  // namespace
+
 FixedPointFormat fit_format(double lo, double hi, int total_bits) {
   MLQR_CHECK(total_bits >= 2 && total_bits <= 48);
   const double bound = std::max(std::abs(lo), std::abs(hi));
-  // Integer bits (excluding sign) needed to hold `bound`.
-  int int_bits = 0;
-  while (std::ldexp(1.0, int_bits) <= bound && int_bits < total_bits) ++int_bits;
-  const int frac = std::max(0, total_bits - 1 - int_bits);
+  const int frac = widest_covering_frac(bound, total_bits);
+  MLQR_CHECK_MSG(frac >= 0, "range [" << lo << ", " << hi
+                                      << "] does not fit in " << total_bits
+                                      << " signed bits");
   return FixedPointFormat{total_bits, frac};
+}
+
+FixedPointFormat saturating_format(double lo, double hi, int total_bits) {
+  MLQR_CHECK(total_bits >= 2 && total_bits <= 48);
+  const double bound = std::max(std::abs(lo), std::abs(hi));
+  return FixedPointFormat{total_bits,
+                          std::max(widest_covering_frac(bound, total_bits), 0)};
 }
 
 }  // namespace mlqr

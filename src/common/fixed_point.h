@@ -1,9 +1,11 @@
 // Fixed-point quantization helpers.
 //
-// The FPGA resource model (src/fpga) and the quantization-aware evaluation
-// of the proposed discriminator both need ap_fixed-style rounding: a signed
-// two's-complement value with `total_bits` bits, `frac_bits` of which sit
-// right of the binary point (mirrors Vivado HLS ap_fixed<W,I>).
+// The FPGA resource model (src/fpga) and the integer inference backend
+// (src/dsp/quantized_frontend, src/nn/quantized_mlp) both need
+// ap_fixed-style rounding: a signed two's-complement value with
+// `total_bits` bits, `frac_bits` of which sit right of the binary point
+// (mirrors Vivado HLS ap_fixed<W,I>). All rounding here is explicit
+// round-half-even — results do not depend on the runtime FP rounding mode.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +22,39 @@ struct FixedPointFormat {
   double resolution() const;   ///< Smallest representable step (2^-F).
   double max_value() const;    ///< Largest representable value.
   double min_value() const;    ///< Most negative representable value.
+  std::int64_t max_code() const;  ///< Largest integer code (2^(W-1)-1).
+  std::int64_t min_code() const;  ///< Most negative code (-2^(W-1)).
 };
+
+/// Precision knobs shared by the integer inference backend: code widths for
+/// weights/kernels, inter-stage activations, and the MAC accumulator, plus
+/// how many shots the range calibration reads.
+struct QuantizationConfig {
+  int weight_bits = 16;      ///< NN weight and matched-filter kernel codes.
+  int activation_bits = 16;  ///< Feature / inter-layer activation codes.
+  int accum_bits = 32;       ///< Saturating MAC accumulator width.
+  /// Range calibration reads at most this many calibration shots.
+  std::size_t max_calibration_shots = 512;
+};
+
+/// Rounds to the nearest integer, ties to even. Unlike std::nearbyint the
+/// result is independent of the runtime FP rounding mode (fesetround).
+double round_half_even(double value);
+
+/// Nearest integer code for `value`, saturating at the format bounds.
+std::int64_t to_code(double value, const FixedPointFormat& fmt);
+
+/// Real value of an integer code (code * 2^-F).
+double from_code(std::int64_t code, const FixedPointFormat& fmt);
+
+/// Clamps an integer code into the signed two's-complement range of `bits`
+/// (the saturating behaviour of an ap_fixed accumulator).
+std::int64_t saturate_to_bits(std::int64_t code, int bits);
+
+/// Drops `shift` fractional bits from a fixed-point code with
+/// round-half-even (the inter-layer requantization step of the integer
+/// MLP). `shift` < 0 shifts left. Deterministic, no FP involved.
+std::int64_t shift_round_half_even(std::int64_t code, int shift);
 
 /// Rounds to nearest representable value, saturating at the format bounds.
 double quantize(double value, const FixedPointFormat& fmt);
@@ -34,7 +68,15 @@ double max_quantization_error(std::span<const float> values,
                               const FixedPointFormat& fmt);
 
 /// Picks the smallest fractional width (given total bits) such that every
-/// value in [lo, hi] fits without saturation.
+/// value in [lo, hi] fits without saturation. Throws when no such format
+/// exists (|bound| needs more than total_bits-1 integer bits) instead of
+/// silently returning a saturating format.
 FixedPointFormat fit_format(double lo, double hi, int total_bits);
+
+/// Like fit_format but never throws: when the range cannot fit at the given
+/// width it spends every integer bit and lets values clip at the format
+/// bounds — the deployed activation-path behaviour, where saturating
+/// outliers beats failing synthesis.
+FixedPointFormat saturating_format(double lo, double hi, int total_bits);
 
 }  // namespace mlqr

@@ -9,15 +9,18 @@
 
 namespace mlqr {
 
+std::size_t resolve_thread_count(const char* env_value, unsigned hardware) {
+  if (env_value) {
+    const long v = std::atol(env_value);
+    if (v >= 1)
+      return std::min(static_cast<std::size_t>(v), kMaxWorkerThreads);
+  }
+  return std::clamp<std::size_t>(hardware, 1, kMaxWorkerThreads);
+}
+
 std::size_t parallel_thread_count() {
-  static const std::size_t count = [] {
-    if (const char* env = std::getenv("MLQR_THREADS")) {
-      const long v = std::atol(env);
-      if (v >= 1) return static_cast<std::size_t>(std::min<long>(v, 64));
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return static_cast<std::size_t>(std::clamp<unsigned>(hw, 1, 16));
-  }();
+  static const std::size_t count = resolve_thread_count(
+      std::getenv("MLQR_THREADS"), std::thread::hardware_concurrency());
   return count;
 }
 

@@ -10,9 +10,22 @@
 
 namespace mlqr {
 
+/// Single worker-count ceiling shared by the MLQR_THREADS override and the
+/// hardware_concurrency fallback (jthread fan-out cost stays sane well past
+/// any machine we target).
+inline constexpr std::size_t kMaxWorkerThreads = 64;
+
+/// Pure resolution rule behind parallel_thread_count(), exposed so tests
+/// can pin the env/hardware interplay without mutating the process
+/// environment: `env_value` is the MLQR_THREADS string (nullptr when
+/// unset, ignored unless it parses to >= 1) and `hardware` is
+/// hardware_concurrency() (0 when unknown). Both paths share
+/// kMaxWorkerThreads as the cap.
+std::size_t resolve_thread_count(const char* env_value, unsigned hardware);
+
 /// Number of worker threads parallel_for will use. Respects the
-/// MLQR_THREADS environment variable; otherwise hardware_concurrency
-/// clamped to [1, 16].
+/// MLQR_THREADS environment variable; otherwise hardware_concurrency. Both
+/// are clamped to [1, kMaxWorkerThreads].
 std::size_t parallel_thread_count();
 
 /// Invokes body(i) for every i in [begin, end), distributed over worker

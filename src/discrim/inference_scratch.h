@@ -8,6 +8,7 @@
 // to its steady-state size and the hot loop performs zero heap allocations.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/iq.h"
@@ -28,6 +29,16 @@ struct InferenceScratch {
   /// MLP activation ping-pong buffers (see Mlp::logits_into).
   std::vector<float> logits;
   std::vector<float> activations;
+
+  /// Integer-path buffers (QuantizedProposedDiscriminator): the raw trace
+  /// converted to fixed-point I/Q codes, the merged feature codes, the
+  /// integer logit accumulators, and the activation ping-pong pair.
+  std::vector<std::int16_t> int_trace_i;
+  std::vector<std::int16_t> int_trace_q;
+  std::vector<std::int32_t> int_features;
+  std::vector<std::int64_t> int_logits;
+  std::vector<std::int32_t> int_act_a;
+  std::vector<std::int32_t> int_act_b;
 };
 
 }  // namespace mlqr

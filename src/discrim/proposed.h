@@ -85,6 +85,8 @@ class ProposedDiscriminator {
   const Mlp& qubit_model(std::size_t q) const { return models_.at(q); }
   Mlp& mutable_qubit_model(std::size_t q) { return models_.at(q); }
   const ChipMfBank& mf_bank() const { return bank_; }
+  const Demodulator& demodulator() const { return demod_; }
+  const FeatureNormalizer& normalizer() const { return normalizer_; }
   std::size_t samples_used() const { return samples_used_; }
 
   /// Raw (normalized) feature vector for one trace — exposed for the

@@ -1,0 +1,120 @@
+#include "discrim/quantized_proposed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/normalizer.h"
+
+namespace mlqr {
+
+QuantizedProposedDiscriminator QuantizedProposedDiscriminator::quantize(
+    const ProposedDiscriminator& d, const ShotSet& calib,
+    std::span<const std::size_t> calib_idx, const QuantizationConfig& cfg) {
+  MLQR_CHECK(d.num_qubits() > 0);
+  MLQR_CHECK(!calib_idx.empty());
+  MLQR_CHECK(cfg.max_calibration_shots > 0);
+  const std::size_t n_use =
+      std::min(calib_idx.size(), cfg.max_calibration_shots);
+  const std::size_t feat_dim = d.feature_dim();
+  const std::size_t n_samples = d.samples_used();
+
+  // Range calibration in one sweep: the ADC-side |I|/|Q| bound that sets
+  // the trace code grid, and the float path's normalized features that set
+  // the NN input grid and the heads' activation ranges. The subsample
+  // strides across calib_idx rather than taking a prefix: dataset splits
+  // are grouped by prepared basis state, and a prefix would calibrate
+  // ranges almost exclusively on ground-state shots.
+  const std::size_t stride = calib_idx.size() / n_use;
+  double trace_bound = 0.0;
+  std::vector<float> feats(n_use * feat_dim, 0.0f);
+  InferenceScratch scratch;
+  for (std::size_t k = 0; k < n_use; ++k) {
+    const IqTrace& tr = calib.traces.at(calib_idx[k * stride]);
+    const std::size_t n = std::min(tr.size(), n_samples);
+    for (std::size_t t = 0; t < n; ++t) {
+      trace_bound = std::max(trace_bound, std::abs(static_cast<double>(tr.i[t])));
+      trace_bound = std::max(trace_bound, std::abs(static_cast<double>(tr.q[t])));
+    }
+    d.features_into(tr, scratch);
+    MLQR_CHECK(scratch.features.size() == feat_dim);
+    std::copy(scratch.features.begin(), scratch.features.end(),
+              feats.begin() + k * feat_dim);
+  }
+  trace_bound = std::max(trace_bound, 1e-6);
+
+  // Feature grid: observed range with 25% headroom, never past the
+  // normalizer's winsorization bound (fresh-data tails saturate there on
+  // both paths).
+  double feat_bound = 0.0;
+  for (float f : feats)
+    feat_bound = std::max(feat_bound, std::abs(static_cast<double>(f)));
+  feat_bound = std::clamp(1.25 * feat_bound, 1.0,
+                          static_cast<double>(kMaxAbsFeatureZ));
+  const FixedPointFormat feature_fmt =
+      saturating_format(-feat_bound, feat_bound, cfg.activation_bits);
+
+  QuantizedProposedDiscriminator q;
+  q.cfg_ = cfg;
+  q.frontend_ =
+      QuantizedFrontend::build(d.demodulator(), d.mf_bank(), d.normalizer(),
+                               n_samples, trace_bound, feature_fmt, cfg);
+  q.heads_.reserve(d.num_qubits());
+  for (std::size_t qubit = 0; qubit < d.num_qubits(); ++qubit)
+    q.heads_.push_back(
+        QuantizedMlp::quantize(d.qubit_model(qubit), feats, feature_fmt, cfg));
+  return q;
+}
+
+std::vector<int> QuantizedProposedDiscriminator::classify(
+    const IqTrace& trace) const {
+  InferenceScratch scratch;
+  std::vector<int> out(heads_.size());
+  classify_into(trace, scratch, out);
+  return out;
+}
+
+void QuantizedProposedDiscriminator::classify_into(const IqTrace& trace,
+                                                   InferenceScratch& scratch,
+                                                   std::span<int> out) const {
+  MLQR_CHECK(out.size() == heads_.size());
+  frontend_.features_into(trace, scratch);
+  for (std::size_t q = 0; q < heads_.size(); ++q)
+    out[q] = heads_[q].predict(scratch.int_features, scratch.int_logits,
+                               scratch.int_act_a, scratch.int_act_b);
+}
+
+CalibratedFormats QuantizedProposedDiscriminator::calibrated_formats() const {
+  CalibratedFormats fmts;
+  fmts.trace = frontend_.trace_format();
+  fmts.feature = frontend_.feature_format();
+  fmts.weight_bits = cfg_.weight_bits;
+  fmts.activation_bits = cfg_.activation_bits;
+  fmts.accum_bits = cfg_.accum_bits;
+  int min_frac = 48;
+  for (std::size_t f = 0; f < frontend_.n_filters(); ++f)
+    min_frac = std::min(min_frac, frontend_.kernel_format(f).frac_bits);
+  for (const QuantizedMlp& head : heads_)
+    for (const QuantizedDenseLayer& l : head.layers())
+      min_frac = std::min(min_frac, l.weight_fmt.frac_bits);
+  fmts.min_weight_frac_bits = min_frac;
+  return fmts;
+}
+
+DesignSpec QuantizedProposedDiscriminator::design_spec() const {
+  DesignSpec spec;
+  spec.name = name();
+  spec.demod_channels = num_qubits();
+  spec.matched_filters = frontend_.n_filters();
+  spec.mf_kernel_len = frontend_.n_samples();
+  for (const QuantizedMlp& head : heads_) {
+    std::vector<std::size_t> sizes;
+    sizes.push_back(head.input_size());
+    for (const QuantizedDenseLayer& l : head.layers()) sizes.push_back(l.out);
+    spec.nns.push_back(std::move(sizes));
+  }
+  spec.hls = hls_config_from_formats(cfg_.weight_bits, cfg_.accum_bits);
+  return spec;
+}
+
+}  // namespace mlqr

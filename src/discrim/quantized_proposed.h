@@ -1,0 +1,87 @@
+// Integer fixed-point twin of the proposed discriminator — the actual
+// FPGA datapath end-to-end: fused int16 demod+matched-filter front-end
+// (QuantizedFrontend) feeding one integer per-qubit head (QuantizedMlp)
+// each. Exposes the same classify_into(trace, scratch, out) contract as
+// the float designs, so make_backend plugs it straight into
+// ReadoutEngine::process_batch; per-shot inference is pure, so labels are
+// bit-identical across batch sizes and thread counts.
+//
+// Built by *calibrated* quantization of a trained float
+// ProposedDiscriminator: fixed-point formats for the trace, features,
+// kernels, weights and activations are fitted from training data
+// (fit_format / saturating_format), not assumed — the resource model reads
+// these calibrated widths via design_spec().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "discrim/inference_scratch.h"
+#include "discrim/proposed.h"
+#include "discrim/shot_set.h"
+#include "dsp/quantized_frontend.h"
+#include "fpga/resource_model.h"
+#include "nn/quantized_mlp.h"
+
+namespace mlqr {
+
+/// Summary of the calibrated fixed-point formats across the whole design —
+/// what the FPGA resource model consumes instead of assumed widths.
+struct CalibratedFormats {
+  FixedPointFormat trace;    ///< ADC-side I/Q code grid.
+  FixedPointFormat feature;  ///< Merged-feature / NN-input grid.
+  int weight_bits = 0;       ///< Kernel + NN weight code width.
+  int activation_bits = 0;   ///< Inter-layer activation code width.
+  int accum_bits = 0;        ///< Saturating MAC accumulator width.
+  /// Narrowest weight fraction actually calibrated across kernels and NN
+  /// layers (the effective precision floor of the datapath).
+  int min_weight_frac_bits = 0;
+};
+
+/// Trained-then-quantized instance of the proposed design.
+class QuantizedProposedDiscriminator {
+ public:
+  /// Quantizes a trained float discriminator. `calib`/`calib_idx` supply
+  /// the range-calibration shots (use the training split; capped at
+  /// cfg.max_calibration_shots).
+  static QuantizedProposedDiscriminator quantize(
+      const ProposedDiscriminator& d, const ShotSet& calib,
+      std::span<const std::size_t> calib_idx,
+      const QuantizationConfig& cfg = {});
+
+  /// Per-qubit level predictions for one multiplexed trace. Thread-safe.
+  std::vector<int> classify(const IqTrace& trace) const;
+
+  /// Allocation-free integer path: raw trace -> fused int front-end ->
+  /// integer heads, entirely inside `scratch`'s reused buffers. `out` must
+  /// hold num_qubits() entries. Thread-safe for distinct scratches.
+  void classify_into(const IqTrace& trace, InferenceScratch& scratch,
+                     std::span<int> out) const;
+
+  std::string name() const {
+    return "OURS-INT" + std::to_string(cfg_.weight_bits);
+  }
+
+  std::size_t num_qubits() const { return heads_.size(); }
+  std::size_t feature_dim() const { return frontend_.n_filters(); }
+  const QuantizedFrontend& frontend() const { return frontend_; }
+  const QuantizedMlp& head(std::size_t q) const { return heads_.at(q); }
+  const QuantizationConfig& config() const { return cfg_; }
+
+  CalibratedFormats calibrated_formats() const;
+
+  /// DesignSpec of this exact instance — topology from the trained heads,
+  /// HLS precision knobs from the calibrated formats (see
+  /// hls_config_from_formats) rather than assumed deployment widths.
+  DesignSpec design_spec() const;
+
+ private:
+  QuantizationConfig cfg_;
+  QuantizedFrontend frontend_;
+  std::vector<QuantizedMlp> heads_;  ///< One integer head per qubit.
+};
+
+}  // namespace mlqr

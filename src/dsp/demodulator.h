@@ -40,8 +40,15 @@ class Demodulator {
   std::vector<BasebandTrace> demodulate_all(const IqTrace& trace,
                                             std::size_t max_samples = 0) const;
 
+  /// Exact LO phasor exp(-i*2*pi*f_q*dt*t) for qubit `q` at sample `t`,
+  /// computed directly from the phase angle (no accumulated recurrence
+  /// error). The quantized front-end builds its LO lookup tables and
+  /// pre-rotated kernels from this.
+  Complexd lo_phase(std::size_t qubit, std::size_t t) const;
+
  private:
   std::vector<Complexd> tone_step_;  ///< exp(-i*2*pi*f_q*dt) per qubit.
+  std::vector<double> tone_angle_;   ///< -2*pi*f_q*dt per qubit.
 };
 
 }  // namespace mlqr

@@ -1,0 +1,145 @@
+#include "dsp/quantized_frontend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+QuantizedFrontend QuantizedFrontend::build(const Demodulator& demod,
+                                           const ChipMfBank& bank,
+                                           const FeatureNormalizer& norm,
+                                           std::size_t n_samples,
+                                           double trace_bound,
+                                           const FixedPointFormat& feature_fmt,
+                                           const QuantizationConfig& cfg) {
+  MLQR_CHECK(n_samples > 0);
+  MLQR_CHECK(trace_bound > 0.0);
+  MLQR_CHECK(cfg.weight_bits >= 2 && cfg.weight_bits <= 16);
+  const std::size_t n_qubits = bank.num_qubits();
+  const std::size_t per_q = bank.features_per_qubit();
+  const std::size_t n_filters = bank.total_features();
+  MLQR_CHECK(demod.num_qubits() == n_qubits);
+  MLQR_CHECK_MSG(norm.dim() == n_filters,
+                 "normalizer dim " << norm.dim() << " != " << n_filters);
+
+  QuantizedFrontend fe;
+  fe.n_samples_ = n_samples;
+  fe.n_qubits_ = n_qubits;
+  fe.trace_fmt_ = fit_format(-trace_bound, trace_bound, 16);
+  fe.feature_fmt_ = feature_fmt;
+  fe.lo_fmt_ = fit_format(-1.0, 1.0, 16);
+  fe.kernel_fmt_.reserve(n_filters);
+  fe.kr_.assign(n_filters * n_samples, 0);
+  fe.ki_.assign(n_filters * n_samples, 0);
+  fe.scale_.reserve(n_filters);
+  fe.offset_.reserve(n_filters);
+  fe.lo_.assign(n_qubits * n_samples * 2, 0);
+
+  // Scratch: one qubit's quantized LO phasors, then that qubit's rotated
+  // kernels. The LO table is quantized first so the kernels absorb the
+  // LUT's rounding error exactly as the fabric would see it.
+  std::vector<Complexd> rotated(n_samples);
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    std::int16_t* lut = fe.lo_.data() + q * n_samples * 2;
+    for (std::size_t t = 0; t < n_samples; ++t) {
+      const Complexd lo = demod.lo_phase(q, t);
+      lut[2 * t] = static_cast<std::int16_t>(to_code(lo.real(), fe.lo_fmt_));
+      lut[2 * t + 1] =
+          static_cast<std::int16_t>(to_code(lo.imag(), fe.lo_fmt_));
+    }
+
+    for (std::size_t f = 0; f < per_q; ++f) {
+      const MatchedFilter& mf = bank.bank(q).filter(f);
+      MLQR_CHECK_MSG(mf.length() == n_samples,
+                     "kernel length " << mf.length() << " != " << n_samples);
+      double bound = 0.0;
+      for (std::size_t t = 0; t < n_samples; ++t) {
+        const Complexd lo{from_code(lut[2 * t], fe.lo_fmt_),
+                          from_code(lut[2 * t + 1], fe.lo_fmt_)};
+        rotated[t] = mf.kernel()[t] * lo;
+        bound = std::max({bound, std::abs(rotated[t].real()),
+                          std::abs(rotated[t].imag())});
+      }
+      const FixedPointFormat kfmt =
+          bound > 0.0 ? fit_format(-bound, bound, cfg.weight_bits)
+                      : FixedPointFormat{cfg.weight_bits, cfg.weight_bits - 1};
+
+      const std::size_t row = (q * per_q + f) * n_samples;
+      for (std::size_t t = 0; t < n_samples; ++t) {
+        fe.kr_[row + t] =
+            static_cast<std::int16_t>(to_code(rotated[t].real(), kfmt));
+        fe.ki_[row + t] =
+            static_cast<std::int16_t>(to_code(rotated[t].imag(), kfmt));
+      }
+
+      // Fold MF bias and the normalizer's affine into one requant step:
+      //   z = (acc * k_res * x_res - bias - mean) / std.
+      const std::size_t j = q * per_q + f;
+      const double std_dev = static_cast<double>(norm.std_dev()[j]);
+      fe.kernel_fmt_.push_back(kfmt);
+      fe.scale_.push_back(kfmt.resolution() * fe.trace_fmt_.resolution() /
+                          std_dev);
+      fe.offset_.push_back(
+          -(mf.bias() + static_cast<double>(norm.mean()[j])) / std_dev);
+    }
+  }
+  return fe;
+}
+
+void QuantizedFrontend::features_into(const IqTrace& trace,
+                                      InferenceScratch& scratch) const {
+  MLQR_CHECK(n_samples_ > 0);
+  trace.check_consistent();
+  MLQR_CHECK_MSG(trace.size() >= n_samples_,
+                 "trace shorter than front-end window: " << trace.size()
+                                                         << " < " << n_samples_);
+  const std::size_t n = n_samples_;
+
+  // Pass 0: raw floats -> saturating ADC-grid codes. Scaling by 2^F is
+  // exact, so rounding happens only in round_half_even (deterministic).
+  scratch.int_trace_i.resize(n);
+  scratch.int_trace_q.resize(n);
+  const double code_scale = std::ldexp(1.0, trace_fmt_.frac_bits);
+  const double lo_code = static_cast<double>(trace_fmt_.min_code());
+  const double hi_code = static_cast<double>(trace_fmt_.max_code());
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ci = std::clamp(
+        round_half_even(static_cast<double>(trace.i[t]) * code_scale), lo_code,
+        hi_code);
+    const double cq = std::clamp(
+        round_half_even(static_cast<double>(trace.q[t]) * code_scale), lo_code,
+        hi_code);
+    scratch.int_trace_i[t] = static_cast<std::int16_t>(ci);
+    scratch.int_trace_q[t] = static_cast<std::int16_t>(cq);
+  }
+
+  // Pass 1: every filter is two int16 dot products against the raw codes;
+  // the int64 accumulator is exact, so the trailing affine requant (double
+  // on an exactly-representable integer) is bit-deterministic.
+  const std::int16_t* xi = scratch.int_trace_i.data();
+  const std::int16_t* xq = scratch.int_trace_q.data();
+  scratch.int_features.resize(n_filters());
+  for (std::size_t f = 0; f < n_filters(); ++f) {
+    const std::int16_t* kr = kr_.data() + f * n;
+    const std::int16_t* ki = ki_.data() + f * n;
+    std::int64_t acc = 0;
+    for (std::size_t t = 0; t < n; ++t)
+      acc += static_cast<std::int64_t>(static_cast<int>(kr[t]) * xi[t] -
+                                       static_cast<int>(ki[t]) * xq[t]);
+    double z = static_cast<double>(acc) * scale_[f] + offset_[f];
+    z = std::clamp(z, -static_cast<double>(kMaxAbsFeatureZ),
+                   static_cast<double>(kMaxAbsFeatureZ));
+    scratch.int_features[f] =
+        static_cast<std::int32_t>(to_code(z, feature_fmt_));
+  }
+}
+
+std::span<const std::int16_t> QuantizedFrontend::lo_table(
+    std::size_t qubit) const {
+  MLQR_CHECK(qubit < n_qubits_);
+  return {lo_.data() + qubit * n_samples_ * 2, n_samples_ * 2};
+}
+
+}  // namespace mlqr

@@ -35,6 +35,19 @@ ResourceEstimate& ResourceEstimate::operator+=(const ResourceEstimate& other) {
   return *this;
 }
 
+HlsConfig hls_config_from_formats(int weight_bits, int accum_bits,
+                                  int reuse_factor) {
+  MLQR_CHECK(weight_bits >= 2 && weight_bits <= 32);
+  MLQR_CHECK(accum_bits >= weight_bits && accum_bits <= 64);
+  MLQR_CHECK(reuse_factor >= 1);
+  HlsConfig cfg;
+  cfg.weight_bits = weight_bits;
+  cfg.accum_bits = accum_bits;
+  cfg.reuse_factor = reuse_factor;
+  cfg.weights_in_bram = reuse_factor > 1;
+  return cfg;
+}
+
 ResourceEstimate estimate_dense_layer(std::size_t in, std::size_t out,
                                       const HlsConfig& cfg) {
   MLQR_CHECK(in > 0 && out > 0);

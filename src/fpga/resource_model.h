@@ -59,6 +59,13 @@ struct Utilization {
   }
 };
 
+/// HLS precision knobs derived from a design's actually-calibrated
+/// fixed-point widths (e.g. QuantizedProposedDiscriminator's weight and
+/// accumulator code widths) instead of the assumed deployment defaults —
+/// resource-vs-fidelity sweeps stay honest to the datapath that ran.
+HlsConfig hls_config_from_formats(int weight_bits, int accum_bits,
+                                  int reuse_factor = 1);
+
 /// One dense layer (in x out MACs + bias + activation).
 ResourceEstimate estimate_dense_layer(std::size_t in, std::size_t out,
                                       const HlsConfig& cfg);

@@ -48,6 +48,9 @@ class MatchedFilter {
 
   std::size_t length() const { return kernel_.size(); }
   const std::vector<Complexd>& kernel() const { return kernel_; }
+  /// Affine offset subtracted after projection (quantized front-ends fold
+  /// this into their requantization step).
+  double bias() const { return bias_; }
 
   /// Raw (pre-normalization) separation between the training centroids —
   /// a filter-quality diagnostic (~SNR in kernel units).

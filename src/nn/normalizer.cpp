@@ -36,11 +36,10 @@ FeatureNormalizer FeatureNormalizer::fit(std::span<const float> features,
 void FeatureNormalizer::apply(std::span<float> features) const {
   const std::size_t dim = mean_.size();
   MLQR_CHECK(dim > 0 && features.size() % dim == 0);
-  constexpr float kMaxAbsZ = 12.0f;  // Winsorize pathological outliers.
   for (std::size_t i = 0; i < features.size(); ++i) {
     const std::size_t c = i % dim;
     const float z = (features[i] - mean_[c]) / std_[c];
-    features[i] = std::clamp(z, -kMaxAbsZ, kMaxAbsZ);
+    features[i] = std::clamp(z, -kMaxAbsFeatureZ, kMaxAbsFeatureZ);
   }
 }
 

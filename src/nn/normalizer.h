@@ -11,6 +11,11 @@
 
 namespace mlqr {
 
+/// Winsorization bound applied after standardization: |z| is clamped here
+/// so pathological outliers cannot blow up downstream layers. Shared with
+/// the integer front-end so both paths clip identically.
+inline constexpr float kMaxAbsFeatureZ = 12.0f;
+
 class FeatureNormalizer {
  public:
   FeatureNormalizer() = default;

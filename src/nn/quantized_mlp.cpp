@@ -1,0 +1,194 @@
+#include "nn/quantized_mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+namespace {
+
+/// Integer bits (excluding sign) needed to hold `bound`.
+int int_bits_for(double bound) {
+  int bits = 0;
+  while (std::ldexp(1.0, bits) <= bound) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+QuantizedMlp QuantizedMlp::quantize(const Mlp& mlp,
+                                    std::span<const float> calib_features,
+                                    const FixedPointFormat& input_fmt,
+                                    const QuantizationConfig& cfg) {
+  MLQR_CHECK(cfg.weight_bits >= 2 && cfg.weight_bits <= 16);
+  MLQR_CHECK(cfg.activation_bits >= 2 && cfg.activation_bits <= 16);
+  MLQR_CHECK(cfg.accum_bits >= 8 && cfg.accum_bits <= 63);
+  const std::vector<DenseLayer>& fl = mlp.layers();
+  MLQR_CHECK(!fl.empty());
+  const std::size_t in_dim = mlp.input_size();
+  MLQR_CHECK(!calib_features.empty() && calib_features.size() % in_dim == 0);
+  const std::size_t n_rows = calib_features.size() / in_dim;
+
+  // Range calibration: float forward over the calibration rows, tracking
+  // the largest |activation| entering each layer and the largest
+  // |pre-activation| its accumulator must hold.
+  std::vector<double> act_in_max(fl.size(), 0.0);
+  std::vector<double> pre_max(fl.size(), 0.0);
+  std::vector<double> cur, next;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const float* row = calib_features.data() + r * in_dim;
+    cur.assign(row, row + in_dim);
+    for (std::size_t l = 0; l < fl.size(); ++l) {
+      const DenseLayer& layer = fl[l];
+      for (double v : cur)
+        act_in_max[l] = std::max(act_in_max[l], std::abs(v));
+      next.assign(layer.out, 0.0);
+      for (std::size_t j = 0; j < layer.out; ++j) {
+        double acc = static_cast<double>(layer.b[j]);
+        const float* w = layer.w.data() + j * layer.in;
+        for (std::size_t i = 0; i < layer.in; ++i)
+          acc += static_cast<double>(w[i]) * cur[i];
+        pre_max[l] = std::max(pre_max[l], std::abs(acc));
+        next[j] = l + 1 < fl.size() ? std::max(acc, 0.0) : acc;
+      }
+      cur.swap(next);
+    }
+  }
+
+  QuantizedMlp q;
+  q.cfg_ = cfg;
+  q.layers_.reserve(fl.size());
+  for (std::size_t l = 0; l < fl.size(); ++l) {
+    const DenseLayer& layer = fl[l];
+    QuantizedDenseLayer ql;
+    ql.in = layer.in;
+    ql.out = layer.out;
+
+    if (l == 0) {
+      ql.in_fmt = input_fmt;
+    } else {
+      // 2x headroom over the calibrated range for fresh data; narrow widths
+      // fall back to clipping rather than failing.
+      const double bound = std::max(2.0 * act_in_max[l], 1.0);
+      ql.in_fmt = saturating_format(-bound, bound, cfg.activation_bits);
+    }
+
+    double w_bound = 0.0;
+    for (float w : layer.w)
+      w_bound = std::max(w_bound, std::abs(static_cast<double>(w)));
+    ql.weight_fmt = w_bound > 0.0
+                        ? fit_format(-w_bound, w_bound, cfg.weight_bits)
+                        : FixedPointFormat{cfg.weight_bits, cfg.weight_bits - 1};
+
+    // The accumulator holds pre-activations at frac in+weight; narrow the
+    // weight fraction until the calibrated range (2x headroom) provably
+    // fits cfg.accum_bits, mirroring what an HLS accumulator-width report
+    // would force at synthesis time.
+    const int pre_bits = int_bits_for(std::max(2.0 * pre_max[l], 1.0));
+    const int frac_budget = cfg.accum_bits - 1 - pre_bits;
+    MLQR_CHECK_MSG(frac_budget >= ql.in_fmt.frac_bits,
+                   "accum_bits=" << cfg.accum_bits
+                                 << " too narrow for layer " << l
+                                 << " (pre-activation range "
+                                 << pre_max[l] << ")");
+    ql.weight_fmt.frac_bits =
+        std::min(ql.weight_fmt.frac_bits, frac_budget - ql.in_fmt.frac_bits);
+
+    ql.w.resize(layer.w.size());
+    for (std::size_t i = 0; i < layer.w.size(); ++i)
+      ql.w[i] = static_cast<std::int16_t>(
+          to_code(static_cast<double>(layer.w[i]), ql.weight_fmt));
+    const int bias_frac = ql.in_fmt.frac_bits + ql.weight_fmt.frac_bits;
+    ql.b.resize(layer.b.size());
+    for (std::size_t i = 0; i < layer.b.size(); ++i)
+      ql.b[i] = saturate_to_bits(
+          static_cast<std::int64_t>(round_half_even(
+              std::ldexp(static_cast<double>(layer.b[i]), bias_frac))),
+          cfg.accum_bits);
+
+    q.layers_.push_back(std::move(ql));
+  }
+  return q;
+}
+
+std::size_t QuantizedMlp::input_size() const {
+  MLQR_CHECK(!layers_.empty());
+  return layers_.front().in;
+}
+
+std::size_t QuantizedMlp::output_size() const {
+  MLQR_CHECK(!layers_.empty());
+  return layers_.back().out;
+}
+
+std::size_t QuantizedMlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const QuantizedDenseLayer& l : layers_) n += l.parameter_count();
+  return n;
+}
+
+void QuantizedMlp::logits_into(std::span<const std::int32_t> x,
+                               std::vector<std::int64_t>& logits,
+                               std::vector<std::int32_t>& act_a,
+                               std::vector<std::int32_t>& act_b) const {
+  MLQR_CHECK_MSG(x.size() == input_size(),
+                 "input size " << x.size() << " != " << input_size());
+  act_a.assign(x.begin(), x.end());
+  std::vector<std::int32_t>* cur = &act_a;
+  std::vector<std::int32_t>* next = &act_b;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const QuantizedDenseLayer& layer = layers_[l];
+    const bool last = l + 1 == layers_.size();
+    const std::int32_t* in_codes = cur->data();
+    if (last) {
+      logits.resize(layer.out);
+    } else {
+      next->assign(layer.out, 0);
+    }
+    const int shift =
+        last ? 0
+             : layer.in_fmt.frac_bits + layer.weight_fmt.frac_bits -
+                   layers_[l + 1].in_fmt.frac_bits;
+    for (std::size_t j = 0; j < layer.out; ++j) {
+      std::int64_t acc = layer.b[j];
+      const std::int16_t* w = layer.w.data() + j * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i)
+        acc += static_cast<std::int64_t>(w[i]) * in_codes[i];
+      acc = saturate_to_bits(acc, cfg_.accum_bits);
+      if (last) {
+        logits[j] = acc;
+      } else {
+        if (acc < 0) acc = 0;  // ReLU in the integer domain.
+        const std::int64_t code = saturate_to_bits(
+            shift_round_half_even(acc, shift), cfg_.activation_bits);
+        (*next)[j] = static_cast<std::int32_t>(code);
+      }
+    }
+    std::swap(cur, next);
+  }
+}
+
+int QuantizedMlp::predict(std::span<const std::int32_t> x,
+                          std::vector<std::int64_t>& logits,
+                          std::vector<std::int32_t>& act_a,
+                          std::vector<std::int32_t>& act_b) const {
+  logits_into(x, logits, act_a, act_b);
+  int best = 0;
+  for (std::size_t j = 1; j < logits.size(); ++j)
+    if (logits[j] > logits[best]) best = static_cast<int>(j);
+  return best;
+}
+
+int QuantizedMlp::logit_frac_bits() const {
+  MLQR_CHECK(!layers_.empty());
+  const QuantizedDenseLayer& last = layers_.back();
+  return last.in_fmt.frac_bits + last.weight_fmt.frac_bits;
+}
+
+double QuantizedMlp::logit_resolution() const {
+  return std::ldexp(1.0, -logit_frac_bits());
+}
+
+}  // namespace mlqr

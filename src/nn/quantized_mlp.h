@@ -1,0 +1,89 @@
+// Integer fixed-point MLP inference — the FPGA NN datapath in software.
+//
+// Each dense layer runs entirely in integers: int16 weight codes times the
+// incoming activation codes, summed with the pre-shifted bias into a
+// saturating accumulator (cfg.accum_bits wide, the ap_fixed AP_SAT
+// behaviour), ReLU as max(acc, 0), then a pure arithmetic-shift
+// requantization (round-half-even) onto the next layer's activation grid.
+// Because every format's scale is a power of two, no floating point touches
+// the forward pass at all — labels are bit-identical across batch sizes and
+// thread counts by construction.
+//
+// Formats come from calibration: weight fractions from the trained weight
+// range (narrowed if needed so the calibrated pre-activation range,
+// with 2x headroom, provably fits the accumulator width), activation
+// fractions from the float network's hidden activations on calibration
+// data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "nn/mlp.h"
+
+namespace mlqr {
+
+/// Quantized mirror of one DenseLayer (codes, not values).
+struct QuantizedDenseLayer {
+  std::size_t in = 0;
+  std::size_t out = 0;
+  FixedPointFormat weight_fmt;  ///< Grid of `w` codes.
+  FixedPointFormat in_fmt;      ///< Grid of the incoming activation codes.
+  std::vector<std::int16_t> w;  ///< out x in, row-major codes.
+  std::vector<std::int64_t> b;  ///< Bias at in_fmt.frac + weight_fmt.frac.
+
+  std::size_t parameter_count() const { return w.size() + b.size(); }
+};
+
+/// Integer-only inference twin of a trained float Mlp.
+class QuantizedMlp {
+ public:
+  QuantizedMlp() = default;
+
+  /// Quantizes `mlp`. `calib_features` is a row-major (n x input_size)
+  /// matrix of float-path inputs driving the activation-range calibration;
+  /// `input_fmt` is the code grid the caller feeds the first layer with
+  /// (the front-end's feature format). Throws when cfg.accum_bits cannot
+  /// hold the calibrated ranges at any non-negative weight fraction.
+  static QuantizedMlp quantize(const Mlp& mlp,
+                               std::span<const float> calib_features,
+                               const FixedPointFormat& input_fmt,
+                               const QuantizationConfig& cfg);
+
+  std::size_t input_size() const;
+  std::size_t output_size() const;
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t parameter_count() const;
+  const std::vector<QuantizedDenseLayer>& layers() const { return layers_; }
+
+  /// Integer forward pass: `x` holds input codes on the first layer's
+  /// in_fmt grid; logits land in `logits` as accumulator codes (fraction =
+  /// logit_frac_bits()). `act_a`/`act_b` are the ping-pong activation
+  /// buffers; all three reuse capacity call-to-call.
+  void logits_into(std::span<const std::int32_t> x,
+                   std::vector<std::int64_t>& logits,
+                   std::vector<std::int32_t>& act_a,
+                   std::vector<std::int32_t>& act_b) const;
+
+  /// argmax over the integer logits (ties break to the lower index, same
+  /// rule as the float path).
+  int predict(std::span<const std::int32_t> x,
+              std::vector<std::int64_t>& logits,
+              std::vector<std::int32_t>& act_a,
+              std::vector<std::int32_t>& act_b) const;
+
+  /// Fraction bits of the emitted logit codes.
+  int logit_frac_bits() const;
+  /// Real value of one logit step (2^-logit_frac_bits()).
+  double logit_resolution() const;
+
+  const QuantizationConfig& config() const { return cfg_; }
+
+ private:
+  QuantizationConfig cfg_;
+  std::vector<QuantizedDenseLayer> layers_;
+};
+
+}  // namespace mlqr

@@ -38,6 +38,14 @@ EngineBackend make_backend(const ProposedDiscriminator& d) {
       });
 }
 
+EngineBackend make_backend(const QuantizedProposedDiscriminator& d) {
+  return EngineBackend(
+      d.name(), d.num_qubits(),
+      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
+        d.classify_into(t, s, out);
+      });
+}
+
 EngineBackend make_backend(const FnnDiscriminator& d) {
   return EngineBackend(
       d.name(), d.num_qubits(),

@@ -26,6 +26,7 @@
 #include "discrim/inference_scratch.h"
 #include "discrim/metrics.h"
 #include "discrim/proposed.h"
+#include "discrim/quantized_proposed.h"
 #include "discrim/shot_set.h"
 #include "sim/iq.h"
 #include "sim/readout_simulator.h"
@@ -104,6 +105,7 @@ class EngineBackend {
 };
 
 EngineBackend make_backend(const ProposedDiscriminator& d);
+EngineBackend make_backend(const QuantizedProposedDiscriminator& d);
 EngineBackend make_backend(const FnnDiscriminator& d);
 EngineBackend make_backend(const HerqulesDiscriminator& d);
 EngineBackend make_backend(const GaussianShotDiscriminator& d);

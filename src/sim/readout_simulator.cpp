@@ -14,11 +14,13 @@ ReadoutSimulator::ReadoutSimulator(ChipProfile chip) : chip_(std::move(chip)) {
   const double window = chip_.duration_ns();
   rates_.reserve(chip_.num_qubits());
   tone_step_.reserve(chip_.num_qubits());
+  tone_angle_.reserve(chip_.num_qubits());
   for (const auto& q : chip_.qubits) {
     rates_.push_back(TransitionRates::from_profile(q, window));
     const double omega =
         2.0 * std::numbers::pi * q.if_freq_mhz * 1e-3 * chip_.dt_ns();
     tone_step_.push_back(std::polar(1.0, omega));
+    tone_angle_.push_back(omega);
   }
 }
 
@@ -77,10 +79,17 @@ ShotRecord ReadoutSimulator::simulate_shot(const std::vector<int>& prepared,
   shot.trace = IqTrace(n);
   const double step = chip_.adc_full_scale / std::ldexp(1.0, chip_.adc_bits - 1);
   const double fs = chip_.adc_full_scale;
+  // Tone phasors advance by recurrence but re-anchor to the exact polar
+  // form periodically — the pure `phase *= step` recurrence drifts by
+  // O(n*eps) in magnitude/phase over long windows (same fix as
+  // Demodulator::demodulate_into).
+  constexpr std::size_t kLoResyncInterval = 64;
   std::vector<Complexd> phase(n_qubits, Complexd{1.0, 0.0});
   for (std::size_t t = 0; t < n; ++t) {
     Complexd acc{0.0, 0.0};
     for (std::size_t q = 0; q < n_qubits; ++q) {
+      if (t % kLoResyncInterval == 0)
+        phase[q] = std::polar(1.0, tone_angle_[q] * static_cast<double>(t));
       acc += mixed[q][t] * phase[q];
       phase[q] *= tone_step_[q];
     }

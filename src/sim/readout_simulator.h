@@ -55,6 +55,8 @@ class ReadoutSimulator {
   std::vector<TransitionRates> rates_;  ///< Per qubit, for the full window.
   /// Per-qubit phase increment per sample: exp(i*2*pi*f*dt).
   std::vector<Complexd> tone_step_;
+  /// Per-qubit phase angle per sample: 2*pi*f*dt (exact resync anchor).
+  std::vector<double> tone_angle_;
 };
 
 }  // namespace mlqr

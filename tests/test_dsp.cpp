@@ -47,6 +47,44 @@ TEST(Demodulator, RecoversStatePointAtBaseband) {
   }
 }
 
+TEST(Demodulator, LoTracksExactPolarOverLongTraces) {
+  // The LO advances by repeated complex multiplication; without periodic
+  // re-anchoring the magnitude/phase error grows O(n*eps) and a 10k-sample
+  // trace visibly drifts from the exact polar form.
+  const ChipProfile chip = noiseless_chip();
+  const Demodulator demod(chip);
+  const std::size_t n = 10000;
+  IqTrace trace(n);
+  for (std::size_t t = 0; t < n; ++t) trace.i[t] = 1.0f;  // Unit carrier.
+
+  const BasebandTrace bb = demod.demodulate(trace, 0, n);
+  const double omega = 2.0 * std::numbers::pi *
+                       chip.qubits[0].if_freq_mhz * 1e-3 * chip.dt_ns();
+  double worst = 0.0;
+  double worst_mag = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const Complexd exact = std::polar(1.0, -omega * static_cast<double>(t));
+    worst = std::max(worst, std::abs(bb[t] - exact));
+    worst_mag = std::max(worst_mag, std::abs(std::abs(bb[t]) - 1.0));
+  }
+  EXPECT_LT(worst, 1e-12);
+  EXPECT_LT(worst_mag, 1e-12);
+}
+
+TEST(Demodulator, LoPhaseAccessorIsExact) {
+  const ChipProfile chip = noiseless_chip();
+  const Demodulator demod(chip);
+  const double omega = 2.0 * std::numbers::pi *
+                       chip.qubits[1].if_freq_mhz * 1e-3 * chip.dt_ns();
+  for (std::size_t t : {std::size_t{0}, std::size_t{1}, std::size_t{12345}}) {
+    const Complexd lo = demod.lo_phase(1, t);
+    EXPECT_NEAR(std::abs(lo), 1.0, 1e-15);
+    const Complexd exact = std::polar(1.0, -omega * static_cast<double>(t));
+    EXPECT_NEAR(std::abs(lo - exact), 0.0, 1e-15);
+  }
+  EXPECT_THROW(demod.lo_phase(5, 0), Error);
+}
+
 TEST(Demodulator, TruncationLimitsSamples) {
   const ChipProfile chip = noiseless_chip();
   const Demodulator demod(chip);

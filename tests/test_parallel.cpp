@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -43,7 +45,33 @@ TEST(Parallel, PropagatesExceptions) {
 
 TEST(Parallel, ThreadCountIsPositiveAndBounded) {
   EXPECT_GE(parallel_thread_count(), 1u);
-  EXPECT_LE(parallel_thread_count(), 64u);
+  EXPECT_LE(parallel_thread_count(), kMaxWorkerThreads);
+}
+
+TEST(Parallel, ResolveThreadCountSharesOneCap) {
+  // Both the MLQR_THREADS override and the hardware fallback honour the
+  // same kMaxWorkerThreads ceiling — the old code capped hardware at 16
+  // while letting the env var reach 64, silently throttling big machines.
+  EXPECT_EQ(resolve_thread_count(nullptr, 8), 8u);
+  EXPECT_EQ(resolve_thread_count(nullptr, 32), 32u);
+  EXPECT_EQ(resolve_thread_count(nullptr, 128), kMaxWorkerThreads);
+  EXPECT_EQ(resolve_thread_count(nullptr, 0), 1u);  // Unknown hardware.
+  EXPECT_EQ(resolve_thread_count("8", 2), 8u);
+  EXPECT_EQ(resolve_thread_count("64", 2), kMaxWorkerThreads);
+  EXPECT_EQ(resolve_thread_count("100", 2), kMaxWorkerThreads);
+}
+
+TEST(Parallel, ResolveThreadCountIgnoresBadEnvValues) {
+  EXPECT_EQ(resolve_thread_count("0", 8), 8u);
+  EXPECT_EQ(resolve_thread_count("-3", 8), 8u);
+  EXPECT_EQ(resolve_thread_count("garbage", 8), 8u);
+  EXPECT_EQ(resolve_thread_count("", 8), 8u);
+}
+
+TEST(Parallel, ThreadCountMatchesResolver) {
+  EXPECT_EQ(parallel_thread_count(),
+            resolve_thread_count(std::getenv("MLQR_THREADS"),
+                                 std::thread::hardware_concurrency()));
 }
 
 TEST(Parallel, SumMatchesSerial) {

@@ -153,6 +153,36 @@ TEST(Pipeline, LatencyRecordingAndStats) {
   EXPECT_EQ(summarize_latency({}).count, 0u);
 }
 
+TEST(Pipeline, SummarizeLatencyEmptyIsAllZero) {
+  const LatencyStats stats = summarize_latency({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.p50_us, 0.0);
+  EXPECT_EQ(stats.p99_us, 0.0);
+  EXPECT_EQ(stats.mean_us, 0.0);
+  EXPECT_EQ(stats.max_us, 0.0);
+}
+
+TEST(Pipeline, SummarizeLatencySingleSample) {
+  // One sample: every quantile interpolates onto the sample itself.
+  const LatencyStats stats = summarize_latency({7.5});
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.p50_us, 7.5);
+  EXPECT_DOUBLE_EQ(stats.p99_us, 7.5);
+  EXPECT_DOUBLE_EQ(stats.mean_us, 7.5);
+  EXPECT_DOUBLE_EQ(stats.max_us, 7.5);
+}
+
+TEST(Pipeline, SummarizeLatencyTwoSamplesInterpolates) {
+  // Two samples (given unsorted): linear interpolation between them —
+  // p50 is the midpoint, p99 sits 99% of the way up.
+  const LatencyStats stats = summarize_latency({10.0, 2.0});
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_DOUBLE_EQ(stats.p50_us, 6.0);
+  EXPECT_DOUBLE_EQ(stats.p99_us, 2.0 + 0.99 * 8.0);
+  EXPECT_DOUBLE_EQ(stats.mean_us, 6.0);
+  EXPECT_DOUBLE_EQ(stats.max_us, 10.0);
+}
+
 TEST(Pipeline, RejectsMismatchedShotSet) {
   const Fixture& fx = Fixture::get();
   ReadoutEngine engine(make_backend(fx.proposed));

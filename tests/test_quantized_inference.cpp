@@ -1,0 +1,238 @@
+// The integer datapath's contract: at W=16 it tracks the float path's
+// fidelity within 0.5% absolute, its labels are bit-identical across batch
+// sizes and thread counts through ReadoutEngine, and its calibrated
+// formats — not assumed widths — feed the FPGA resource model.
+#include "discrim/quantized_proposed.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "nn/trainer.h"
+#include "pipeline/readout_engine.h"
+#include "readout/dataset.h"
+#include "readout/experiment.h"
+
+namespace mlqr {
+namespace {
+
+/// Shared small two-qubit dataset + trained float design + W=16 integer
+/// twin (training dominates runtime, so it happens once).
+struct Fixture {
+  ReadoutDataset ds;
+  ProposedDiscriminator proposed;
+  QuantizedProposedDiscriminator quantized;
+
+  static const Fixture& get() {
+    static const Fixture fx = [] {
+      DatasetConfig cfg;
+      cfg.chip = ChipProfile::test_two_qubit();
+      cfg.shots_per_basis_state = 220;
+      cfg.seed = 515151;
+      ReadoutDataset ds = generate_dataset(cfg);
+      ProposedConfig pcfg;
+      pcfg.trainer.epochs = 8;
+      ProposedDiscriminator p = ProposedDiscriminator::train(
+          ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
+      QuantizedProposedDiscriminator q = QuantizedProposedDiscriminator::quantize(
+          p, ds.shots, ds.train_idx, QuantizationConfig{});
+      return Fixture{std::move(ds), std::move(p), std::move(q)};
+    }();
+    return fx;
+  }
+};
+
+TEST(QuantizedInference, FidelityWithinHalfPercentOfFloat) {
+  const Fixture& fx = Fixture::get();
+  const FidelityReport f = evaluate_on_test(make_backend(fx.proposed), fx.ds);
+  const FidelityReport i = evaluate_on_test(make_backend(fx.quantized), fx.ds);
+  EXPECT_NEAR(i.geometric_mean_fidelity(), f.geometric_mean_fidelity(), 0.005)
+      << "int16 datapath drifted from the float reference";
+}
+
+TEST(QuantizedInference, LabelAgreementWithFloatPath) {
+  const Fixture& fx = Fixture::get();
+  ReadoutEngine fe(make_backend(fx.proposed));
+  ReadoutEngine ie(make_backend(fx.quantized));
+  const EngineBatch fb = fe.process_batch(fx.ds.shots.traces);
+  const EngineBatch ib = ie.process_batch(fx.ds.shots.traces);
+  ASSERT_EQ(fb.labels.size(), ib.labels.size());
+  std::size_t agree = 0;
+  for (std::size_t k = 0; k < fb.labels.size(); ++k)
+    agree += fb.labels[k] == ib.labels[k];
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(fb.labels.size()),
+            0.95);
+}
+
+TEST(QuantizedInference, BitIdenticalAcrossBatchSizes) {
+  const Fixture& fx = Fixture::get();
+  const std::vector<IqTrace>& traces = fx.ds.shots.traces;
+  ReadoutEngine whole(make_backend(fx.quantized));
+  const EngineBatch big = whole.process_batch(traces);
+
+  ReadoutEngine stream(make_backend(fx.quantized));
+  std::vector<int> streamed;
+  for (const IqTrace& t : traces) {
+    const EngineBatch one = stream.process_batch({&t, 1});
+    streamed.insert(streamed.end(), one.labels.begin(), one.labels.end());
+  }
+  EXPECT_EQ(big.labels, streamed);
+}
+
+TEST(QuantizedInference, BitIdenticalAcrossThreadCounts) {
+  const Fixture& fx = Fixture::get();
+  EngineConfig serial;
+  serial.threads = 1;
+  ReadoutEngine one(make_backend(fx.quantized), serial);
+
+  EngineConfig parallel;
+  parallel.threads = 4;
+  parallel.min_shots_per_thread = 1;  // Force a real fan-out.
+  ReadoutEngine many(make_backend(fx.quantized), parallel);
+
+  const EngineBatch a = one.process_batch(fx.ds.shots.traces);
+  const EngineBatch b = many.process_batch(fx.ds.shots.traces);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(QuantizedInference, ClassifyMatchesClassifyInto) {
+  const Fixture& fx = Fixture::get();
+  ReadoutEngine engine(make_backend(fx.quantized));
+  const EngineBatch batch = engine.process_batch(
+      std::span<const IqTrace>(fx.ds.shots.traces.data(), 25));
+  for (std::size_t s = 0; s < 25; ++s) {
+    const std::vector<int> expected = fx.quantized.classify(fx.ds.shots.traces[s]);
+    const std::span<const int> got = batch.shot_labels(s);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t q = 0; q < expected.size(); ++q)
+      EXPECT_EQ(got[q], expected[q]) << "shot " << s << " qubit " << q;
+  }
+}
+
+TEST(QuantizedInference, FrontendTracksFloatFeatures) {
+  const Fixture& fx = Fixture::get();
+  const QuantizedFrontend& fe = fx.quantized.frontend();
+  InferenceScratch float_scratch, int_scratch;
+  for (std::size_t s = 0; s < 10; ++s) {
+    const IqTrace& tr = fx.ds.shots.traces[s];
+    fx.proposed.features_into(tr, float_scratch);
+    fe.features_into(tr, int_scratch);
+    ASSERT_EQ(int_scratch.int_features.size(), float_scratch.features.size());
+    for (std::size_t j = 0; j < float_scratch.features.size(); ++j) {
+      const double decoded =
+          from_code(int_scratch.int_features[j], fe.feature_format());
+      EXPECT_NEAR(decoded, static_cast<double>(float_scratch.features[j]), 0.05)
+          << "shot " << s << " feature " << j;
+    }
+  }
+}
+
+TEST(QuantizedInference, LoTableIsUnitMagnitude) {
+  const Fixture& fx = Fixture::get();
+  const QuantizedFrontend& fe = fx.quantized.frontend();
+  for (std::size_t q = 0; q < fe.num_qubits(); ++q) {
+    const std::span<const std::int16_t> lut = fe.lo_table(q);
+    ASSERT_EQ(lut.size(), fe.n_samples() * 2);
+    for (std::size_t t = 0; t < fe.n_samples(); ++t) {
+      const double re = from_code(lut[2 * t], fe.lo_format());
+      const double im = from_code(lut[2 * t + 1], fe.lo_format());
+      EXPECT_NEAR(std::hypot(re, im), 1.0, 2e-4) << "qubit " << q << " t " << t;
+    }
+  }
+}
+
+TEST(QuantizedInference, QuantizedMlpTracksFloatLogits) {
+  // Hand-built tiny network with deterministic weights: the integer logits,
+  // decoded, must track the float logits within a few grid steps.
+  Mlp mlp({4, 6, 3});
+  Rng rng(7);
+  mlp.init_weights(rng);
+  std::vector<float> calib;
+  Rng data_rng(8);
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 4; ++c)
+      calib.push_back(static_cast<float>(data_rng.normal(0.0, 2.0)));
+
+  const FixedPointFormat in_fmt = fit_format(-8.0, 8.0, 16);
+  const QuantizedMlp q =
+      QuantizedMlp::quantize(mlp, calib, in_fmt, QuantizationConfig{});
+
+  std::vector<std::int32_t> codes(4);
+  std::vector<std::int64_t> logits;
+  std::vector<std::int32_t> a, b;
+  for (int r = 0; r < 64; ++r) {
+    std::vector<float> row(calib.begin() + r * 4, calib.begin() + (r + 1) * 4);
+    // Feed the float path the decoded codes so both see the same inputs.
+    for (int c = 0; c < 4; ++c) {
+      codes[c] = static_cast<std::int32_t>(to_code(row[c], in_fmt));
+      row[c] = static_cast<float>(from_code(codes[c], in_fmt));
+    }
+    const std::vector<float> f = mlp.logits(row);
+    q.logits_into(codes, logits, a, b);
+    ASSERT_EQ(logits.size(), f.size());
+    for (std::size_t j = 0; j < f.size(); ++j)
+      EXPECT_NEAR(static_cast<double>(logits[j]) * q.logit_resolution(),
+                  static_cast<double>(f[j]), 0.02)
+          << "row " << r << " logit " << j;
+  }
+}
+
+TEST(QuantizedInference, RejectsTooNarrowAccumulator) {
+  Mlp mlp({4, 6, 3});
+  Rng rng(7);
+  mlp.init_weights(rng);
+  std::vector<float> calib(4 * 8, 3.0f);
+  const FixedPointFormat in_fmt{16, 11};
+  QuantizationConfig cfg;
+  cfg.accum_bits = 8;  // Cannot hold in_frac=11 plus any weight fraction.
+  EXPECT_THROW(QuantizedMlp::quantize(mlp, calib, in_fmt, cfg), Error);
+}
+
+TEST(QuantizedInference, CalibratedFormatsFeedResourceModel) {
+  const Fixture& fx = Fixture::get();
+  const CalibratedFormats fmts = fx.quantized.calibrated_formats();
+  EXPECT_EQ(fmts.weight_bits, 16);
+  EXPECT_EQ(fmts.accum_bits, 32);
+  EXPECT_EQ(fmts.trace.total_bits, 16);
+  EXPECT_GE(fmts.min_weight_frac_bits, 0);
+
+  const DesignSpec spec = fx.quantized.design_spec();
+  EXPECT_EQ(spec.hls.weight_bits, 16);
+  EXPECT_EQ(spec.hls.accum_bits, 32);
+  EXPECT_EQ(spec.demod_channels, fx.quantized.num_qubits());
+  EXPECT_EQ(spec.nns.size(), fx.quantized.num_qubits());
+  // Estimating the spec must work and scale with the calibrated width:
+  // a W=8 twin of the same model is strictly cheaper in LUTs.
+  QuantizationConfig w8;
+  w8.weight_bits = 8;
+  w8.activation_bits = 8;
+  const QuantizedProposedDiscriminator q8 =
+      QuantizedProposedDiscriminator::quantize(fx.proposed, fx.ds.shots,
+                                               fx.ds.train_idx, w8);
+  EXPECT_LT(estimate_design(q8.design_spec()).luts,
+            estimate_design(spec).luts);
+}
+
+TEST(QuantizedInference, NarrowWidthsStillClassify) {
+  // W=8 end-to-end: fidelity can degrade, but the path must stay sane
+  // (legal labels, deterministic repeat).
+  const Fixture& fx = Fixture::get();
+  QuantizationConfig w8;
+  w8.weight_bits = 8;
+  w8.activation_bits = 8;
+  const QuantizedProposedDiscriminator q8 =
+      QuantizedProposedDiscriminator::quantize(fx.proposed, fx.ds.shots,
+                                               fx.ds.train_idx, w8);
+  const std::vector<int> once = q8.classify(fx.ds.shots.traces[0]);
+  const std::vector<int> twice = q8.classify(fx.ds.shots.traces[0]);
+  EXPECT_EQ(once, twice);
+  for (int level : once) {
+    EXPECT_GE(level, 0);
+    EXPECT_LT(level, kNumLevels);
+  }
+}
+
+}  // namespace
+}  // namespace mlqr
