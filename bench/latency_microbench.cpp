@@ -2,8 +2,18 @@
 // down-conversion, matched-filter scoring, per-qubit head inference, and
 // whole-shot classification for each design. (FPGA latency is modeled in
 // fpga/latency.h; these numbers characterize the reference implementation.)
+//
+// Besides the console table, every run writes google-benchmark's JSON
+// (tagged with the git sha and compiled SIMD tier via custom context) to
+// BENCH_latency_microbench.json — the microbench half of the recorded
+// perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "discrim/fnn_baseline.h"
 #include "discrim/proposed.h"
 #include "dsp/demodulator.h"
@@ -123,6 +133,46 @@ void BM_EngineProcessBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineProcessBatch)->Arg(1)->Arg(64)->Arg(1024);
 
+// The fused float front-end in isolation (the stage the demod + MF pair
+// above used to form) — per-shot feature extraction on the SIMD kernels.
+void BM_FusedFrontendFeatures(benchmark::State& state) {
+  const BenchState& s = BenchState::get();
+  const IqTrace& trace = s.ds.shots.traces[5];
+  InferenceScratch scratch;
+  for (auto _ : state) {
+    s.proposed.features_into(trace, scratch);
+    benchmark::DoNotOptimize(scratch.features.data());
+  }
+}
+BENCHMARK(BM_FusedFrontendFeatures);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): unless the caller already
+// chose an output file, the run is mirrored into
+// BENCH_latency_microbench.json (machine-readable perf record, tagged
+// with the commit and SIMD tier) by injecting the library's own
+// --benchmark_out flags — version-portable, and the console reporter
+// stays on for humans.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_latency_microbench.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::AddCustomContext("git_sha", mlqr::bench::build_git_sha());
+  benchmark::AddCustomContext("simd_tier", mlqr::simd::tier());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::cout << "Series written to BENCH_latency_microbench.json\n";
+  return 0;
+}

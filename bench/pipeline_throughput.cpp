@@ -2,10 +2,16 @@
 // for the proposed discriminator behind ReadoutEngine::process_batch, swept
 // over backend {float, int16} x batch size {1, 64, 1024} x worker count
 // {1, N_hw}. Batch 1 with one worker is the old one-shot-at-a-time glue;
-// batch 1024 with all workers is the deployment shape. The ratio between
-// those corners is the headline number, and the int16 backend — the fused
-// integer FPGA datapath — should meet or beat the float rows at every
-// shape (it skips the per-qubit demod pass entirely).
+// batch 1024 with all workers is the deployment shape. Both backends now
+// run fused one-pass SIMD front-ends (common/simd.h — the compiled tier is
+// printed and recorded), so the float rows are no longer handicapped by
+// the per-qubit demod pass; the int16 rows model the FPGA datapath bit
+// for bit rather than chase the float rows on throughput.
+//
+// Besides the table and pipeline_throughput.csv, the sweep lands in
+// BENCH_pipeline_throughput.json (context: git sha, SIMD tier, knobs;
+// rows: the full backend x batch x workers grid) — the machine-readable
+// perf trajectory CI archives per commit.
 //
 //   MLQR_THREADS caps N_hw; MLQR_SHOTS sizes the calibration dataset;
 //   MLQR_FAST=1 shrinks everything to CI scale.
@@ -118,6 +124,11 @@ int main() {
   CsvWriter csv("pipeline_throughput.csv");
   csv.write_row(std::vector<std::string>{"backend", "batch", "workers",
                                          "shots_per_sec", "p50_us", "p99_us"});
+  BenchReport report("pipeline_throughput");
+  report.context("threads_max", static_cast<std::int64_t>(n_hw));
+  report.context("bench_shots", static_cast<std::int64_t>(total));
+  report.context("shots_per_basis_state",
+                 static_cast<std::int64_t>(dcfg.shots_per_basis_state));
 
   double baseline = 0.0;
   double best_float = 0.0, best_int = 0.0;
@@ -144,10 +155,17 @@ int main() {
             backend.name(), std::to_string(batch), std::to_string(workers),
             Table::num(r.shots_per_sec, 1), Table::num(r.lat.p50_us, 2),
             Table::num(r.lat.p99_us, 2)});
+        report.add_row({{"backend", backend.name()},
+                        {"batch", static_cast<std::int64_t>(batch)},
+                        {"workers", static_cast<std::int64_t>(workers)},
+                        {"shots_per_sec", r.shots_per_sec},
+                        {"p50_us", r.lat.p50_us},
+                        {"p99_us", r.lat.p99_us}});
       }
     }
   }
   table.print();
+  const std::string json_path = report.save();
   std::cout << "\nPeak float " << Table::num(best_float, 0) << " shots/s = "
             << Table::num(best_float / baseline, 2)
             << "x the one-shot single-worker glue path; peak int16 "
@@ -155,7 +173,8 @@ int main() {
             << Table::num(best_int / best_float, 2)
             << "x the float peak (N_hw = " << n_hw
             << "; raise with MLQR_THREADS on bigger machines, cap "
-            << kMaxWorkerThreads << ").\n"
-               "Series written to pipeline_throughput.csv\n";
+            << kMaxWorkerThreads << "; SIMD tier " << simd::tier()
+            << ").\nSeries written to pipeline_throughput.csv and "
+            << json_path << "\n";
   return 0;
 }

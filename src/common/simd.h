@@ -1,0 +1,673 @@
+// Portable SIMD kernels for the inference hot paths.
+//
+// One header, compile-time dispatch: AVX2 -> SSE2 -> NEON -> scalar,
+// selected by the predefined ISA macros of the active -march flags (the
+// MLQR_NATIVE CMake option turns them on; the default x86-64 build gets
+// SSE2, which every 64-bit x86 guarantees). simd_tier() reports the
+// compiled tier so bench records say what they measured.
+//
+// Every kernel also has an always-compiled *_scalar twin. The scalar
+// versions are the semantic reference: tests pin the vector paths against
+// them (bit-exact for the integer kernels, bounded relative error for
+// float), and they are reachable on every platform regardless of tier.
+//
+// Integer contract — the part the fixed-point requantization relies on:
+// dot_i16 / fused_dot_i16 accumulate exact int64 sums of int16 x int16
+// products. Integer addition is associative, so any vector reassociation
+// is bit-identical to the scalar loop — PROVIDED no intermediate
+// overflows. The madd-based paths sum adjacent product pairs in int32
+// first; a pair can only exceed int32 range when both products are
+// exactly +2^30, i.e. both operands of both products are -32768. The `a`
+// operand (kernels / weights) therefore must not contain -32768. Codes
+// produced by fit_format over a symmetric range satisfy this by
+// construction (|code| <= 2^(W-1)-1); QuantizedFrontend::build and
+// QuantizedMlp::quantize additionally assert it. The `b` operand (trace /
+// activation codes) may use the full int16 range including -32768.
+//
+// Float contract: vector kernels reassociate the sum (lane-striped
+// partial accumulators), so results differ from the scalar loop by
+// O(n * eps) — callers that need reproducibility across *tiers* must use
+// the scalar variants; within one build the kernels are deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/fixed_point.h"
+
+#if defined(__AVX2__)
+#define MLQR_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define MLQR_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define MLQR_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define MLQR_SIMD_SCALAR 1
+#endif
+
+namespace mlqr::simd {
+
+/// Compiled SIMD tier: "avx2", "sse2", "neon" or "scalar".
+inline const char* tier() {
+#if defined(MLQR_SIMD_AVX2)
+  return "avx2";
+#elif defined(MLQR_SIMD_SSE2)
+  return "sse2";
+#elif defined(MLQR_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+// ------------------------------------------------------------------ scalar --
+
+inline float dot_f32_scalar(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// sum_t kr[t]*xi[t] - ki[t]*xq[t] — one fused front-end filter.
+inline float fused_dot_f32_scalar(const float* kr, const float* ki,
+                                  const float* xi, const float* xq,
+                                  std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t t = 0; t < n; ++t) acc += kr[t] * xi[t] - ki[t] * xq[t];
+  return acc;
+}
+
+/// y += a * x.
+inline void axpy_f32_scalar(std::size_t n, float a, const float* x, float* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+/// y += a0*x0 + a1*x1 + a2*x2 + a3*x3 (4-way register-blocked update).
+inline void axpy4_f32_scalar(std::size_t n, const float* a, const float* x0,
+                             const float* x1, const float* x2, const float* x3,
+                             float* y) {
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] += a[0] * x0[i] + a[1] * x1[i] + a[2] * x2[i] + a[3] * x3[i];
+}
+
+/// out[r] = dot(shared, b_r) for four rows sharing one operand.
+inline void dot4_f32_scalar(const float* shared, const float* b0,
+                            const float* b1, const float* b2, const float* b3,
+                            std::size_t n, float* out) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float s = shared[i];
+    s0 += s * b0[i];
+    s1 += s * b1[i];
+    s2 += s * b2[i];
+    s3 += s * b3[i];
+  }
+  out[0] = s0;
+  out[1] = s1;
+  out[2] = s2;
+  out[3] = s3;
+}
+
+inline std::int64_t dot_i16_scalar(const std::int16_t* a, const std::int16_t* b,
+                                   std::size_t n) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    acc += static_cast<std::int64_t>(static_cast<std::int32_t>(a[i]) * b[i]);
+  return acc;
+}
+
+/// sum_t kr[t]*xi[t] - ki[t]*xq[t] with an exact int64 accumulator.
+inline std::int64_t fused_dot_i16_scalar(const std::int16_t* kr,
+                                         const std::int16_t* ki,
+                                         const std::int16_t* xi,
+                                         const std::int16_t* xq,
+                                         std::size_t n) {
+  std::int64_t acc = 0;
+  for (std::size_t t = 0; t < n; ++t)
+    acc += static_cast<std::int64_t>(static_cast<std::int32_t>(kr[t]) * xi[t] -
+                                     static_cast<std::int32_t>(ki[t]) * xq[t]);
+  return acc;
+}
+
+// --------------------------------------------------------------- x86 tiers --
+
+#if defined(MLQR_SIMD_AVX2)
+
+namespace detail {
+
+inline float hsum_f32(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  __m128 sh = _mm_movehl_ps(lo, lo);
+  lo = _mm_add_ps(lo, sh);
+  sh = _mm_shuffle_ps(lo, lo, 0x55);
+  lo = _mm_add_ss(lo, sh);
+  return _mm_cvtss_f32(lo);
+}
+
+inline std::int64_t hsum_i64(__m256i v) {
+  // Lane extraction via store: _mm_cvtsi128_si64 does not exist on 32-bit
+  // x86 targets, which can still reach this tier (MSVC /arch:AVX2).
+  const __m128i pair = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                     _mm256_extracti128_si256(v, 1));
+  alignas(16) std::int64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), pair);
+  return lanes[0] + lanes[1];
+}
+
+inline __m256 fmadd(__m256 a, __m256 b, __m256 c) {
+#if defined(__FMA__)
+  return _mm256_fmadd_ps(a, b, c);
+#else
+  return _mm256_add_ps(_mm256_mul_ps(a, b), c);
+#endif
+}
+
+/// acc (4 x int64) += sign-extended lanes of p (8 x int32).
+inline __m256i add_madd_i64(__m256i acc, __m256i p) {
+  acc = _mm256_add_epi64(acc,
+                         _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p)));
+  return _mm256_add_epi64(acc,
+                          _mm256_cvtepi32_epi64(_mm256_extracti128_si256(p, 1)));
+}
+
+}  // namespace detail
+
+inline float dot_f32(const float* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    acc = detail::fmadd(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  float sum = detail::hsum_f32(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+inline float fused_dot_f32(const float* kr, const float* ki, const float* xi,
+                           const float* xq, std::size_t n) {
+  __m256 accr = _mm256_setzero_ps();
+  __m256 acci = _mm256_setzero_ps();
+  std::size_t t = 0;
+  for (; t + 8 <= n; t += 8) {
+    accr =
+        detail::fmadd(_mm256_loadu_ps(kr + t), _mm256_loadu_ps(xi + t), accr);
+    acci =
+        detail::fmadd(_mm256_loadu_ps(ki + t), _mm256_loadu_ps(xq + t), acci);
+  }
+  float sum = detail::hsum_f32(_mm256_sub_ps(accr, acci));
+  for (; t < n; ++t) sum += kr[t] * xi[t] - ki[t] * xq[t];
+  return sum;
+}
+
+inline void axpy_f32(std::size_t n, float a, const float* x, float* y) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        y + i, detail::fmadd(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+inline void axpy4_f32(std::size_t n, const float* a, const float* x0,
+                      const float* x1, const float* x2, const float* x3,
+                      float* y) {
+  const __m256 a0 = _mm256_set1_ps(a[0]);
+  const __m256 a1 = _mm256_set1_ps(a[1]);
+  const __m256 a2 = _mm256_set1_ps(a[2]);
+  const __m256 a3 = _mm256_set1_ps(a[3]);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 acc = _mm256_loadu_ps(y + i);
+    acc = detail::fmadd(a0, _mm256_loadu_ps(x0 + i), acc);
+    acc = detail::fmadd(a1, _mm256_loadu_ps(x1 + i), acc);
+    acc = detail::fmadd(a2, _mm256_loadu_ps(x2 + i), acc);
+    acc = detail::fmadd(a3, _mm256_loadu_ps(x3 + i), acc);
+    _mm256_storeu_ps(y + i, acc);
+  }
+  for (; i < n; ++i)
+    y[i] += a[0] * x0[i] + a[1] * x1[i] + a[2] * x2[i] + a[3] * x3[i];
+}
+
+inline void dot4_f32(const float* shared, const float* b0, const float* b1,
+                     const float* b2, const float* b3, std::size_t n,
+                     float* out) {
+  __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
+  __m256 s2 = _mm256_setzero_ps(), s3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 s = _mm256_loadu_ps(shared + i);
+    s0 = detail::fmadd(s, _mm256_loadu_ps(b0 + i), s0);
+    s1 = detail::fmadd(s, _mm256_loadu_ps(b1 + i), s1);
+    s2 = detail::fmadd(s, _mm256_loadu_ps(b2 + i), s2);
+    s3 = detail::fmadd(s, _mm256_loadu_ps(b3 + i), s3);
+  }
+  out[0] = detail::hsum_f32(s0);
+  out[1] = detail::hsum_f32(s1);
+  out[2] = detail::hsum_f32(s2);
+  out[3] = detail::hsum_f32(s3);
+  for (; i < n; ++i) {
+    const float s = shared[i];
+    out[0] += s * b0[i];
+    out[1] += s * b1[i];
+    out[2] += s * b2[i];
+    out[3] += s * b3[i];
+  }
+}
+
+inline std::int64_t dot_i16(const std::int16_t* a, const std::int16_t* b,
+                            std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i p = _mm256_madd_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    acc = detail::add_madd_i64(acc, p);
+  }
+  std::int64_t sum = detail::hsum_i64(acc);
+  for (; i < n; ++i)
+    sum += static_cast<std::int64_t>(static_cast<std::int32_t>(a[i]) * b[i]);
+  return sum;
+}
+
+inline std::int64_t fused_dot_i16(const std::int16_t* kr,
+                                  const std::int16_t* ki,
+                                  const std::int16_t* xi,
+                                  const std::int16_t* xq, std::size_t n) {
+  __m256i accr = _mm256_setzero_si256();
+  __m256i acci = _mm256_setzero_si256();
+  std::size_t t = 0;
+  for (; t + 16 <= n; t += 16) {
+    const __m256i pr = _mm256_madd_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kr + t)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xi + t)));
+    const __m256i pi = _mm256_madd_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ki + t)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xq + t)));
+    accr = detail::add_madd_i64(accr, pr);
+    acci = detail::add_madd_i64(acci, pi);
+  }
+  std::int64_t sum = detail::hsum_i64(accr) - detail::hsum_i64(acci);
+  for (; t < n; ++t)
+    sum += static_cast<std::int64_t>(static_cast<std::int32_t>(kr[t]) * xi[t] -
+                                     static_cast<std::int32_t>(ki[t]) * xq[t]);
+  return sum;
+}
+
+#elif defined(MLQR_SIMD_SSE2)
+
+namespace detail {
+
+inline float hsum_f32(__m128 v) {
+  __m128 sh = _mm_movehl_ps(v, v);
+  v = _mm_add_ps(v, sh);
+  sh = _mm_shuffle_ps(v, v, 0x55);
+  v = _mm_add_ss(v, sh);
+  return _mm_cvtss_f32(v);
+}
+
+inline std::int64_t hsum_i64(__m128i v) {
+  // Lane extraction via store: _mm_cvtsi128_si64 does not exist on 32-bit
+  // x86, and this tier admits 32-bit SSE2 builds (-m32 -msse2, _M_IX86_FP).
+  alignas(16) std::int64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), v);
+  return lanes[0] + lanes[1];
+}
+
+/// acc (2 x int64) += sign-extended lanes of p (4 x int32), SSE2-only
+/// (no cvtepi32_epi64 before SSE4.1: unpack against the sign mask).
+inline __m128i add_madd_i64(__m128i acc, __m128i p) {
+  const __m128i sign = _mm_srai_epi32(p, 31);
+  acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(p, sign));
+  return _mm_add_epi64(acc, _mm_unpackhi_epi32(p, sign));
+}
+
+}  // namespace detail
+
+inline float dot_f32(const float* a, const float* b, std::size_t n) {
+  __m128 acc = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  float sum = detail::hsum_f32(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+inline float fused_dot_f32(const float* kr, const float* ki, const float* xi,
+                           const float* xq, std::size_t n) {
+  __m128 accr = _mm_setzero_ps();
+  __m128 acci = _mm_setzero_ps();
+  std::size_t t = 0;
+  for (; t + 4 <= n; t += 4) {
+    accr = _mm_add_ps(accr,
+                      _mm_mul_ps(_mm_loadu_ps(kr + t), _mm_loadu_ps(xi + t)));
+    acci = _mm_add_ps(acci,
+                      _mm_mul_ps(_mm_loadu_ps(ki + t), _mm_loadu_ps(xq + t)));
+  }
+  float sum = detail::hsum_f32(_mm_sub_ps(accr, acci));
+  for (; t < n; ++t) sum += kr[t] * xi[t] - ki[t] * xq[t];
+  return sum;
+}
+
+inline void axpy_f32(std::size_t n, float a, const float* x, float* y) {
+  const __m128 va = _mm_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm_storeu_ps(y + i, _mm_add_ps(_mm_loadu_ps(y + i),
+                                    _mm_mul_ps(va, _mm_loadu_ps(x + i))));
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+inline void axpy4_f32(std::size_t n, const float* a, const float* x0,
+                      const float* x1, const float* x2, const float* x3,
+                      float* y) {
+  const __m128 a0 = _mm_set1_ps(a[0]);
+  const __m128 a1 = _mm_set1_ps(a[1]);
+  const __m128 a2 = _mm_set1_ps(a[2]);
+  const __m128 a3 = _mm_set1_ps(a[3]);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 acc = _mm_loadu_ps(y + i);
+    acc = _mm_add_ps(acc, _mm_mul_ps(a0, _mm_loadu_ps(x0 + i)));
+    acc = _mm_add_ps(acc, _mm_mul_ps(a1, _mm_loadu_ps(x1 + i)));
+    acc = _mm_add_ps(acc, _mm_mul_ps(a2, _mm_loadu_ps(x2 + i)));
+    acc = _mm_add_ps(acc, _mm_mul_ps(a3, _mm_loadu_ps(x3 + i)));
+    _mm_storeu_ps(y + i, acc);
+  }
+  for (; i < n; ++i)
+    y[i] += a[0] * x0[i] + a[1] * x1[i] + a[2] * x2[i] + a[3] * x3[i];
+}
+
+inline void dot4_f32(const float* shared, const float* b0, const float* b1,
+                     const float* b2, const float* b3, std::size_t n,
+                     float* out) {
+  __m128 s0 = _mm_setzero_ps(), s1 = _mm_setzero_ps();
+  __m128 s2 = _mm_setzero_ps(), s3 = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 s = _mm_loadu_ps(shared + i);
+    s0 = _mm_add_ps(s0, _mm_mul_ps(s, _mm_loadu_ps(b0 + i)));
+    s1 = _mm_add_ps(s1, _mm_mul_ps(s, _mm_loadu_ps(b1 + i)));
+    s2 = _mm_add_ps(s2, _mm_mul_ps(s, _mm_loadu_ps(b2 + i)));
+    s3 = _mm_add_ps(s3, _mm_mul_ps(s, _mm_loadu_ps(b3 + i)));
+  }
+  out[0] = detail::hsum_f32(s0);
+  out[1] = detail::hsum_f32(s1);
+  out[2] = detail::hsum_f32(s2);
+  out[3] = detail::hsum_f32(s3);
+  for (; i < n; ++i) {
+    const float s = shared[i];
+    out[0] += s * b0[i];
+    out[1] += s * b1[i];
+    out[2] += s * b2[i];
+    out[3] += s * b3[i];
+  }
+}
+
+inline std::int64_t dot_i16(const std::int16_t* a, const std::int16_t* b,
+                            std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i p = _mm_madd_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = detail::add_madd_i64(acc, p);
+  }
+  std::int64_t sum = detail::hsum_i64(acc);
+  for (; i < n; ++i)
+    sum += static_cast<std::int64_t>(static_cast<std::int32_t>(a[i]) * b[i]);
+  return sum;
+}
+
+inline std::int64_t fused_dot_i16(const std::int16_t* kr,
+                                  const std::int16_t* ki,
+                                  const std::int16_t* xi,
+                                  const std::int16_t* xq, std::size_t n) {
+  __m128i accr = _mm_setzero_si128();
+  __m128i acci = _mm_setzero_si128();
+  std::size_t t = 0;
+  for (; t + 8 <= n; t += 8) {
+    const __m128i pr = _mm_madd_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(kr + t)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(xi + t)));
+    const __m128i pi = _mm_madd_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ki + t)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(xq + t)));
+    accr = detail::add_madd_i64(accr, pr);
+    acci = detail::add_madd_i64(acci, pi);
+  }
+  std::int64_t sum = detail::hsum_i64(accr) - detail::hsum_i64(acci);
+  for (; t < n; ++t)
+    sum += static_cast<std::int64_t>(static_cast<std::int32_t>(kr[t]) * xi[t] -
+                                     static_cast<std::int32_t>(ki[t]) * xq[t]);
+  return sum;
+}
+
+#elif defined(MLQR_SIMD_NEON)
+
+namespace detail {
+
+inline float hsum_f32(float32x4_t v) {
+#if defined(__aarch64__)
+  return vaddvq_f32(v);
+#else
+  float32x2_t lo = vadd_f32(vget_low_f32(v), vget_high_f32(v));
+  lo = vpadd_f32(lo, lo);
+  return vget_lane_f32(lo, 0);
+#endif
+}
+
+inline std::int64_t hsum_i64(int64x2_t v) {
+  return vgetq_lane_s64(v, 0) + vgetq_lane_s64(v, 1);
+}
+
+}  // namespace detail
+
+inline float dot_f32(const float* a, const float* b, std::size_t n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = vmlaq_f32(acc, vld1q_f32(a + i), vld1q_f32(b + i));
+  float sum = detail::hsum_f32(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+inline float fused_dot_f32(const float* kr, const float* ki, const float* xi,
+                           const float* xq, std::size_t n) {
+  float32x4_t accr = vdupq_n_f32(0.0f);
+  float32x4_t acci = vdupq_n_f32(0.0f);
+  std::size_t t = 0;
+  for (; t + 4 <= n; t += 4) {
+    accr = vmlaq_f32(accr, vld1q_f32(kr + t), vld1q_f32(xi + t));
+    acci = vmlaq_f32(acci, vld1q_f32(ki + t), vld1q_f32(xq + t));
+  }
+  float sum = detail::hsum_f32(vsubq_f32(accr, acci));
+  for (; t < n; ++t) sum += kr[t] * xi[t] - ki[t] * xq[t];
+  return sum;
+}
+
+inline void axpy_f32(std::size_t n, float a, const float* x, float* y) {
+  const float32x4_t va = vdupq_n_f32(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(y + i, vmlaq_f32(vld1q_f32(y + i), va, vld1q_f32(x + i)));
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+inline void axpy4_f32(std::size_t n, const float* a, const float* x0,
+                      const float* x1, const float* x2, const float* x3,
+                      float* y) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t acc = vld1q_f32(y + i);
+    acc = vmlaq_n_f32(acc, vld1q_f32(x0 + i), a[0]);
+    acc = vmlaq_n_f32(acc, vld1q_f32(x1 + i), a[1]);
+    acc = vmlaq_n_f32(acc, vld1q_f32(x2 + i), a[2]);
+    acc = vmlaq_n_f32(acc, vld1q_f32(x3 + i), a[3]);
+    vst1q_f32(y + i, acc);
+  }
+  for (; i < n; ++i)
+    y[i] += a[0] * x0[i] + a[1] * x1[i] + a[2] * x2[i] + a[3] * x3[i];
+}
+
+inline void dot4_f32(const float* shared, const float* b0, const float* b1,
+                     const float* b2, const float* b3, std::size_t n,
+                     float* out) {
+  float32x4_t s0 = vdupq_n_f32(0.0f), s1 = vdupq_n_f32(0.0f);
+  float32x4_t s2 = vdupq_n_f32(0.0f), s3 = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t s = vld1q_f32(shared + i);
+    s0 = vmlaq_f32(s0, s, vld1q_f32(b0 + i));
+    s1 = vmlaq_f32(s1, s, vld1q_f32(b1 + i));
+    s2 = vmlaq_f32(s2, s, vld1q_f32(b2 + i));
+    s3 = vmlaq_f32(s3, s, vld1q_f32(b3 + i));
+  }
+  out[0] = detail::hsum_f32(s0);
+  out[1] = detail::hsum_f32(s1);
+  out[2] = detail::hsum_f32(s2);
+  out[3] = detail::hsum_f32(s3);
+  for (; i < n; ++i) {
+    const float s = shared[i];
+    out[0] += s * b0[i];
+    out[1] += s * b1[i];
+    out[2] += s * b2[i];
+    out[3] += s * b3[i];
+  }
+}
+
+inline std::int64_t dot_i16(const std::int16_t* a, const std::int16_t* b,
+                            std::size_t n) {
+  int64x2_t acc = vdupq_n_s64(0);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t va = vld1q_s16(a + i);
+    const int16x8_t vb = vld1q_s16(b + i);
+    int32x4_t p = vmull_s16(vget_low_s16(va), vget_low_s16(vb));
+    acc = vpadalq_s32(acc, p);
+    p = vmull_s16(vget_high_s16(va), vget_high_s16(vb));
+    acc = vpadalq_s32(acc, p);
+  }
+  std::int64_t sum = detail::hsum_i64(acc);
+  for (; i < n; ++i)
+    sum += static_cast<std::int64_t>(static_cast<std::int32_t>(a[i]) * b[i]);
+  return sum;
+}
+
+inline std::int64_t fused_dot_i16(const std::int16_t* kr,
+                                  const std::int16_t* ki,
+                                  const std::int16_t* xi,
+                                  const std::int16_t* xq, std::size_t n) {
+  return dot_i16(kr, xi, n) - dot_i16(ki, xq, n);
+}
+
+#else  // scalar tier
+
+inline float dot_f32(const float* a, const float* b, std::size_t n) {
+  return dot_f32_scalar(a, b, n);
+}
+inline float fused_dot_f32(const float* kr, const float* ki, const float* xi,
+                           const float* xq, std::size_t n) {
+  return fused_dot_f32_scalar(kr, ki, xi, xq, n);
+}
+inline void axpy_f32(std::size_t n, float a, const float* x, float* y) {
+  axpy_f32_scalar(n, a, x, y);
+}
+inline void axpy4_f32(std::size_t n, const float* a, const float* x0,
+                      const float* x1, const float* x2, const float* x3,
+                      float* y) {
+  axpy4_f32_scalar(n, a, x0, x1, x2, x3, y);
+}
+inline void dot4_f32(const float* shared, const float* b0, const float* b1,
+                     const float* b2, const float* b3, std::size_t n,
+                     float* out) {
+  dot4_f32_scalar(shared, b0, b1, b2, b3, n, out);
+}
+inline std::int64_t dot_i16(const std::int16_t* a, const std::int16_t* b,
+                            std::size_t n) {
+  return dot_i16_scalar(a, b, n);
+}
+inline std::int64_t fused_dot_i16(const std::int16_t* kr,
+                                  const std::int16_t* ki,
+                                  const std::int16_t* xi,
+                                  const std::int16_t* xq, std::size_t n) {
+  return fused_dot_i16_scalar(kr, ki, xi, xq, n);
+}
+
+#endif
+
+// ------------------------------------------- trace-code quantization ------
+//
+// Pass 0 of the integer front-end: out[i] = clamp(round_half_even(
+// x[i] * scale), lo, hi) with scale an exact power of two and lo/hi the
+// int16-range code bounds of the ADC grid. The scalar twin is the
+// semantic definition (mlqr::round_half_even — independent of the runtime
+// FP rounding mode). The vector version uses cvtpd->epi32, which rounds
+// per the MXCSR mode — bit-identical to the scalar twin ONLY under the
+// default round-to-nearest(-even) environment, so callers must guard it
+// with std::fegetround() == FE_TONEAREST and fall back to the scalar twin
+// otherwise. Clamping at the exact integer bounds commutes with
+// round-to-nearest, so clamping in the double domain first (which also
+// keeps the conversion away from the int32 overflow sentinel) changes
+// nothing.
+
+inline void quantize_codes_i16_scalar(const float* x, std::size_t n,
+                                      double scale, std::int32_t lo,
+                                      std::int32_t hi, std::int16_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = round_half_even(static_cast<double>(x[i]) * scale);
+    const double c = r < static_cast<double>(lo)   ? static_cast<double>(lo)
+                     : r > static_cast<double>(hi) ? static_cast<double>(hi)
+                                                   : r;
+    out[i] = static_cast<std::int16_t>(c);
+  }
+}
+
+#if defined(MLQR_SIMD_AVX2) || defined(MLQR_SIMD_SSE2)
+
+inline void quantize_codes_i16(const float* x, std::size_t n, double scale,
+                               std::int32_t lo, std::int32_t hi,
+                               std::int16_t* out) {
+  const __m128d vscale = _mm_set1_pd(scale);
+  const __m128d vlo = _mm_set1_pd(static_cast<double>(lo));
+  const __m128d vhi = _mm_set1_pd(static_cast<double>(hi));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i q[2];
+    for (std::size_t half = 0; half < 2; ++half) {
+      const __m128 f = _mm_loadu_ps(x + i + 4 * half);
+      __m128d a = _mm_mul_pd(_mm_cvtps_pd(f), vscale);
+      __m128d b =
+          _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(f, f)), vscale);
+      a = _mm_max_pd(_mm_min_pd(a, vhi), vlo);
+      b = _mm_max_pd(_mm_min_pd(b, vhi), vlo);
+      // cvtpd_epi32 rounds per MXCSR: nearest-even in the guarded env.
+      q[half] = _mm_unpacklo_epi64(_mm_cvtpd_epi32(a), _mm_cvtpd_epi32(b));
+    }
+    // Values already sit inside the int16 range, so the saturating pack is
+    // a pure narrowing.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_packs_epi32(q[0], q[1]));
+  }
+  if (i < n) quantize_codes_i16_scalar(x + i, n - i, scale, lo, hi, out + i);
+}
+
+#else
+
+inline void quantize_codes_i16(const float* x, std::size_t n, double scale,
+                               std::int32_t lo, std::int32_t hi,
+                               std::int16_t* out) {
+  quantize_codes_i16_scalar(x, n, scale, lo, hi, out);
+}
+
+#endif
+
+}  // namespace mlqr::simd

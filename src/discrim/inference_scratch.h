@@ -32,13 +32,15 @@ struct InferenceScratch {
 
   /// Integer-path buffers (QuantizedProposedDiscriminator): the raw trace
   /// converted to fixed-point I/Q codes, the merged feature codes, the
-  /// integer logit accumulators, and the activation ping-pong pair.
+  /// integer logit accumulators, and the int16 activation ping-pong pair
+  /// (activation codes are <= 16 bits wide; the narrow type feeds the
+  /// widening int16 SIMD dot products directly).
   std::vector<std::int16_t> int_trace_i;
   std::vector<std::int16_t> int_trace_q;
   std::vector<std::int32_t> int_features;
   std::vector<std::int64_t> int_logits;
-  std::vector<std::int32_t> int_act_a;
-  std::vector<std::int32_t> int_act_b;
+  std::vector<std::int16_t> int_act_a;
+  std::vector<std::int16_t> int_act_b;
 };
 
 }  // namespace mlqr

@@ -102,6 +102,11 @@ ProposedDiscriminator ProposedDiscriminator::train(
     train_classifier(model, features, labels_per_qubit[q], tcfg);
     d.models_.push_back(std::move(model));
   }
+
+  // The inference front-end: every kernel pre-rotated by its qubit's LO so
+  // classify_into touches the raw trace exactly once.
+  d.fused_ =
+      FusedFrontend::build(d.demod_, d.bank_, d.normalizer_, d.samples_used_);
   return d;
 }
 
@@ -124,6 +129,11 @@ std::vector<float> ProposedDiscriminator::features(
 
 void ProposedDiscriminator::features_into(const IqTrace& trace,
                                           InferenceScratch& scratch) const {
+  fused_.features_into(trace, scratch);
+}
+
+void ProposedDiscriminator::features_into_reference(
+    const IqTrace& trace, InferenceScratch& scratch) const {
   scratch.baseband.resize(num_qubits());
   for (std::size_t q = 0; q < num_qubits(); ++q)
     demod_.demodulate_into(trace, q, samples_used_, scratch.baseband[q]);

@@ -17,6 +17,7 @@
 #include "discrim/inference_scratch.h"
 #include "discrim/shot_set.h"
 #include "dsp/demodulator.h"
+#include "dsp/fused_frontend.h"
 #include "mf/mf_bank.h"
 #include "nn/mlp.h"
 #include "nn/normalizer.h"
@@ -72,8 +73,17 @@ class ProposedDiscriminator {
                      std::span<int> out) const;
 
   /// Allocation-free feature extraction into scratch.features (normalized,
-  /// same values as features()).
+  /// same values as features()). Runs the fused one-pass front-end
+  /// (FusedFrontend: LO-pre-rotated float kernels over the raw trace, no
+  /// intermediate baseband buffer).
   void features_into(const IqTrace& trace, InferenceScratch& scratch) const;
+
+  /// The unfused reference pipeline (demodulate per qubit -> matched
+  /// filters -> normalizer). Same features as features_into up to float
+  /// rounding — kept compiled on every platform as the semantic reference
+  /// the fused path is tested against.
+  void features_into_reference(const IqTrace& trace,
+                               InferenceScratch& scratch) const;
 
   std::string name() const { return "OURS"; }
 
@@ -87,6 +97,7 @@ class ProposedDiscriminator {
   const ChipMfBank& mf_bank() const { return bank_; }
   const Demodulator& demodulator() const { return demod_; }
   const FeatureNormalizer& normalizer() const { return normalizer_; }
+  const FusedFrontend& fused_frontend() const { return fused_; }
   std::size_t samples_used() const { return samples_used_; }
 
   /// Raw (normalized) feature vector for one trace — exposed for the
@@ -99,6 +110,7 @@ class ProposedDiscriminator {
   std::size_t samples_used_ = 0;
   ChipMfBank bank_;
   FeatureNormalizer normalizer_;
+  FusedFrontend fused_;      ///< One-pass inference front-end.
   std::vector<Mlp> models_;  ///< One head per qubit.
 };
 

@@ -1,0 +1,72 @@
+#include "dsp/fused_frontend.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/simd.h"
+
+namespace mlqr {
+
+FusedFrontend FusedFrontend::build(const Demodulator& demod,
+                                   const ChipMfBank& bank,
+                                   const FeatureNormalizer& norm,
+                                   std::size_t n_samples) {
+  MLQR_CHECK(n_samples > 0);
+  const std::size_t n_qubits = bank.num_qubits();
+  const std::size_t per_q = bank.features_per_qubit();
+  const std::size_t n_filters = bank.total_features();
+  MLQR_CHECK(demod.num_qubits() == n_qubits);
+  MLQR_CHECK_MSG(norm.dim() == n_filters,
+                 "normalizer dim " << norm.dim() << " != " << n_filters);
+
+  FusedFrontend fe;
+  fe.n_samples_ = n_samples;
+  fe.n_qubits_ = n_qubits;
+  fe.kr_.resize(n_filters * n_samples);
+  fe.ki_.resize(n_filters * n_samples);
+  fe.scale_.reserve(n_filters);
+  fe.offset_.reserve(n_filters);
+
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    for (std::size_t f = 0; f < per_q; ++f) {
+      const MatchedFilter& mf = bank.bank(q).filter(f);
+      MLQR_CHECK_MSG(mf.length() == n_samples,
+                     "kernel length " << mf.length() << " != " << n_samples);
+      const std::size_t row = (q * per_q + f) * n_samples;
+      // Rotation in double (exact LO phasor), storage in float: the one
+      // rounding the fused path adds over the reference path.
+      for (std::size_t t = 0; t < n_samples; ++t) {
+        const Complexd r = mf.kernel()[t] * demod.lo_phase(q, t);
+        fe.kr_[row + t] = static_cast<float>(r.real());
+        fe.ki_[row + t] = static_cast<float>(r.imag());
+      }
+      const std::size_t j = q * per_q + f;
+      const double std_dev = static_cast<double>(norm.std_dev()[j]);
+      fe.scale_.push_back(static_cast<float>(1.0 / std_dev));
+      fe.offset_.push_back(static_cast<float>(
+          -(mf.bias() + static_cast<double>(norm.mean()[j])) / std_dev));
+    }
+  }
+  return fe;
+}
+
+void FusedFrontend::features_into(const IqTrace& trace,
+                                  InferenceScratch& scratch) const {
+  MLQR_CHECK(valid());
+  trace.check_consistent();
+  MLQR_CHECK_MSG(trace.size() >= n_samples_,
+                 "trace shorter than front-end window: "
+                     << trace.size() << " < " << n_samples_);
+  const std::size_t n = n_samples_;
+  const float* xi = trace.i.data();
+  const float* xq = trace.q.data();
+  scratch.features.resize(n_filters());
+  for (std::size_t f = 0; f < n_filters(); ++f) {
+    const float acc =
+        simd::fused_dot_f32(kr_.data() + f * n, ki_.data() + f * n, xi, xq, n);
+    const float z = acc * scale_[f] + offset_[f];
+    scratch.features[f] = std::clamp(z, -kMaxAbsFeatureZ, kMaxAbsFeatureZ);
+  }
+}
+
+}  // namespace mlqr

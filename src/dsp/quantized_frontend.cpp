@@ -1,9 +1,12 @@
 #include "dsp/quantized_frontend.h"
 
 #include <algorithm>
+#include <cfenv>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace mlqr {
 
@@ -68,10 +71,15 @@ QuantizedFrontend QuantizedFrontend::build(const Demodulator& demod,
 
       const std::size_t row = (q * per_q + f) * n_samples;
       for (std::size_t t = 0; t < n_samples; ++t) {
-        fe.kr_[row + t] =
-            static_cast<std::int16_t>(to_code(rotated[t].real(), kfmt));
-        fe.ki_[row + t] =
-            static_cast<std::int16_t>(to_code(rotated[t].imag(), kfmt));
+        const std::int64_t cr = to_code(rotated[t].real(), kfmt);
+        const std::int64_t ci = to_code(rotated[t].imag(), kfmt);
+        // fit_format over a symmetric range keeps |code| <= 2^(W-1)-1;
+        // simd::fused_dot_i16's madd path relies on the kernel operand
+        // never being -2^15, so pin that invariant where the codes are
+        // minted.
+        MLQR_CHECK(cr > INT16_MIN && ci > INT16_MIN);
+        fe.kr_[row + t] = static_cast<std::int16_t>(cr);
+        fe.ki_[row + t] = static_cast<std::int16_t>(ci);
       }
 
       // Fold MF bias and the normalizer's affine into one requant step:
@@ -98,36 +106,35 @@ void QuantizedFrontend::features_into(const IqTrace& trace,
   const std::size_t n = n_samples_;
 
   // Pass 0: raw floats -> saturating ADC-grid codes. Scaling by 2^F is
-  // exact, so rounding happens only in round_half_even (deterministic).
+  // exact, so rounding happens only in the round-half-even step
+  // (deterministic). The vector kernel is only bit-identical to
+  // round_half_even under the default FP environment, so a non-default
+  // rounding mode falls back to the scalar twin — to_code()'s
+  // fesetround-immunity contract holds on both paths.
   scratch.int_trace_i.resize(n);
   scratch.int_trace_q.resize(n);
   const double code_scale = std::ldexp(1.0, trace_fmt_.frac_bits);
-  const double lo_code = static_cast<double>(trace_fmt_.min_code());
-  const double hi_code = static_cast<double>(trace_fmt_.max_code());
-  for (std::size_t t = 0; t < n; ++t) {
-    const double ci = std::clamp(
-        round_half_even(static_cast<double>(trace.i[t]) * code_scale), lo_code,
-        hi_code);
-    const double cq = std::clamp(
-        round_half_even(static_cast<double>(trace.q[t]) * code_scale), lo_code,
-        hi_code);
-    scratch.int_trace_i[t] = static_cast<std::int16_t>(ci);
-    scratch.int_trace_q[t] = static_cast<std::int16_t>(cq);
-  }
+  const auto lo_code = static_cast<std::int32_t>(trace_fmt_.min_code());
+  const auto hi_code = static_cast<std::int32_t>(trace_fmt_.max_code());
+  const auto quantize_codes = std::fegetround() == FE_TONEAREST
+                                  ? simd::quantize_codes_i16
+                                  : simd::quantize_codes_i16_scalar;
+  quantize_codes(trace.i.data(), n, code_scale, lo_code, hi_code,
+                 scratch.int_trace_i.data());
+  quantize_codes(trace.q.data(), n, code_scale, lo_code, hi_code,
+                 scratch.int_trace_q.data());
 
-  // Pass 1: every filter is two int16 dot products against the raw codes;
-  // the int64 accumulator is exact, so the trailing affine requant (double
-  // on an exactly-representable integer) is bit-deterministic.
+  // Pass 1: every filter is two int16 dot products against the raw codes
+  // (simd::fused_dot_i16 — widening multiply-add into int64 lanes); the
+  // int64 accumulator is exact, so the vector reassociation is
+  // bit-identical to the scalar loop and the trailing affine requant
+  // (double on an exactly-representable integer) is bit-deterministic.
   const std::int16_t* xi = scratch.int_trace_i.data();
   const std::int16_t* xq = scratch.int_trace_q.data();
   scratch.int_features.resize(n_filters());
   for (std::size_t f = 0; f < n_filters(); ++f) {
-    const std::int16_t* kr = kr_.data() + f * n;
-    const std::int16_t* ki = ki_.data() + f * n;
-    std::int64_t acc = 0;
-    for (std::size_t t = 0; t < n; ++t)
-      acc += static_cast<std::int64_t>(static_cast<int>(kr[t]) * xi[t] -
-                                       static_cast<int>(ki[t]) * xq[t]);
+    const std::int64_t acc =
+        simd::fused_dot_i16(kr_.data() + f * n, ki_.data() + f * n, xi, xq, n);
     double z = static_cast<double>(acc) * scale_[f] + offset_[f];
     z = std::clamp(z, -static_cast<double>(kMaxAbsFeatureZ),
                    static_cast<double>(kMaxAbsFeatureZ));

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace mlqr {
 
@@ -15,11 +16,15 @@ inline float elem(const float* p, std::size_t ld, bool trans, std::size_t r,
   return trans ? p[c * ld + r] : p[r * ld + c];
 }
 
-// Inner kernel for the non-transposed-B case: C[i,:] += a_ik * B[k,:].
-void gemm_rows(bool trans_a, bool trans_b, std::size_t row_lo,
-               std::size_t row_hi, std::size_t n, std::size_t k, float alpha,
-               const float* a, std::size_t lda, const float* b,
-               std::size_t ldb, float beta, float* c, std::size_t ldc) {
+// Non-transposed-B case: C[i,:] accumulates alpha * a_ik * B[k,:]. The k
+// loop is blocked by four so each sweep over the C row performs four
+// vector FMAs per load/store of the accumulator (simd::axpy4_f32) instead
+// of one — the classic register-blocked update that turns the kernel from
+// store-bound into FMA-bound.
+void gemm_rows_b(bool trans_a, std::size_t row_lo, std::size_t row_hi,
+                 std::size_t n, std::size_t k, float alpha, const float* a,
+                 std::size_t lda, const float* b, std::size_t ldb, float beta,
+                 float* c, std::size_t ldc) {
   for (std::size_t i = row_lo; i < row_hi; ++i) {
     float* crow = c + i * ldc;
     if (beta == 0.0f) {
@@ -27,28 +32,76 @@ void gemm_rows(bool trans_a, bool trans_b, std::size_t row_lo,
     } else if (beta != 1.0f) {
       for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
     }
-    if (!trans_b) {
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float aik = alpha * elem(a, lda, trans_a, i, kk);
-        if (aik == 0.0f) continue;
-        const float* brow = b + kk * ldb;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    } else {
-      // B transposed: op(B)[kk, j] = B[j, kk] — dot products along rows of B.
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* bjrow = b + j * ldb;
-        float acc = 0.0f;
-        if (!trans_a) {
-          const float* arow = a + i * lda;
-          for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * bjrow[kk];
-        } else {
-          for (std::size_t kk = 0; kk < k; ++kk)
-            acc += a[kk * lda + i] * bjrow[kk];
-        }
-        crow[j] += alpha * acc;
-      }
+    std::size_t kk = 0;
+    for (; kk + 4 <= k; kk += 4) {
+      const float aik[4] = {alpha * elem(a, lda, trans_a, i, kk),
+                            alpha * elem(a, lda, trans_a, i, kk + 1),
+                            alpha * elem(a, lda, trans_a, i, kk + 2),
+                            alpha * elem(a, lda, trans_a, i, kk + 3)};
+      if (aik[0] == 0.0f && aik[1] == 0.0f && aik[2] == 0.0f &&
+          aik[3] == 0.0f)
+        continue;
+      simd::axpy4_f32(n, aik, b + kk * ldb, b + (kk + 1) * ldb,
+                      b + (kk + 2) * ldb, b + (kk + 3) * ldb, crow);
     }
+    for (; kk < k; ++kk) {
+      const float aik = alpha * elem(a, lda, trans_a, i, kk);
+      if (aik == 0.0f) continue;
+      simd::axpy_f32(n, aik, b + kk * ldb, crow);
+    }
+  }
+}
+
+// Transposed-B case: op(B)[kk, j] = B[j, kk], so C[i, j] is a dot product
+// of op(A) row i against B row j. Rows of B are blocked by four so the
+// shared A row streams from registers/L1 once per block (simd::dot4_f32).
+// When A is transposed its row is strided — it is packed once per i into
+// `arow_scratch` so the inner dots stay unit-stride.
+void gemm_rows_bt(bool trans_a, std::size_t row_lo, std::size_t row_hi,
+                  std::size_t n, std::size_t k, float alpha, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float beta,
+                  float* c, std::size_t ldc,
+                  std::vector<float>& arow_scratch) {
+  if (trans_a) arow_scratch.resize(k);
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
+    const float* arow;
+    if (trans_a) {
+      for (std::size_t kk = 0; kk < k; ++kk)
+        arow_scratch[kk] = a[kk * lda + i];
+      arow = arow_scratch.data();
+    } else {
+      arow = a + i * lda;
+    }
+    float* crow = c + i * ldc;
+    // beta == 0 must overwrite (not scale) whatever is in C — garbage may
+    // include NaN, and 0 * NaN would propagate it.
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      float dots[4];
+      simd::dot4_f32(arow, b + j * ldb, b + (j + 1) * ldb, b + (j + 2) * ldb,
+                     b + (j + 3) * ldb, k, dots);
+      for (std::size_t r = 0; r < 4; ++r)
+        crow[j + r] = alpha * dots[r] +
+                      (beta == 0.0f ? 0.0f : beta * crow[j + r]);
+    }
+    for (; j < n; ++j) {
+      const float dot = simd::dot_f32(arow, b + j * ldb, k);
+      crow[j] = alpha * dot + (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+void gemm_rows(bool trans_a, bool trans_b, std::size_t row_lo,
+               std::size_t row_hi, std::size_t n, std::size_t k, float alpha,
+               const float* a, std::size_t lda, const float* b,
+               std::size_t ldb, float beta, float* c, std::size_t ldc) {
+  if (!trans_b) {
+    gemm_rows_b(trans_a, row_lo, row_hi, n, k, alpha, a, lda, b, ldb, beta, c,
+                ldc);
+  } else {
+    std::vector<float> scratch;
+    gemm_rows_bt(trans_a, row_lo, row_hi, n, k, alpha, a, lda, b, ldb, beta,
+                 c, ldc, scratch);
   }
 }
 
@@ -74,11 +127,18 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
 
 void sgemv(std::size_t m, std::size_t n, const float* a, std::size_t lda,
            const float* x, const float* bias_or_null, float* y) {
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * lda;
-    float acc = bias_or_null != nullptr ? bias_or_null[i] : 0.0f;
-    for (std::size_t j = 0; j < n; ++j) acc += arow[j] * x[j];
-    y[i] = acc;
+  // Four rows per pass share every load of x (simd::dot4_f32).
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    float dots[4];
+    simd::dot4_f32(x, a + i * lda, a + (i + 1) * lda, a + (i + 2) * lda,
+                   a + (i + 3) * lda, n, dots);
+    for (std::size_t r = 0; r < 4; ++r)
+      y[i + r] = dots[r] + (bias_or_null != nullptr ? bias_or_null[i + r] : 0.0f);
+  }
+  for (; i < m; ++i) {
+    const float bias = bias_or_null != nullptr ? bias_or_null[i] : 0.0f;
+    y[i] = bias + simd::dot_f32(a + i * lda, x, n);
   }
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace mlqr {
 
@@ -97,9 +99,15 @@ QuantizedMlp QuantizedMlp::quantize(const Mlp& mlp,
         std::min(ql.weight_fmt.frac_bits, frac_budget - ql.in_fmt.frac_bits);
 
     ql.w.resize(layer.w.size());
-    for (std::size_t i = 0; i < layer.w.size(); ++i)
-      ql.w[i] = static_cast<std::int16_t>(
-          to_code(static_cast<double>(layer.w[i]), ql.weight_fmt));
+    for (std::size_t i = 0; i < layer.w.size(); ++i) {
+      const std::int64_t code =
+          to_code(static_cast<double>(layer.w[i]), ql.weight_fmt);
+      // fit_format over a symmetric range keeps |code| <= 2^(W-1)-1;
+      // simd::dot_i16's madd path relies on the weight operand never being
+      // -2^15, so pin the invariant where the codes are minted.
+      MLQR_CHECK(code > INT16_MIN);
+      ql.w[i] = static_cast<std::int16_t>(code);
+    }
     const int bias_frac = ql.in_fmt.frac_bits + ql.weight_fmt.frac_bits;
     ql.b.resize(layer.b.size());
     for (std::size_t i = 0; i < layer.b.size(); ++i)
@@ -131,17 +139,23 @@ std::size_t QuantizedMlp::parameter_count() const {
 
 void QuantizedMlp::logits_into(std::span<const std::int32_t> x,
                                std::vector<std::int64_t>& logits,
-                               std::vector<std::int32_t>& act_a,
-                               std::vector<std::int32_t>& act_b) const {
+                               std::vector<std::int16_t>& act_a,
+                               std::vector<std::int16_t>& act_b) const {
   MLQR_CHECK_MSG(x.size() == input_size(),
                  "input size " << x.size() << " != " << input_size());
-  act_a.assign(x.begin(), x.end());
-  std::vector<std::int32_t>* cur = &act_a;
-  std::vector<std::int32_t>* next = &act_b;
+  // Input codes live on the first layer's in_fmt grid (total_bits <= 16 by
+  // QuantizationConfig contract), so the int32 -> int16 narrowing is
+  // value-preserving; it stages the activations for the widening int16
+  // multiply-add dot products.
+  act_a.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    act_a[i] = static_cast<std::int16_t>(x[i]);
+  std::vector<std::int16_t>* cur = &act_a;
+  std::vector<std::int16_t>* next = &act_b;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const QuantizedDenseLayer& layer = layers_[l];
     const bool last = l + 1 == layers_.size();
-    const std::int32_t* in_codes = cur->data();
+    const std::int16_t* in_codes = cur->data();
     if (last) {
       logits.resize(layer.out);
     } else {
@@ -152,10 +166,12 @@ void QuantizedMlp::logits_into(std::span<const std::int32_t> x,
              : layer.in_fmt.frac_bits + layer.weight_fmt.frac_bits -
                    layers_[l + 1].in_fmt.frac_bits;
     for (std::size_t j = 0; j < layer.out; ++j) {
-      std::int64_t acc = layer.b[j];
-      const std::int16_t* w = layer.w.data() + j * layer.in;
-      for (std::size_t i = 0; i < layer.in; ++i)
-        acc += static_cast<std::int64_t>(w[i]) * in_codes[i];
+      // Exact int64 accumulation: simd::dot_i16 is bit-identical to the
+      // scalar loop, so the saturate/shift requant chain below sees the
+      // same accumulator on every tier.
+      std::int64_t acc =
+          layer.b[j] + simd::dot_i16(layer.w.data() + j * layer.in, in_codes,
+                                     layer.in);
       acc = saturate_to_bits(acc, cfg_.accum_bits);
       if (last) {
         logits[j] = acc;
@@ -163,7 +179,7 @@ void QuantizedMlp::logits_into(std::span<const std::int32_t> x,
         if (acc < 0) acc = 0;  // ReLU in the integer domain.
         const std::int64_t code = saturate_to_bits(
             shift_round_half_even(acc, shift), cfg_.activation_bits);
-        (*next)[j] = static_cast<std::int32_t>(code);
+        (*next)[j] = static_cast<std::int16_t>(code);
       }
     }
     std::swap(cur, next);
@@ -172,8 +188,8 @@ void QuantizedMlp::logits_into(std::span<const std::int32_t> x,
 
 int QuantizedMlp::predict(std::span<const std::int32_t> x,
                           std::vector<std::int64_t>& logits,
-                          std::vector<std::int32_t>& act_a,
-                          std::vector<std::int32_t>& act_b) const {
+                          std::vector<std::int16_t>& act_a,
+                          std::vector<std::int16_t>& act_b) const {
   logits_into(x, logits, act_a, act_b);
   int best = 0;
   for (std::size_t j = 1; j < logits.size(); ++j)

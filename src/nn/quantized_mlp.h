@@ -60,19 +60,22 @@ class QuantizedMlp {
 
   /// Integer forward pass: `x` holds input codes on the first layer's
   /// in_fmt grid; logits land in `logits` as accumulator codes (fraction =
-  /// logit_frac_bits()). `act_a`/`act_b` are the ping-pong activation
-  /// buffers; all three reuse capacity call-to-call.
+  /// logit_frac_bits()). `act_a`/`act_b` are the int16 ping-pong
+  /// activation buffers (activation_bits <= 16, so every code fits; the
+  /// narrow type is what lets the dot products run on
+  /// simd::dot_i16's widening multiply-add); all three reuse capacity
+  /// call-to-call.
   void logits_into(std::span<const std::int32_t> x,
                    std::vector<std::int64_t>& logits,
-                   std::vector<std::int32_t>& act_a,
-                   std::vector<std::int32_t>& act_b) const;
+                   std::vector<std::int16_t>& act_a,
+                   std::vector<std::int16_t>& act_b) const;
 
   /// argmax over the integer logits (ties break to the lower index, same
   /// rule as the float path).
   int predict(std::span<const std::int32_t> x,
               std::vector<std::int64_t>& logits,
-              std::vector<std::int32_t>& act_a,
-              std::vector<std::int32_t>& act_b) const;
+              std::vector<std::int16_t>& act_a,
+              std::vector<std::int16_t>& act_b) const;
 
   /// Fraction bits of the emitted logit codes.
   int logit_frac_bits() const;

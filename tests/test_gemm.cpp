@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -28,12 +31,14 @@ void ref_gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k,
   }
 }
 
-using Shape = std::tuple<bool, bool, std::size_t, std::size_t, std::size_t>;
+using Dims = std::array<std::size_t, 3>;  // m, n, k.
+using Shape = std::tuple<bool, bool, Dims, float, float>;
 
 class GemmShapes : public ::testing::TestWithParam<Shape> {};
 
 TEST_P(GemmShapes, MatchesReference) {
-  const auto [ta, tb, m, n, k] = GetParam();
+  const auto [ta, tb, dims, alpha, beta] = GetParam();
+  const auto [m, n, k] = dims;
   Rng rng(m * 1000 + n * 100 + k);
   const std::size_t lda = ta ? m : k;
   const std::size_t ldb = tb ? k : n;
@@ -45,23 +50,37 @@ TEST_P(GemmShapes, MatchesReference) {
   for (auto& v : c) v = static_cast<float>(rng.normal());
   c_ref = c;
 
-  sgemm(ta, tb, m, n, k, 1.3f, a.data(), lda, b.data(), ldb, 0.7f, c.data(),
+  sgemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta, c.data(),
         n);
-  ref_gemm(ta, tb, m, n, k, 1.3f, a, lda, b, ldb, 0.7f, c_ref, n);
+  ref_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c_ref, n);
   for (std::size_t i = 0; i < c.size(); ++i)
     EXPECT_NEAR(c[i], c_ref[i], 1e-3f * (std::abs(c_ref[i]) + 1.0f));
 }
 
+// Every transpose combination crossed with alpha/beta special cases
+// (0 skips work, 1 skips a multiply, generic exercises the full affine)
+// and dimensions straddling the SIMD vector widths: 1/7/17/33 never hit a
+// 4-, 8- or 16-lane boundary, so every kernel's tail path runs.
 INSTANTIATE_TEST_SUITE_P(
-    Combos, GemmShapes,
-    ::testing::Values(Shape{false, false, 3, 4, 5},
-                      Shape{false, true, 7, 9, 11},
-                      Shape{true, false, 8, 6, 4},
-                      Shape{true, true, 5, 5, 5},
-                      Shape{false, false, 64, 32, 128},
-                      Shape{false, true, 33, 65, 17},
-                      Shape{false, false, 128, 96, 64},  // Parallel path.
-                      Shape{false, true, 1, 3, 500}));
+    TailAndAffineGrid, GemmShapes,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(Dims{1, 1, 1}, Dims{1, 7, 17},
+                                         Dims{7, 17, 33}, Dims{17, 33, 7},
+                                         Dims{33, 1, 7}, Dims{5, 5, 5}),
+                       ::testing::Values(0.0f, 1.0f, 1.3f),
+                       ::testing::Values(0.0f, 1.0f, 0.7f)));
+
+// Larger shapes from the training path, including the parallel fan-out
+// threshold, at the default alpha/beta the trainer uses plus one generic
+// affine combination.
+INSTANTIATE_TEST_SUITE_P(
+    TrainingShapes, GemmShapes,
+    ::testing::Combine(::testing::Values(false, true),
+                       ::testing::Values(false, true),
+                       ::testing::Values(Dims{64, 32, 128}, Dims{33, 65, 17},
+                                         Dims{128, 96, 64}, Dims{1, 3, 500}),
+                       ::testing::Values(1.0f, 1.3f),
+                       ::testing::Values(0.0f, 0.7f)));
 
 TEST(Gemm, BetaZeroOverwritesGarbage) {
   std::vector<float> a{1.0f, 2.0f};
@@ -70,6 +89,23 @@ TEST(Gemm, BetaZeroOverwritesGarbage) {
   sgemm(false, false, 1, 1, 2, 1.0f, a.data(), 2, b.data(), 1, 0.0f, c.data(),
         1);
   EXPECT_FLOAT_EQ(c[0], 11.0f);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbageTransposedB) {
+  // The transposed-B branch takes a different code path (dot kernels with
+  // a trailing affine) — NaN garbage must still be overwritten, in both
+  // the 4-wide block and the tail.
+  std::vector<float> a{1.0f, 2.0f, 3.0f};
+  std::vector<float> b(5 * 3);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(i);
+  std::vector<float> c(5, std::numeric_limits<float>::quiet_NaN());
+  sgemm(false, true, 1, 5, 3, 1.0f, a.data(), 3, b.data(), 3, 0.0f, c.data(),
+        5);
+  for (std::size_t j = 0; j < 5; ++j) {
+    float ref = 0.0f;
+    for (std::size_t kk = 0; kk < 3; ++kk) ref += a[kk] * b[j * 3 + kk];
+    EXPECT_FLOAT_EQ(c[j], ref) << j;
+  }
 }
 
 TEST(Gemv, MatchesManual) {
@@ -90,6 +126,26 @@ TEST(Gemv, NullBiasMeansZero) {
   sgemv(2, 2, a.data(), 2, x.data(), nullptr, y.data());
   EXPECT_FLOAT_EQ(y[0], 6);
   EXPECT_FLOAT_EQ(y[1], 8);
+}
+
+TEST(Gemv, TailDimensionsMatchReference) {
+  // m covers the 4-row blocking's tails, n the dot kernel's lane tails.
+  Rng rng(99);
+  for (std::size_t m : {1u, 4u, 7u, 17u, 33u}) {
+    for (std::size_t n : {1u, 7u, 17u, 33u}) {
+      std::vector<float> a(m * n), x(n), bias(m), y(m);
+      for (auto& v : a) v = static_cast<float>(rng.normal());
+      for (auto& v : x) v = static_cast<float>(rng.normal());
+      for (auto& v : bias) v = static_cast<float>(rng.normal());
+      sgemv(m, n, a.data(), n, x.data(), bias.data(), y.data());
+      for (std::size_t i = 0; i < m; ++i) {
+        float ref = bias[i];
+        for (std::size_t j = 0; j < n; ++j) ref += a[i * n + j] * x[j];
+        EXPECT_NEAR(y[i], ref, 1e-4f * (std::abs(ref) + 1.0f))
+            << "m=" << m << " n=" << n << " i=" << i;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -92,6 +92,53 @@ TEST(Pipeline, ThreadCountDoesNotChangeLabels) {
   EXPECT_EQ(a.labels, b.labels);
 }
 
+TEST(Pipeline, FusedFrontendTracksReferenceFeatures) {
+  // The fused one-pass float front-end against the unfused reference
+  // pipeline (demodulate -> matched filters -> normalizer): same features
+  // up to float rounding. The bound is generous relative to float eps
+  // because the fused path also swaps the resync'd LO recurrence for the
+  // exact polar form.
+  const Fixture& fx = Fixture::get();
+  ASSERT_TRUE(fx.proposed.fused_frontend().valid());
+  EXPECT_EQ(fx.proposed.fused_frontend().n_filters(),
+            fx.proposed.feature_dim());
+  InferenceScratch fused, reference;
+  for (std::size_t s = 0; s < 50; ++s) {
+    const IqTrace& tr = fx.ds.shots.traces[s];
+    fx.proposed.features_into(tr, fused);
+    fx.proposed.features_into_reference(tr, reference);
+    ASSERT_EQ(fused.features.size(), reference.features.size());
+    for (std::size_t j = 0; j < fused.features.size(); ++j)
+      EXPECT_NEAR(fused.features[j], reference.features[j], 5e-3f)
+          << "shot " << s << " feature " << j;
+  }
+}
+
+TEST(Pipeline, FusedFrontendLabelsAgreeWithReference) {
+  // Label-level parity: heads fed fused vs reference features must agree
+  // on essentially every shot (exact ties can flip under float rounding,
+  // so the bound is near-1 rather than equality).
+  const Fixture& fx = Fixture::get();
+  InferenceScratch fused, reference;
+  std::vector<int> out_fused(fx.proposed.num_qubits());
+  std::vector<int> out_ref(fx.proposed.num_qubits());
+  std::size_t agree = 0, total = 0;
+  const std::size_t n_shots = std::min<std::size_t>(200, fx.ds.shots.size());
+  for (std::size_t s = 0; s < n_shots; ++s) {
+    const IqTrace& tr = fx.ds.shots.traces[s];
+    fx.proposed.classify_into(tr, fused, out_fused);
+    fx.proposed.features_into_reference(tr, reference);
+    for (std::size_t q = 0; q < fx.proposed.num_qubits(); ++q)
+      out_ref[q] = fx.proposed.qubit_model(q).predict_reusing(
+          reference.features, reference.logits, reference.activations);
+    for (std::size_t q = 0; q < out_ref.size(); ++q) {
+      agree += out_fused[q] == out_ref[q];
+      ++total;
+    }
+  }
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(total), 0.995);
+}
+
 TEST(Pipeline, EvaluateMatchesClassifierEvaluation) {
   const Fixture& fx = Fixture::get();
   ReadoutEngine engine(make_backend(fx.proposed));

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cfenv>
 #include <cmath>
 #include <cstdlib>
 
@@ -161,7 +162,7 @@ TEST(QuantizedInference, QuantizedMlpTracksFloatLogits) {
 
   std::vector<std::int32_t> codes(4);
   std::vector<std::int64_t> logits;
-  std::vector<std::int32_t> a, b;
+  std::vector<std::int16_t> a, b;
   for (int r = 0; r < 64; ++r) {
     std::vector<float> row(calib.begin() + r * 4, calib.begin() + (r + 1) * 4);
     // Feed the float path the decoded codes so both see the same inputs.
@@ -177,6 +178,90 @@ TEST(QuantizedInference, QuantizedMlpTracksFloatLogits) {
                   static_cast<double>(f[j]), 0.02)
           << "row " << r << " logit " << j;
   }
+}
+
+TEST(QuantizedInference, MlpForwardBitExactVsNaiveReference) {
+  // The SIMD dot products inside logits_into must leave the integer
+  // contract untouched: recomputing every layer with plain scalar loops
+  // (the FPGA-schedule reference) yields bit-identical logits.
+  const Fixture& fx = Fixture::get();
+  const QuantizedMlp& head = fx.quantized.head(0);
+  const QuantizedFrontend& fe = fx.quantized.frontend();
+  InferenceScratch scratch;
+  std::vector<std::int64_t> logits;
+  std::vector<std::int16_t> a, b;
+  for (std::size_t s = 0; s < 25; ++s) {
+    fe.features_into(fx.ds.shots.traces[s], scratch);
+    head.logits_into(scratch.int_features, logits, a, b);
+
+    std::vector<std::int64_t> cur(scratch.int_features.begin(),
+                                  scratch.int_features.end());
+    const int accum_bits = head.config().accum_bits;
+    for (std::size_t l = 0; l < head.layers().size(); ++l) {
+      const QuantizedDenseLayer& layer = head.layers()[l];
+      const bool last = l + 1 == head.layers().size();
+      std::vector<std::int64_t> next(layer.out);
+      for (std::size_t j = 0; j < layer.out; ++j) {
+        std::int64_t acc = layer.b[j];
+        for (std::size_t i = 0; i < layer.in; ++i)
+          acc += static_cast<std::int64_t>(layer.w[j * layer.in + i]) * cur[i];
+        acc = saturate_to_bits(acc, accum_bits);
+        if (!last) {
+          if (acc < 0) acc = 0;
+          const int shift = layer.in_fmt.frac_bits +
+                            layer.weight_fmt.frac_bits -
+                            head.layers()[l + 1].in_fmt.frac_bits;
+          acc = saturate_to_bits(shift_round_half_even(acc, shift),
+                                 head.config().activation_bits);
+        }
+        next[j] = acc;
+      }
+      cur = std::move(next);
+    }
+    ASSERT_EQ(logits.size(), cur.size());
+    for (std::size_t j = 0; j < cur.size(); ++j)
+      EXPECT_EQ(logits[j], cur[j]) << "shot " << s << " logit " << j;
+  }
+}
+
+TEST(QuantizedInference, TraceCodesMatchToCode) {
+  // Pass 0's vector quantizer against the semantic definition: every code
+  // equals to_code() of the raw sample on the calibrated ADC grid.
+  const Fixture& fx = Fixture::get();
+  const QuantizedFrontend& fe = fx.quantized.frontend();
+  InferenceScratch scratch;
+  for (std::size_t s = 0; s < 10; ++s) {
+    const IqTrace& tr = fx.ds.shots.traces[s];
+    fe.features_into(tr, scratch);
+    ASSERT_EQ(scratch.int_trace_i.size(), fe.n_samples());
+    for (std::size_t t = 0; t < fe.n_samples(); ++t) {
+      EXPECT_EQ(scratch.int_trace_i[t],
+                static_cast<std::int16_t>(to_code(
+                    static_cast<double>(tr.i[t]), fe.trace_format())))
+          << "shot " << s << " t " << t;
+      EXPECT_EQ(scratch.int_trace_q[t],
+                static_cast<std::int16_t>(to_code(
+                    static_cast<double>(tr.q[t]), fe.trace_format())))
+          << "shot " << s << " t " << t;
+    }
+  }
+}
+
+TEST(QuantizedInference, FrontendImmuneToRoundingMode) {
+  // features_into guards its vector quantizer on the FP environment; a
+  // hostile rounding mode must fall back to the scalar twin and produce
+  // bit-identical features (to_code's fesetround-immunity contract).
+  const Fixture& fx = Fixture::get();
+  const QuantizedFrontend& fe = fx.quantized.frontend();
+  InferenceScratch nearest, upward;
+  const IqTrace& tr = fx.ds.shots.traces[3];
+  fe.features_into(tr, nearest);
+  ASSERT_EQ(std::fesetround(FE_UPWARD), 0);
+  fe.features_into(tr, upward);
+  ASSERT_EQ(std::fesetround(FE_TONEAREST), 0);
+  EXPECT_EQ(nearest.int_trace_i, upward.int_trace_i);
+  EXPECT_EQ(nearest.int_trace_q, upward.int_trace_q);
+  EXPECT_EQ(nearest.int_features, upward.int_features);
 }
 
 TEST(QuantizedInference, RejectsTooNarrowAccumulator) {

@@ -1,0 +1,244 @@
+// SIMD-vs-scalar parity for common/simd.h — the contract the inference
+// rewrite rests on: integer kernels are bit-exact against the scalar
+// twins (exact int64 accumulators survive any vector reassociation),
+// float kernels stay within a small relative error of a double-precision
+// reference, and the trace-code quantizer matches to_code()'s
+// round-half-even semantics bit for bit. The scalar twins are compiled on
+// every platform, so this suite exercises both sides of the dispatch
+// regardless of the build's tier.
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlqr {
+namespace {
+
+// Vector-width tails matter most: cover below/at/above every tier's lane
+// count (4, 8, 16) plus the production kernel length.
+const std::size_t kLengths[] = {0, 1, 3, 4, 7, 8, 15, 16, 17, 31, 33, 500};
+
+std::vector<float> random_floats(Rng& rng, std::size_t n, double scale = 1.0) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, scale));
+  return v;
+}
+
+/// Random int16 codes in [lo, hi].
+std::vector<std::int16_t> random_codes(Rng& rng, std::size_t n, int lo,
+                                       int hi) {
+  std::vector<std::int16_t> v(n);
+  for (std::int16_t& x : v)
+    x = static_cast<std::int16_t>(
+        lo + static_cast<int>(rng.uniform() * (hi - lo + 1)));
+  return v;
+}
+
+TEST(Simd, TierIsKnown) {
+  const std::string t = simd::tier();
+  EXPECT_TRUE(t == "avx2" || t == "sse2" || t == "neon" || t == "scalar") << t;
+}
+
+TEST(Simd, DotI16BitExact) {
+  Rng rng(11);
+  for (std::size_t n : kLengths) {
+    // `a` models kernel/weight codes: fit_format keeps them off -2^15.
+    const std::vector<std::int16_t> a = random_codes(rng, n, -32767, 32767);
+    const std::vector<std::int16_t> b = random_codes(rng, n, -32768, 32767);
+    EXPECT_EQ(simd::dot_i16(a.data(), b.data(), n),
+              simd::dot_i16_scalar(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(Simd, DotI16ExtremeOperandsBitExact) {
+  // Worst case the contract admits: every product is 32767 * -32768 — the
+  // most negative reachable madd pair sums, across a length long enough
+  // that int32 lane accumulation (if any crept in) would wrap.
+  const std::size_t n = 4096;
+  std::vector<std::int16_t> a(n, 32767), b(n, -32768);
+  EXPECT_EQ(simd::dot_i16(a.data(), b.data(), n),
+            simd::dot_i16_scalar(a.data(), b.data(), n));
+  EXPECT_EQ(simd::dot_i16(a.data(), b.data(), n),
+            static_cast<std::int64_t>(n) * (32767LL * -32768LL));
+  // And the most positive: -32767 * -32768.
+  for (auto& x : a) x = -32767;
+  EXPECT_EQ(simd::dot_i16(a.data(), b.data(), n),
+            static_cast<std::int64_t>(n) * (32767LL * 32768LL));
+}
+
+TEST(Simd, FusedDotI16BitExact) {
+  Rng rng(12);
+  for (std::size_t n : kLengths) {
+    const std::vector<std::int16_t> kr = random_codes(rng, n, -32767, 32767);
+    const std::vector<std::int16_t> ki = random_codes(rng, n, -32767, 32767);
+    const std::vector<std::int16_t> xi = random_codes(rng, n, -32768, 32767);
+    const std::vector<std::int16_t> xq = random_codes(rng, n, -32768, 32767);
+    EXPECT_EQ(simd::fused_dot_i16(kr.data(), ki.data(), xi.data(), xq.data(), n),
+              simd::fused_dot_i16_scalar(kr.data(), ki.data(), xi.data(),
+                                         xq.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(Simd, DotF32WithinRelativeError) {
+  Rng rng(13);
+  for (std::size_t n : kLengths) {
+    const std::vector<float> a = random_floats(rng, n);
+    const std::vector<float> b = random_floats(rng, n);
+    double ref = 0.0;
+    double abs_sum = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ref += static_cast<double>(a[i]) * b[i];
+      abs_sum += std::abs(static_cast<double>(a[i]) * b[i]);
+    }
+    const double tol = 1e-5 * abs_sum;
+    EXPECT_NEAR(simd::dot_f32(a.data(), b.data(), n), ref, tol) << "n=" << n;
+    EXPECT_NEAR(simd::dot_f32_scalar(a.data(), b.data(), n), ref, tol)
+        << "n=" << n;
+  }
+}
+
+TEST(Simd, FusedDotF32WithinRelativeError) {
+  Rng rng(14);
+  for (std::size_t n : kLengths) {
+    const std::vector<float> kr = random_floats(rng, n);
+    const std::vector<float> ki = random_floats(rng, n);
+    const std::vector<float> xi = random_floats(rng, n);
+    const std::vector<float> xq = random_floats(rng, n);
+    double ref = 0.0, abs_sum = 1.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double term = static_cast<double>(kr[t]) * xi[t] -
+                          static_cast<double>(ki[t]) * xq[t];
+      ref += term;
+      abs_sum += std::abs(static_cast<double>(kr[t]) * xi[t]) +
+                 std::abs(static_cast<double>(ki[t]) * xq[t]);
+    }
+    const double tol = 1e-5 * abs_sum;
+    EXPECT_NEAR(simd::fused_dot_f32(kr.data(), ki.data(), xi.data(), xq.data(), n),
+                ref, tol)
+        << "n=" << n;
+    EXPECT_NEAR(simd::fused_dot_f32_scalar(kr.data(), ki.data(), xi.data(),
+                                           xq.data(), n),
+                ref, tol)
+        << "n=" << n;
+  }
+}
+
+TEST(Simd, AxpyVariantsMatchScalar) {
+  Rng rng(15);
+  for (std::size_t n : kLengths) {
+    const std::vector<float> x0 = random_floats(rng, n);
+    const std::vector<float> x1 = random_floats(rng, n);
+    const std::vector<float> x2 = random_floats(rng, n);
+    const std::vector<float> x3 = random_floats(rng, n);
+    const std::vector<float> y0 = random_floats(rng, n);
+    const float a[4] = {0.5f, -1.25f, 2.0f, 0.0f};
+
+    std::vector<float> y_simd = y0, y_scalar = y0;
+    simd::axpy_f32(n, a[0], x0.data(), y_simd.data());
+    simd::axpy_f32_scalar(n, a[0], x0.data(), y_scalar.data());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(y_simd[i], y_scalar[i], 1e-6f) << "axpy n=" << n;
+
+    y_simd = y0;
+    y_scalar = y0;
+    simd::axpy4_f32(n, a, x0.data(), x1.data(), x2.data(), x3.data(),
+                    y_simd.data());
+    simd::axpy4_f32_scalar(n, a, x0.data(), x1.data(), x2.data(), x3.data(),
+                           y_scalar.data());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(y_simd[i], y_scalar[i], 1e-5f) << "axpy4 n=" << n;
+  }
+}
+
+TEST(Simd, Dot4MatchesSingleDots) {
+  Rng rng(16);
+  for (std::size_t n : kLengths) {
+    const std::vector<float> s = random_floats(rng, n);
+    const std::vector<float> b0 = random_floats(rng, n);
+    const std::vector<float> b1 = random_floats(rng, n);
+    const std::vector<float> b2 = random_floats(rng, n);
+    const std::vector<float> b3 = random_floats(rng, n);
+    float out[4];
+    simd::dot4_f32(s.data(), b0.data(), b1.data(), b2.data(), b3.data(), n,
+                   out);
+    const float singles[4] = {simd::dot_f32(s.data(), b0.data(), n),
+                              simd::dot_f32(s.data(), b1.data(), n),
+                              simd::dot_f32(s.data(), b2.data(), n),
+                              simd::dot_f32(s.data(), b3.data(), n)};
+    for (int r = 0; r < 4; ++r)
+      EXPECT_NEAR(out[r], singles[r], 1e-4f * (std::abs(singles[r]) + 1.0f))
+          << "n=" << n << " r=" << r;
+  }
+}
+
+TEST(Simd, QuantizeCodesMatchesToCode) {
+  // The vector quantizer must reproduce to_code()'s round-half-even and
+  // saturation exactly (under the default FP environment, which the
+  // caller guards). Mix normal values, halfway ties and out-of-range
+  // saturating values.
+  const FixedPointFormat fmt{16, 10};
+  const double scale = std::ldexp(1.0, fmt.frac_bits);
+  Rng rng(17);
+  for (std::size_t n : kLengths) {
+    std::vector<float> x = random_floats(rng, n, 8.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 5 == 1) {  // Exact halfway tie on the code grid.
+        const double code = std::floor(rng.uniform() * 100.0) - 50.0;
+        x[i] = static_cast<float>((code + 0.5) / scale);
+      } else if (i % 5 == 2) {  // Saturates.
+        x[i] = (rng.uniform() < 0.5 ? -1.0f : 1.0f) * 1e6f;
+      }
+    }
+    std::vector<std::int16_t> fast(n), slow(n);
+    simd::quantize_codes_i16(x.data(), n, scale,
+                             static_cast<std::int32_t>(fmt.min_code()),
+                             static_cast<std::int32_t>(fmt.max_code()),
+                             fast.data());
+    simd::quantize_codes_i16_scalar(x.data(), n, scale,
+                                    static_cast<std::int32_t>(fmt.min_code()),
+                                    static_cast<std::int32_t>(fmt.max_code()),
+                                    slow.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(fast[i], slow[i]) << "n=" << n << " i=" << i << " x=" << x[i];
+      EXPECT_EQ(slow[i], static_cast<std::int16_t>(
+                             to_code(static_cast<double>(x[i]), fmt)))
+          << "n=" << n << " i=" << i << " x=" << x[i];
+    }
+  }
+}
+
+TEST(Simd, QuantizeCodesScalarIsRoundingModeImmune) {
+  // The scalar twin is the fallback the front-end selects when the FP
+  // environment is not round-to-nearest; it must match to_code in every
+  // mode (the vector path is never invoked there, so it has no such
+  // obligation).
+  const FixedPointFormat fmt{16, 8};
+  const double scale = std::ldexp(1.0, fmt.frac_bits);
+  const float x[] = {0.12345f, -3.5f / 256.0f, 2.5f / 256.0f, 200.0f,
+                     -200.0f};
+  const std::size_t n = sizeof(x) / sizeof(x[0]);
+  std::int16_t nearest[n], upward[n];
+  simd::quantize_codes_i16_scalar(x, n, scale,
+                                  static_cast<std::int32_t>(fmt.min_code()),
+                                  static_cast<std::int32_t>(fmt.max_code()),
+                                  nearest);
+  ASSERT_EQ(std::fesetround(FE_UPWARD), 0);
+  simd::quantize_codes_i16_scalar(x, n, scale,
+                                  static_cast<std::int32_t>(fmt.min_code()),
+                                  static_cast<std::int32_t>(fmt.max_code()),
+                                  upward);
+  ASSERT_EQ(std::fesetround(FE_TONEAREST), 0);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(nearest[i], upward[i]) << i;
+}
+
+}  // namespace
+}  // namespace mlqr
