@@ -1,7 +1,11 @@
 #include "common/env.h"
 
 #include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace mlqr {
 
@@ -13,10 +17,32 @@ bool fast_mode() {
   return fast;
 }
 
+std::optional<std::int64_t> parse_int_strict(const char* text) {
+  if (text == nullptr || text[0] == '\0') return std::nullopt;
+  std::int64_t value = 0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   const char* env = std::getenv(name.c_str());
   if (env == nullptr || env[0] == '\0') return fallback;
-  return std::atoll(env);
+  const std::optional<std::int64_t> v = parse_int_strict(env);
+  if (!v) {
+    // A malformed knob silently running at the default would record bench
+    // results for a configuration the user never asked for. Latched like
+    // resolve_thread_count's warning: one line, not one per read.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      std::fprintf(stderr,
+                   "[mlqr] ignoring malformed %s=\"%s\" (want an integer); "
+                   "using %lld\n",
+                   name.c_str(), env, static_cast<long long>(fallback));
+    return fallback;
+  }
+  return *v;
 }
 
 std::size_t fast_scaled(std::size_t n, std::size_t divisor, std::size_t lo) {

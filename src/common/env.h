@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace mlqr {
@@ -10,7 +11,16 @@ namespace mlqr {
 /// harness finishes quickly (CI mode). Full-fidelity runs unset it.
 bool fast_mode();
 
-/// Integer environment variable with fallback.
+/// Strict base-10 integer parse of an entire string: nullopt for nullptr,
+/// empty input, trailing junk ("12abc"), embedded spaces, or overflow —
+/// the lenient std::atol-style "take the leading digits" behaviour
+/// silently accepted garbage knob values. Shared by env_int and
+/// resolve_thread_count.
+std::optional<std::int64_t> parse_int_strict(const char* text);
+
+/// Integer environment variable with fallback. The value must parse
+/// strictly (parse_int_strict); malformed values warn on stderr and fall
+/// back (unset/empty falls back silently).
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
 /// Scales a shot/epoch count down in fast mode: returns max(lo, n/divisor)

@@ -1,21 +1,34 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "common/env.h"
+#include "common/thread_pool.h"
 
 namespace mlqr {
 
 std::size_t resolve_thread_count(const char* env_value, unsigned hardware) {
-  if (env_value) {
-    const long v = std::atol(env_value);
-    if (v >= 1)
-      return std::min(static_cast<std::size_t>(v), kMaxWorkerThreads);
+  const std::size_t fallback =
+      std::clamp<std::size_t>(hardware, 1, kMaxWorkerThreads);
+  if (!env_value) return fallback;
+  const std::optional<std::int64_t> v = parse_int_strict(env_value);
+  if (!v || *v < 1) {
+    // Lenient parsing here used to accept "12abc" as 12 and silently drop
+    // "0"/garbage — a misconfigured knob that decides every fan-out in the
+    // process deserves one loud line.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      std::fprintf(stderr,
+                   "[mlqr] ignoring invalid MLQR_THREADS=\"%s\" (want an "
+                   "integer in [1, %zu]); using %zu worker(s)\n",
+                   env_value, kMaxWorkerThreads, fallback);
+    return fallback;
   }
-  return std::clamp<std::size_t>(hardware, 1, kMaxWorkerThreads);
+  return std::min(static_cast<std::size_t>(*v), kMaxWorkerThreads);
 }
 
 std::size_t parallel_thread_count() {
@@ -36,26 +49,17 @@ void parallel_for_slots(
     return;
   }
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::jthread> threads;
-  threads.reserve(workers);
+  // Same contiguous partition the per-call-jthread implementation used:
+  // slot w covers [begin + w*chunk, begin + (w+1)*chunk) — the determinism
+  // contract (results independent of worker count) and per-slot scratch
+  // indexing both hang off this shape, only the execution vehicle changed.
   const std::size_t chunk = (n + workers - 1) / workers;
-  for (std::size_t w = 0; w < workers; ++w) {
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  ThreadPool::shared().run(n_chunks, [&](std::size_t w) {
     const std::size_t lo = begin + w * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    threads.emplace_back([&, w, lo, hi] {
-      try {
-        body(w, lo, hi);
-      } catch (...) {
-        std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  threads.clear();  // join
-  if (first_error) std::rethrow_exception(first_error);
+    body(w, lo, hi);
+  });
 }
 
 void parallel_for_chunked(

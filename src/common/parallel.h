@@ -1,8 +1,13 @@
-// Minimal data-parallel helper used by the trainers and the trace generator.
+// Minimal data-parallel helpers used by the trainers, the trace generator
+// and the streaming engine.
 //
-// parallel_for splits [begin, end) into contiguous chunks across a small
-// fixed number of std::jthread workers. Exceptions thrown by the body are
-// captured and rethrown on the calling thread (first one wins).
+// parallel_for splits [begin, end) into contiguous chunks executed on the
+// process-wide persistent ThreadPool (common/thread_pool.h) — no threads
+// are spawned per call, so steady small-batch workloads stop paying
+// jthread start/join latency. Exceptions thrown by the body are captured
+// and rethrown on the calling thread (first one wins). The chunk partition
+// is a pure function of (range, workers), so results are bit-identical to
+// the old spawn-per-call implementation and independent of pool size.
 #pragma once
 
 #include <cstddef>
@@ -11,16 +16,18 @@
 namespace mlqr {
 
 /// Single worker-count ceiling shared by the MLQR_THREADS override and the
-/// hardware_concurrency fallback (jthread fan-out cost stays sane well past
+/// hardware_concurrency fallback (pool fan-out cost stays sane well past
 /// any machine we target).
 inline constexpr std::size_t kMaxWorkerThreads = 64;
 
 /// Pure resolution rule behind parallel_thread_count(), exposed so tests
 /// can pin the env/hardware interplay without mutating the process
 /// environment: `env_value` is the MLQR_THREADS string (nullptr when
-/// unset, ignored unless it parses to >= 1) and `hardware` is
-/// hardware_concurrency() (0 when unknown). Both paths share
-/// kMaxWorkerThreads as the cap.
+/// unset) and `hardware` is hardware_concurrency() (0 when unknown). The
+/// env string must parse strictly as an integer >= 1 (parse_int_strict —
+/// trailing junk like "12abc" is rejected, not truncated); invalid values
+/// warn once to stderr and fall back to the hardware count. Both paths
+/// share kMaxWorkerThreads as the cap.
 std::size_t resolve_thread_count(const char* env_value, unsigned hardware);
 
 /// Number of worker threads parallel_for will use. Respects the

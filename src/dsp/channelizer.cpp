@@ -26,15 +26,22 @@ double Channelizer::duration_ns() const {
 
 ChannelizedShot Channelizer::channelize(const IqTrace& trace) const {
   ChannelizedShot out;
-  out.baseband = demod_.demodulate_all(trace, samples_used_);
+  channelize_into(trace, out);
   return out;
+}
+
+void Channelizer::channelize_into(const IqTrace& trace,
+                                  ChannelizedShot& out) const {
+  out.baseband.resize(demod_.num_qubits());
+  for (std::size_t q = 0; q < out.baseband.size(); ++q)
+    demod_.demodulate_into(trace, q, samples_used_, out.baseband[q]);
 }
 
 std::vector<ChannelizedShot> Channelizer::channelize_batch(
     const std::vector<IqTrace>& traces) const {
   std::vector<ChannelizedShot> out(traces.size());
   parallel_for(0, traces.size(),
-               [&](std::size_t s) { out[s] = channelize(traces[s]); });
+               [&](std::size_t s) { channelize_into(traces[s], out[s]); });
   return out;
 }
 

@@ -31,7 +31,14 @@ class Channelizer {
 
   ChannelizedShot channelize(const IqTrace& trace) const;
 
-  /// Batch helper over many traces.
+  /// Allocation-free variant matching the `_into` scratch convention used
+  /// by the inference paths: `out.baseband` is resized to the qubit count
+  /// and each channel demodulated in place, reusing capacity — a reused
+  /// ChannelizedShot allocates nothing in steady state.
+  void channelize_into(const IqTrace& trace, ChannelizedShot& out) const;
+
+  /// Batch helper over many traces (channelize_into per shot, fanned out
+  /// over the worker pool).
   std::vector<ChannelizedShot> channelize_batch(
       const std::vector<IqTrace>& traces) const;
 

@@ -70,8 +70,36 @@ EngineBackend make_backend(const GaussianShotDiscriminator& d) {
       });
 }
 
+void EngineCore::classify(std::size_t n, const FrameAt& frame_at,
+                          const BackendAt& backend_at,
+                          const LabelsAt& labels_at, double* micros) {
+  if (n == 0) return;
+  // Worker budget: the configured cap, shrunk so every worker has at least
+  // min_shots_per_thread shots (waking a pool worker for two shots loses).
+  std::size_t workers = cfg_.threads ? cfg_.threads : parallel_thread_count();
+  const std::size_t per_thread =
+      std::max<std::size_t>(cfg_.min_shots_per_thread, 1);
+  workers = std::clamp<std::size_t>(workers, 1,
+                                    std::max<std::size_t>(n / per_thread, 1));
+  if (scratch_.size() < workers) scratch_.resize(workers);
+
+  parallel_for_slots(
+      0, n, workers, [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+        InferenceScratch& scratch = scratch_[slot];
+        for (std::size_t s = lo; s < hi; ++s) {
+          if (micros) {
+            Timer shot_timer;
+            backend_at(s).classify_into(frame_at(s), scratch, labels_at(s));
+            micros[s] = shot_timer.seconds() * 1e6;
+          } else {
+            backend_at(s).classify_into(frame_at(s), scratch, labels_at(s));
+          }
+        }
+      });
+}
+
 ReadoutEngine::ReadoutEngine(EngineBackend backend, EngineConfig cfg)
-    : backend_(std::move(backend)), cfg_(cfg) {
+    : backend_(std::move(backend)), core_(cfg) {
   MLQR_CHECK_MSG(backend_.valid(), "engine needs a classify backend");
   MLQR_CHECK_MSG(backend_.num_qubits() > 0, "backend reports zero qubits");
 }
@@ -85,38 +113,20 @@ EngineBatch ReadoutEngine::run(
   batch.n_shots = n;
   batch.n_qubits = n_qubits;
   batch.labels.assign(n * n_qubits, 0);
-  if (cfg_.record_shot_latency) batch.shot_micros.assign(n, 0.0);
+  if (core_.config().record_shot_latency) batch.shot_micros.assign(n, 0.0);
   if (n == 0) return batch;
-
-  // Worker budget: the configured cap, shrunk so every worker has at least
-  // min_shots_per_thread shots (spawning a jthread for two shots loses).
-  std::size_t workers = cfg_.threads ? cfg_.threads : parallel_thread_count();
-  const std::size_t per_thread = std::max<std::size_t>(
-      cfg_.min_shots_per_thread, 1);
-  workers = std::clamp<std::size_t>(workers, 1,
-                                    std::max<std::size_t>(n / per_thread, 1));
-  if (scratch_.size() < workers) scratch_.resize(workers);
 
   int* labels = batch.labels.data();
   double* micros =
-      cfg_.record_shot_latency ? batch.shot_micros.data() : nullptr;
+      core_.config().record_shot_latency ? batch.shot_micros.data() : nullptr;
   Timer wall;
-  parallel_for_slots(
-      0, n, workers,
-      [&](std::size_t slot, std::size_t lo, std::size_t hi) {
-        InferenceScratch& scratch = scratch_[slot];
-        for (std::size_t s = lo; s < hi; ++s) {
-          if (micros) {
-            Timer shot_timer;
-            backend_.classify_into(frame_at(s), scratch,
-                                   {labels + s * n_qubits, n_qubits});
-            micros[s] = shot_timer.seconds() * 1e6;
-          } else {
-            backend_.classify_into(frame_at(s), scratch,
-                                   {labels + s * n_qubits, n_qubits});
-          }
-        }
-      });
+  core_.classify(
+      n, frame_at,
+      [this](std::size_t) -> const EngineBackend& { return backend_; },
+      [labels, n_qubits](std::size_t s) -> std::span<int> {
+        return {labels + s * n_qubits, n_qubits};
+      },
+      micros);
   batch.wall_seconds = wall.seconds();
   total_shots_ += n;
   total_seconds_ += batch.wall_seconds;

@@ -5,13 +5,15 @@
 // call allocating its own baseband traces, feature vectors and MLP
 // activations. ReadoutEngine is the load-bearing composition instead — it
 // puts any trained discriminator (proposed MF+NN, FNN, HERQULES, LDA/QDA)
-// behind one process_batch(frames) API, fans shot batches out over
-// common/parallel workers, and hands every worker a persistent
-// InferenceScratch so the hot loop performs zero heap allocations after
-// warm-up. Per-shot classification is pure, so results are bit-identical
-// across batch sizes and thread counts (tests/test_pipeline.cpp pins this
-// down); later scaling work (sharding, async ingest, multi-backend fleets)
-// plugs in here.
+// behind one process_batch(frames) API, fans shot batches out over the
+// persistent common/thread_pool workers, and hands every worker a
+// persistent InferenceScratch so the hot loop performs zero heap
+// allocations after warm-up. Per-shot classification is pure, so results
+// are bit-identical across batch sizes and thread counts
+// (tests/test_pipeline.cpp pins this down). The fan-out itself lives in
+// EngineCore, which pipeline/streaming_engine.h reuses for asynchronous
+// sharded ingest — ReadoutEngine is the synchronous face of the same
+// machinery.
 #pragma once
 
 #include <cstdint>
@@ -110,6 +112,37 @@ EngineBackend make_backend(const FnnDiscriminator& d);
 EngineBackend make_backend(const HerqulesDiscriminator& d);
 EngineBackend make_backend(const GaussianShotDiscriminator& d);
 
+/// The classification machinery shared by the synchronous ReadoutEngine
+/// and the asynchronous StreamingEngine: a worker budget, the per-slot
+/// InferenceScratch pool, and the parallel_for_slots fan-out over the
+/// persistent thread pool. Both engines are thin wrappers: ReadoutEngine
+/// binds one backend and a contiguous label buffer, StreamingEngine binds
+/// its shard-routing table and ring-slot label spans.
+class EngineCore {
+ public:
+  explicit EngineCore(EngineConfig cfg = {}) : cfg_(cfg) {}
+
+  const EngineConfig& config() const { return cfg_; }
+
+  using FrameAt = std::function<const IqTrace&(std::size_t)>;
+  using BackendAt = std::function<const EngineBackend&(std::size_t)>;
+  using LabelsAt = std::function<std::span<int>(std::size_t)>;
+
+  /// Classifies shots 0..n-1: backend_at(s) picks the (shard) backend for
+  /// shot s, frame_at(s) its trace, labels_at(s) the destination span.
+  /// micros (nullable) receives one per-shot latency sample each. Shots
+  /// fan out over at most the configured worker budget, shrunk so every
+  /// worker gets >= min_shots_per_thread shots; each worker slot reuses
+  /// its own scratch, so steady-state calls allocate nothing.
+  void classify(std::size_t n, const FrameAt& frame_at,
+                const BackendAt& backend_at, const LabelsAt& labels_at,
+                double* micros);
+
+ private:
+  EngineConfig cfg_;
+  std::vector<InferenceScratch> scratch_;  ///< One slot per worker, reused.
+};
+
 /// The streaming engine. Owns its per-worker scratch pool, so an instance
 /// is cheap to call repeatedly (batch-of-1 streaming reuses buffers) but
 /// must not be shared across threads — create one engine per stream.
@@ -118,7 +151,7 @@ class ReadoutEngine {
   explicit ReadoutEngine(EngineBackend backend, EngineConfig cfg = {});
 
   const EngineBackend& backend() const { return backend_; }
-  const EngineConfig& config() const { return cfg_; }
+  const EngineConfig& config() const { return core_.config(); }
   std::size_t num_qubits() const { return backend_.num_qubits(); }
 
   /// Hot path: classify a contiguous batch of multiplexed frames.
@@ -157,8 +190,7 @@ class ReadoutEngine {
                   const std::function<const IqTrace&(std::size_t)>& frame_at);
 
   EngineBackend backend_;
-  EngineConfig cfg_;
-  std::vector<InferenceScratch> scratch_;  ///< One slot per worker, reused.
+  EngineCore core_;
   std::size_t total_shots_ = 0;
   double total_seconds_ = 0.0;
 };

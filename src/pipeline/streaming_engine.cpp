@@ -1,0 +1,217 @@
+#include "pipeline/streaming_engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+StreamingEngine::StreamingEngine(std::vector<EngineBackend> shards,
+                                 StreamingConfig cfg)
+    : cfg_(cfg), shards_(std::move(shards)), core_(cfg.engine) {
+  MLQR_CHECK_MSG(!shards_.empty(), "streaming engine needs >= 1 shard");
+  for (const EngineBackend& s : shards_) {
+    MLQR_CHECK_MSG(s.valid(), "streaming engine got an invalid shard");
+    MLQR_CHECK_MSG(s.num_qubits() > 0, "shard reports zero qubits");
+    MLQR_CHECK_MSG(s.num_qubits() == shards_.front().num_qubits(),
+                   "shards disagree on qubit count ("
+                       << s.num_qubits() << " vs "
+                       << shards_.front().num_qubits() << ')');
+  }
+  n_qubits_ = shards_.front().num_qubits();
+  cfg_.queue_capacity = std::max<std::size_t>(cfg_.queue_capacity, 1);
+  cfg_.batch_max =
+      std::clamp<std::size_t>(cfg_.batch_max, 1, cfg_.queue_capacity);
+  ring_.resize(cfg_.queue_capacity);
+  for (Slot& s : ring_) s.labels.assign(n_qubits_, 0);
+  dispatcher_ = std::jthread([this] { dispatch_loop(); });
+}
+
+StreamingEngine::StreamingEngine(const EngineBackend& backend,
+                                 std::size_t n_shards, StreamingConfig cfg)
+    : StreamingEngine(
+          std::vector<EngineBackend>(std::max<std::size_t>(n_shards, 1),
+                                     backend),
+          cfg) {}
+
+StreamingEngine::~StreamingEngine() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  // dispatcher_ (last member) joins on destruction after draining the ring.
+}
+
+StreamingEngine::Ticket StreamingEngine::submit(const IqTrace& frame) {
+  return submit_routed(frame, /*keyed=*/false, 0);
+}
+
+StreamingEngine::Ticket StreamingEngine::submit(const IqTrace& frame,
+                                                std::uint64_t channel_key) {
+  return submit_routed(frame, /*keyed=*/true, channel_key);
+}
+
+StreamingEngine::Ticket StreamingEngine::submit_routed(const IqTrace& frame,
+                                                       bool keyed,
+                                                       std::uint64_t key) {
+  frame.check_consistent();
+  std::unique_lock lock(mutex_);
+  // Backpressure: the next ticket's slot must have been consumed by wait().
+  space_cv_.wait(lock,
+                 [&] { return slot_of(next_ticket_).state == SlotState::kFree; });
+  const Ticket t = next_ticket_++;
+  Slot& slot = slot_of(t);
+  slot.state = SlotState::kReserved;
+  slot.ticket = t;
+  slot.shard = keyed ? static_cast<std::size_t>(key % shards_.size())
+                     : static_cast<std::size_t>(t % shards_.size());
+  lock.unlock();
+  // Copy outside the lock: concurrent producers fill distinct slots in
+  // parallel. assign() reuses the slot's capacity — zero allocations once
+  // the ring has seen a frame of this length.
+  slot.frame.i.assign(frame.i.begin(), frame.i.end());
+  slot.frame.q.assign(frame.q.begin(), frame.q.end());
+  slot.arrival = std::chrono::steady_clock::now();
+  lock.lock();
+  slot.state = SlotState::kQueued;
+  extend_queued_run();
+  lock.unlock();
+  work_cv_.notify_one();
+  return t;
+}
+
+std::size_t StreamingEngine::ready_run() const {
+  return std::min(queued_run_, cfg_.batch_max);
+}
+
+void StreamingEngine::extend_queued_run() {
+  // Walk forward from the current run end over newly queued slots. Each
+  // shot is walked over exactly once between submission and dispatch, so
+  // this is amortized O(1) — the dispatcher's CV predicates stay O(1)
+  // instead of rescanning the ring under the producers' mutex. The ticket
+  // check stops the walk at a slot whose occupant is an older,
+  // still-in-flight shot (possible when batch_max > capacity / 2).
+  while (queued_run_ < ring_.size()) {
+    const Ticket t = head_ + queued_run_;
+    const Slot& s = ring_[t % ring_.size()];
+    if (s.state != SlotState::kQueued || s.ticket != t) break;
+    ++queued_run_;
+  }
+}
+
+void StreamingEngine::dispatch_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return ready_run() > 0 || (stop_ && head_ == next_ticket_);
+    });
+    if (ready_run() == 0) return;  // Stopped and fully drained.
+    // Micro-batch window: give the batch a chance to fill, but never hold
+    // the oldest pending shot past its deadline. Skipped once stopping —
+    // shutdown flushes immediately.
+    if (cfg_.deadline_us > 0 && !stop_ && flush_ <= head_ &&
+        ready_run() < cfg_.batch_max) {
+      const auto deadline =
+          slot_of(head_).arrival + std::chrono::microseconds(cfg_.deadline_us);
+      work_cv_.wait_until(lock, deadline, [&] {
+        return stop_ || flush_ > head_ || ready_run() >= cfg_.batch_max;
+      });
+    }
+    const std::size_t m = ready_run();
+    const Ticket t0 = head_;
+    head_ += m;
+    queued_run_ -= m;
+    for (std::size_t i = 0; i < m; ++i)
+      slot_of(t0 + i).state = SlotState::kInFlight;
+    lock.unlock();
+
+    // Classify the claimed slots through the shared engine machinery. The
+    // slots are exclusively ours until marked kDone, so reading frames and
+    // writing labels outside the lock is race-free (the producer's frame
+    // writes happened-before its kQueued transition).
+    core_.classify(
+        m,
+        [this, t0](std::size_t s) -> const IqTrace& {
+          return slot_of(t0 + s).frame;
+        },
+        [this, t0](std::size_t s) -> const EngineBackend& {
+          return shards_[slot_of(t0 + s).shard];
+        },
+        [this, t0](std::size_t s) -> std::span<int> {
+          Slot& slot = slot_of(t0 + s);
+          return {slot.labels.data(), slot.labels.size()};
+        },
+        /*micros=*/nullptr);
+
+    lock.lock();
+    for (std::size_t i = 0; i < m; ++i)
+      slot_of(t0 + i).state = SlotState::kDone;
+    completed_ += m;
+    ++batches_;
+    done_cv_.notify_all();
+  }
+}
+
+void StreamingEngine::wait(Ticket t, std::span<int> out) {
+  MLQR_CHECK_MSG(out.size() == n_qubits_,
+                 "wait() output span has " << out.size() << " slots, engine "
+                                           << n_qubits_ << " qubits");
+  std::unique_lock lock(mutex_);
+  MLQR_CHECK_MSG(t != kNoTicket, "wait on invalid ticket");
+  Slot& slot = slot_of(t);
+  // Like drain(): a consumer blocked on this ticket should not ride out
+  // the micro-batch deadline while the classifier sits idle.
+  if (flush_ <= t) {
+    flush_ = t + 1;
+    work_cv_.notify_all();
+  }
+  for (;;) {
+    if (slot.ticket == t && slot.state == SlotState::kDone) break;
+    // Recycled past t, or t consumed and freed: the labels are gone. A
+    // virgin slot (kNoTicket) or an older occupant means t is still on its
+    // way — sleep until the next batch completes and re-check.
+    MLQR_CHECK_MSG(
+        slot.ticket == kNoTicket || slot.ticket < t ||
+            (slot.ticket == t && slot.state != SlotState::kFree),
+        "ticket " << t << " was already waited (each ticket is one-shot)");
+    done_cv_.wait(lock);
+  }
+  std::copy(slot.labels.begin(), slot.labels.end(), out.begin());
+  slot.state = SlotState::kFree;  // ticket stays == t: marks "consumed".
+  lock.unlock();
+  space_cv_.notify_all();
+}
+
+std::vector<int> StreamingEngine::wait(Ticket t) {
+  std::vector<int> out(n_qubits_, 0);
+  wait(t, out);
+  return out;
+}
+
+void StreamingEngine::drain() {
+  std::unique_lock lock(mutex_);
+  const Ticket target = next_ticket_;
+  // Everything already submitted should dispatch now rather than ride out
+  // the micro-batch deadline.
+  flush_ = std::max(flush_, target);
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return completed_ >= target; });
+}
+
+std::uint64_t StreamingEngine::shots_submitted() const {
+  std::scoped_lock lock(mutex_);
+  return next_ticket_;
+}
+
+std::uint64_t StreamingEngine::shots_completed() const {
+  std::scoped_lock lock(mutex_);
+  return completed_;
+}
+
+std::uint64_t StreamingEngine::batches_dispatched() const {
+  std::scoped_lock lock(mutex_);
+  return batches_;
+}
+
+}  // namespace mlqr

@@ -1,0 +1,172 @@
+// Asynchronous, sharded streaming front door for the readout engine.
+//
+// ReadoutEngine::process_batch is strictly synchronous: the caller
+// assembles a batch, blocks while it classifies, and owns the fan-out
+// cadence. Real deployments look different — QEC cycles and multiplexed
+// feedlines deliver a steady trickle of single shots from several
+// producers, and throughput comes from overlapping ingest with
+// classification. StreamingEngine provides that shape:
+//
+//   * It owns N EngineBackend shards (e.g. one discriminator per
+//     feedline/chip). Shots route round-robin by default or by an explicit
+//     channel key (key % shards), so a multi-feedline fan-in keeps each
+//     feedline's calibration on its own shard.
+//   * Producers call submit(frame) -> Ticket. Frames land in a bounded
+//     ring (StreamingConfig::queue_capacity); when the ring is full,
+//     submit blocks — backpressure, not unbounded memory.
+//   * A resident dispatcher thread micro-batches ingest: it launches a
+//     classification batch once batch_max frames are pending or
+//     deadline_us has elapsed since the oldest pending frame arrived,
+//     whichever comes first. Classification runs through the same
+//     EngineCore machinery (persistent thread pool + per-worker-slot
+//     InferenceScratch) as process_batch, so labels are bit-identical to
+//     the synchronous path for the same frames, regardless of shard count,
+//     thread count, or micro-batch boundaries.
+//   * wait(ticket) blocks until that shot's labels are ready and releases
+//     its ring slot; drain() blocks until everything submitted so far has
+//     been classified. Tickets complete in arbitrary shard order but every
+//     ticket is individually awaitable (out-of-order completion is pinned
+//     by tests/test_streaming.cpp).
+//
+// Steady state allocates nothing: ring slots reuse their frame/label
+// capacity, scratch lives per worker slot, and the dispatcher loop holds
+// no per-batch heap state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "pipeline/readout_engine.h"
+
+namespace mlqr {
+
+struct StreamingConfig {
+  /// Ring capacity: bounds in-flight shots (submitted, not yet waited).
+  /// submit() blocks while the ring is full, wait() frees slots.
+  std::size_t queue_capacity = 1024;
+  /// Micro-batch cap: the dispatcher launches at most this many shots per
+  /// classification batch.
+  std::size_t batch_max = 64;
+  /// Micro-batch deadline: a pending shot never waits longer than this for
+  /// the batch to fill. 0 dispatches whatever is queued immediately
+  /// (lowest latency, smallest batches).
+  std::size_t deadline_us = 200;
+  /// Worker budget / scratch policy for the classification fan-out, shared
+  /// with ReadoutEngine semantics (threads == 0 means MLQR_THREADS).
+  EngineConfig engine;
+};
+
+/// Asynchronous sharded engine: submit/wait/drain over a bounded MPSC
+/// ring, micro-batched dispatch through EngineCore. Producer-side calls
+/// (submit) are safe from multiple threads; wait/drain are safe from any
+/// thread. One dispatcher thread per engine.
+class StreamingEngine {
+ public:
+  /// Monotonic per-engine shot id; ticket t is the t-th submitted frame.
+  using Ticket = std::uint64_t;
+
+  /// Heterogeneous shards: one backend per feedline/chip. All shards must
+  /// be valid and report the same qubit count.
+  explicit StreamingEngine(std::vector<EngineBackend> shards,
+                           StreamingConfig cfg = {});
+
+  /// Homogeneous convenience: n_shards copies of one backend.
+  StreamingEngine(const EngineBackend& backend, std::size_t n_shards,
+                  StreamingConfig cfg = {});
+
+  /// Drains outstanding work and stops the dispatcher. No other thread may
+  /// still be calling submit/wait when destruction starts.
+  ~StreamingEngine();
+
+  StreamingEngine(const StreamingEngine&) = delete;
+  StreamingEngine& operator=(const StreamingEngine&) = delete;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_qubits() const { return n_qubits_; }
+  const StreamingConfig& config() const { return cfg_; }
+
+  /// Enqueues a copy of `frame` (slot buffers reuse their capacity), routed
+  /// round-robin across shards. Blocks while the ring is full.
+  Ticket submit(const IqTrace& frame);
+
+  /// Keyed routing: the shot classifies on shard `channel_key % shards`.
+  Ticket submit(const IqTrace& frame, std::uint64_t channel_key);
+
+  /// Blocks until ticket `t` has been classified, copies its labels into
+  /// `out` (size num_qubits()) and releases the ring slot. Tickets are
+  /// issued sequentially from 0, so a pipelined consumer may wait a ticket
+  /// its producer has not submitted yet — the call blocks until it is
+  /// (and forever if it never is). Each ticket can be waited exactly once;
+  /// waiting a released ticket throws Error.
+  void wait(Ticket t, std::span<int> out);
+
+  /// Allocating convenience wrapper around wait(t, out).
+  std::vector<int> wait(Ticket t);
+
+  /// Blocks until every ticket issued so far has been classified (results
+  /// stay retrievable via wait afterwards).
+  void drain();
+
+  /// Counters (each takes the engine lock briefly).
+  std::uint64_t shots_submitted() const;
+  std::uint64_t shots_completed() const;
+  std::uint64_t batches_dispatched() const;
+
+ private:
+  enum class SlotState : std::uint8_t {
+    kFree,      ///< Reusable; ticket field holds the last consumed ticket.
+    kReserved,  ///< A producer is copying its frame in (outside the lock).
+    kQueued,    ///< Ready for the dispatcher.
+    kInFlight,  ///< Claimed by the dispatcher; classification running.
+    kDone,      ///< Labels valid; waiting for wait() to consume.
+  };
+
+  /// Slot.ticket value before any shot has occupied the slot (a real
+  /// ticket can never reach it).
+  static constexpr Ticket kNoTicket = ~Ticket{0};
+
+  struct Slot {
+    IqTrace frame;
+    std::vector<int> labels;
+    Ticket ticket = kNoTicket;
+    std::size_t shard = 0;
+    SlotState state = SlotState::kFree;
+    std::chrono::steady_clock::time_point arrival{};
+  };
+
+  Ticket submit_routed(const IqTrace& frame, bool keyed, std::uint64_t key);
+  void dispatch_loop();
+  /// Dispatchable micro-batch size: the contiguous queued run from head_
+  /// capped at batch_max. O(1) — queued_run_ is maintained incrementally.
+  std::size_t ready_run() const;
+  /// Extends queued_run_ past newly queued slots (amortized O(1)/shot).
+  void extend_queued_run();
+  Slot& slot_of(Ticket t) { return ring_[t % ring_.size()]; }
+
+  StreamingConfig cfg_;
+  std::vector<EngineBackend> shards_;
+  std::size_t n_qubits_ = 0;
+  EngineCore core_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;  ///< Producers waiting for a free slot.
+  std::condition_variable work_cv_;   ///< Dispatcher waiting for shots/stop.
+  std::condition_variable done_cv_;   ///< wait()/drain() waiting on results.
+  std::vector<Slot> ring_;
+  Ticket next_ticket_ = 0;  ///< Next ticket to issue.
+  Ticket head_ = 0;         ///< Oldest ticket not yet claimed for dispatch.
+  Ticket flush_ = 0;        ///< Tickets below this skip the deadline wait.
+  std::size_t queued_run_ = 0;  ///< Contiguous kQueued slots from head_.
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+  bool stop_ = false;
+
+  std::jthread dispatcher_;  ///< Last member: joins before state dies.
+};
+
+}  // namespace mlqr

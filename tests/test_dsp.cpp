@@ -157,6 +157,44 @@ TEST(Channelizer, InvalidDurationThrows) {
   EXPECT_THROW(Channelizer(chip, 0.5), Error);  // Below one sample.
 }
 
+TEST(Channelizer, ChannelizeIntoMatchesAndReusesCapacity) {
+  const ChipProfile chip = noiseless_chip();
+  const ReadoutSimulator sim(chip);
+  Rng rng(7);
+  const IqTrace a = sim.simulate_shot({1, 0}, rng).trace;
+  const IqTrace b = sim.simulate_shot({0, 1}, rng).trace;
+
+  const Channelizer chan(chip);
+  ChannelizedShot scratch;
+  chan.channelize_into(a, scratch);
+  const ChannelizedShot direct = chan.channelize(a);
+  ASSERT_EQ(scratch.baseband.size(), direct.baseband.size());
+  for (std::size_t q = 0; q < direct.baseband.size(); ++q)
+    EXPECT_EQ(scratch.baseband[q], direct.baseband[q]) << "qubit " << q;
+
+  // Steady state: a reused ChannelizedShot keeps its buffers — same data
+  // pointers, no reallocation on the second shot.
+  std::vector<const Complexd*> before;
+  for (const BasebandTrace& ch : scratch.baseband) before.push_back(ch.data());
+  chan.channelize_into(b, scratch);
+  for (std::size_t q = 0; q < scratch.baseband.size(); ++q) {
+    EXPECT_EQ(scratch.baseband[q].data(), before[q]) << "qubit " << q;
+    EXPECT_EQ(scratch.baseband[q], chan.channelize(b).baseband[q]);
+  }
+}
+
+TEST(Channelizer, ChannelizeIntoHonoursDuration) {
+  const ChipProfile chip = noiseless_chip();
+  const ReadoutSimulator sim(chip);
+  Rng rng(8);
+  const IqTrace tr = sim.simulate_shot({1, 1}, rng).trace;
+  const Channelizer chan(chip, 200.0);
+  ChannelizedShot out;
+  chan.channelize_into(tr, out);
+  for (const BasebandTrace& ch : out.baseband)
+    EXPECT_EQ(ch.size(), chan.samples_used());
+}
+
 TEST(Channelizer, BatchMatchesSingle) {
   const ChipProfile chip = noiseless_chip();
   const ReadoutSimulator sim(chip);

@@ -15,6 +15,31 @@ TEST(Env, IntFallback) {
   unsetenv("MLQR_TEST_VALUE_XYZ");
 }
 
+TEST(Env, IntFallsBackOnMalformedValues) {
+  // env_int parses strictly: a knob set to garbage falls back instead of
+  // silently becoming 0 (std::atoll) or a truncated prefix.
+  for (const char* bad : {"abc", "17abc", "1.5", " 17", "17 ", ""}) {
+    setenv("MLQR_TEST_VALUE_XYZ", bad, 1);
+    EXPECT_EQ(env_int("MLQR_TEST_VALUE_XYZ", 42), 42) << '"' << bad << '"';
+  }
+  setenv("MLQR_TEST_VALUE_XYZ", "-5", 1);  // Negative is well-formed.
+  EXPECT_EQ(env_int("MLQR_TEST_VALUE_XYZ", 42), -5);
+  unsetenv("MLQR_TEST_VALUE_XYZ");
+}
+
+TEST(Env, ParseIntStrict) {
+  EXPECT_EQ(parse_int_strict("0"), 0);
+  EXPECT_EQ(parse_int_strict("-12"), -12);
+  EXPECT_EQ(parse_int_strict("64"), 64);
+  EXPECT_FALSE(parse_int_strict(nullptr));
+  EXPECT_FALSE(parse_int_strict(""));
+  EXPECT_FALSE(parse_int_strict("12abc"));
+  EXPECT_FALSE(parse_int_strict("abc12"));
+  EXPECT_FALSE(parse_int_strict("1 2"));
+  EXPECT_FALSE(parse_int_strict("+3"));  // from_chars-strict: no '+'.
+  EXPECT_FALSE(parse_int_strict("99999999999999999999"));  // Overflow.
+}
+
 TEST(Env, FastScaledRespectsFloor) {
   if (fast_mode()) {
     EXPECT_EQ(fast_scaled(1000, 10, 200), 200u);  // Floor wins.

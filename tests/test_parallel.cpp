@@ -68,6 +68,21 @@ TEST(Parallel, ResolveThreadCountIgnoresBadEnvValues) {
   EXPECT_EQ(resolve_thread_count("", 8), 8u);
 }
 
+TEST(Parallel, ResolveThreadCountParsesStrictly) {
+  // std::atol used to truncate "12abc" to 12 and accept it; strict parsing
+  // rejects any value that is not wholly an integer (falling back to the
+  // hardware count, with a one-time stderr warning).
+  EXPECT_EQ(resolve_thread_count("12abc", 8), 8u);
+  EXPECT_EQ(resolve_thread_count("4.5", 8), 8u);
+  EXPECT_EQ(resolve_thread_count(" 4", 8), 8u);
+  EXPECT_EQ(resolve_thread_count("4 ", 8), 8u);
+  EXPECT_EQ(resolve_thread_count("0x10", 8), 8u);
+  EXPECT_EQ(resolve_thread_count("99999999999999999999", 8), 8u);  // Overflow.
+  // Well-formed values still pass through (and still honour the cap).
+  EXPECT_EQ(resolve_thread_count("12", 8), 12u);
+  EXPECT_EQ(resolve_thread_count("1", 8), 1u);
+}
+
 TEST(Parallel, ThreadCountMatchesResolver) {
   EXPECT_EQ(parallel_thread_count(),
             resolve_thread_count(std::getenv("MLQR_THREADS"),

@@ -1,0 +1,252 @@
+// StreamingEngine contracts: asynchronous sharded ingest produces labels
+// bit-identical to the synchronous ReadoutEngine::process_batch path for
+// the same frames — across shard counts, worker budgets, micro-batch knobs
+// and submission patterns — and every ticket is individually awaitable in
+// any order.
+#include "pipeline/streaming_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "readout/dataset.h"
+
+namespace mlqr {
+namespace {
+
+/// Shared small two-qubit dataset + trained design (training dominates the
+/// file's runtime, so it happens once).
+struct Fixture {
+  ReadoutDataset ds;
+  ProposedDiscriminator proposed;
+  std::vector<int> sync_labels;  ///< process_batch over every trace.
+
+  static const Fixture& get() {
+    static const Fixture fx = [] {
+      DatasetConfig cfg;
+      cfg.chip = ChipProfile::test_two_qubit();
+      cfg.shots_per_basis_state = 160;
+      cfg.seed = 20260730;
+      ReadoutDataset ds = generate_dataset(cfg);
+      ProposedConfig pcfg;
+      pcfg.trainer.epochs = 6;
+      ProposedDiscriminator p = ProposedDiscriminator::train(
+          ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
+      ReadoutEngine sync(make_backend(p));
+      std::vector<int> labels = sync.process_batch(ds.shots.traces).labels;
+      return Fixture{std::move(ds), std::move(p), std::move(labels)};
+    }();
+    return fx;
+  }
+};
+
+/// Submits every dataset trace, drains, and collects labels shot-major.
+/// Callers must size queue_capacity >= traces.size(): nothing is waited
+/// (= no slot is freed) until every submit has returned.
+std::vector<int> stream_all(StreamingEngine& eng,
+                            const std::vector<IqTrace>& traces) {
+  std::vector<StreamingEngine::Ticket> tickets;
+  tickets.reserve(traces.size());
+  for (const IqTrace& t : traces) tickets.push_back(eng.submit(t));
+  eng.drain();
+  std::vector<int> labels(traces.size() * eng.num_qubits(), -1);
+  for (std::size_t s = 0; s < tickets.size(); ++s)
+    eng.wait(tickets[s],
+             {labels.data() + s * eng.num_qubits(), eng.num_qubits()});
+  return labels;
+}
+
+TEST(Streaming, MatchesSyncAcrossShardCounts) {
+  const Fixture& fx = Fixture::get();
+  for (std::size_t shards : {1u, 2u, 3u}) {
+    StreamingConfig cfg;
+    cfg.queue_capacity = fx.ds.shots.size();
+    cfg.batch_max = 32;
+    StreamingEngine eng(make_backend(fx.proposed), shards, cfg);
+    EXPECT_EQ(eng.num_shards(), shards);
+    EXPECT_EQ(stream_all(eng, fx.ds.shots.traces), fx.sync_labels)
+        << shards << " shards";
+    EXPECT_EQ(eng.shots_completed(), fx.ds.shots.size());
+  }
+}
+
+TEST(Streaming, MatchesSyncAcrossWorkerAndBatchKnobs) {
+  const Fixture& fx = Fixture::get();
+  for (std::size_t threads : {1u, 4u}) {
+    for (std::size_t batch_max : {1u, 7u, 128u}) {
+      StreamingConfig cfg;
+      cfg.queue_capacity = fx.ds.shots.size();
+      cfg.batch_max = batch_max;
+      cfg.deadline_us = batch_max == 1 ? 0 : 200;  // Also cover "no wait".
+      cfg.engine.threads = threads;
+      cfg.engine.min_shots_per_thread = 1;
+      StreamingEngine eng(make_backend(fx.proposed), 2, cfg);
+      EXPECT_EQ(stream_all(eng, fx.ds.shots.traces), fx.sync_labels)
+          << threads << " threads, batch_max " << batch_max;
+      EXPECT_GE(eng.batches_dispatched(), 1u);
+    }
+  }
+}
+
+TEST(Streaming, KeyedRoutingMatchesSync) {
+  const Fixture& fx = Fixture::get();
+  StreamingConfig scfg;
+  scfg.queue_capacity = fx.ds.shots.size();
+  StreamingEngine eng(make_backend(fx.proposed), 3, scfg);
+  const std::vector<IqTrace>& traces = fx.ds.shots.traces;
+  std::vector<StreamingEngine::Ticket> tickets;
+  for (std::size_t s = 0; s < traces.size(); ++s)
+    tickets.push_back(eng.submit(traces[s], /*channel_key=*/s * 7 + 1));
+  eng.drain();
+  for (std::size_t s = 0; s < tickets.size(); ++s) {
+    const std::vector<int> got = eng.wait(tickets[s]);
+    for (std::size_t q = 0; q < eng.num_qubits(); ++q)
+      ASSERT_EQ(got[q], fx.sync_labels[s * eng.num_qubits() + q])
+          << "shot " << s << " qubit " << q;
+  }
+}
+
+TEST(Streaming, TicketsAwaitableInAnyOrder) {
+  // Shards finish micro-batches in whatever order the pool schedules;
+  // waiting tickets newest-first (and in a shuffled middle order) must
+  // still hand each ticket its own shot's labels.
+  const Fixture& fx = Fixture::get();
+  StreamingConfig cfg;
+  cfg.queue_capacity = 512;
+  cfg.batch_max = 8;
+  StreamingEngine eng(make_backend(fx.proposed), 2, cfg);
+  const std::size_t n = std::min<std::size_t>(200, fx.ds.shots.size());
+  std::vector<StreamingEngine::Ticket> tickets;
+  for (std::size_t s = 0; s < n; ++s)
+    tickets.push_back(eng.submit(fx.ds.shots.traces[s]));
+  // Reverse wait order: ticket n-1 first, ticket 0 last.
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t s = n - 1 - r;
+    const std::vector<int> got = eng.wait(tickets[s]);
+    for (std::size_t q = 0; q < eng.num_qubits(); ++q)
+      ASSERT_EQ(got[q], fx.sync_labels[s * eng.num_qubits() + q])
+          << "shot " << s << " qubit " << q;
+  }
+}
+
+TEST(Streaming, BoundedRingAppliesBackpressure) {
+  // Ring far smaller than the stream: submit blocks until wait() frees
+  // slots, and every label still matches the synchronous path.
+  const Fixture& fx = Fixture::get();
+  StreamingConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.batch_max = 4;
+  cfg.deadline_us = 50;
+  StreamingEngine eng(make_backend(fx.proposed), 2, cfg);
+  const std::size_t n = std::min<std::size_t>(150, fx.ds.shots.size());
+  std::jthread producer([&] {
+    for (std::size_t s = 0; s < n; ++s) eng.submit(fx.ds.shots.traces[s]);
+  });
+  std::vector<int> out(eng.num_qubits());
+  for (std::size_t s = 0; s < n; ++s) {  // Tickets are issued 0..n-1 in order.
+    eng.wait(s, out);
+    for (std::size_t q = 0; q < eng.num_qubits(); ++q)
+      ASSERT_EQ(out[q], fx.sync_labels[s * eng.num_qubits() + q])
+          << "shot " << s << " qubit " << q;
+  }
+  EXPECT_EQ(eng.shots_submitted(), n);
+}
+
+TEST(Streaming, MultipleProducersKeepTicketFrameBinding) {
+  const Fixture& fx = Fixture::get();
+  StreamingConfig cfg;
+  cfg.queue_capacity = 256;  // >= total submitted: waits happen after drain.
+  cfg.batch_max = 16;
+  StreamingEngine eng(make_backend(fx.proposed), 3, cfg);
+  constexpr std::size_t kProducers = 4;
+  const std::size_t per = std::min<std::size_t>(50, fx.ds.shots.size() / kProducers);
+  std::vector<std::vector<std::pair<StreamingEngine::Ticket, std::size_t>>>
+      submitted(kProducers);
+  {
+    std::vector<std::jthread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p)
+      producers.emplace_back([&, p] {
+        for (std::size_t k = 0; k < per; ++k) {
+          const std::size_t shot = p * per + k;
+          submitted[p].emplace_back(eng.submit(fx.ds.shots.traces[shot]),
+                                    shot);
+        }
+      });
+  }
+  eng.drain();
+  for (const auto& batch : submitted)
+    for (const auto& [ticket, shot] : batch) {
+      const std::vector<int> got = eng.wait(ticket);
+      for (std::size_t q = 0; q < eng.num_qubits(); ++q)
+        ASSERT_EQ(got[q], fx.sync_labels[shot * eng.num_qubits() + q])
+            << "shot " << shot << " qubit " << q;
+    }
+  EXPECT_EQ(eng.shots_completed(), kProducers * per);
+}
+
+TEST(Streaming, DeadlineFlushesPartialBatches) {
+  // Far fewer shots than batch_max: without the deadline (or drain's
+  // flush) these would sit forever; with it they classify promptly.
+  const Fixture& fx = Fixture::get();
+  StreamingConfig cfg;
+  cfg.batch_max = 256;
+  cfg.deadline_us = 100;
+  StreamingEngine eng(make_backend(fx.proposed), 1, cfg);
+  const auto t0 = eng.submit(fx.ds.shots.traces[0]);
+  const auto t1 = eng.submit(fx.ds.shots.traces[1]);
+  const std::vector<int> l0 = eng.wait(t0);
+  const std::vector<int> l1 = eng.wait(t1);
+  for (std::size_t q = 0; q < eng.num_qubits(); ++q) {
+    EXPECT_EQ(l0[q], fx.sync_labels[q]);
+    EXPECT_EQ(l1[q], fx.sync_labels[eng.num_qubits() + q]);
+  }
+}
+
+TEST(Streaming, WaitContractViolationsThrow) {
+  const Fixture& fx = Fixture::get();
+  StreamingEngine eng(make_backend(fx.proposed), 2);
+  const auto t = eng.submit(fx.ds.shots.traces[0]);
+  eng.drain();
+  std::vector<int> out(eng.num_qubits());
+  EXPECT_THROW(eng.wait(t, {out.data(), 1}), Error);  // Wrong span size.
+  eng.wait(t, out);
+  EXPECT_THROW(eng.wait(t), Error);  // Tickets are one-shot.
+  // A recycled slot also reports the stale ticket as consumed.
+  StreamingConfig tiny;
+  tiny.queue_capacity = 2;
+  StreamingEngine small(make_backend(fx.proposed), 1, tiny);
+  for (std::size_t s = 0; s < 6; ++s) {
+    small.submit(fx.ds.shots.traces[s]);
+    small.wait(s, out);  // Free the slot so the ring can advance.
+  }
+  EXPECT_THROW(small.wait(1), Error);  // Slot now owned by ticket 3/5.
+}
+
+TEST(Streaming, RejectsBadShardSets) {
+  const Fixture& fx = Fixture::get();
+  EXPECT_THROW(StreamingEngine(std::vector<EngineBackend>{}), Error);
+  EXPECT_THROW(StreamingEngine(std::vector<EngineBackend>{EngineBackend{}}),
+               Error);
+  std::vector<EngineBackend> mixed{
+      make_backend(fx.proposed),
+      EngineBackend("other", fx.proposed.num_qubits() + 1,
+                    [](const IqTrace&, InferenceScratch&, std::span<int>) {})};
+  EXPECT_THROW(StreamingEngine(std::move(mixed)), Error);
+}
+
+TEST(Streaming, DestructorDrainsOutstandingWork) {
+  // Submit without waiting, destroy immediately: the dispatcher must flush
+  // the ring before join (no hang, no sanitizer complaint).
+  const Fixture& fx = Fixture::get();
+  StreamingConfig cfg;
+  cfg.batch_max = 512;       // Would never fill on its own.
+  cfg.deadline_us = 100000;  // Nor hit the deadline within the test.
+  StreamingEngine eng(make_backend(fx.proposed), 2, cfg);
+  for (std::size_t s = 0; s < 20; ++s) eng.submit(fx.ds.shots.traces[s]);
+}
+
+}  // namespace
+}  // namespace mlqr

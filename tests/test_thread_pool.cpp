@@ -1,0 +1,120 @@
+// The persistent executor beneath every parallel_for*: task coverage,
+// first-wins exception propagation with a pool that survives and stays
+// reusable, nested fan-outs, and concurrent submitters.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace mlqr {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::vector<int> hits(10, 0);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i] = 1; });  // No data race:
+  for (int h : hits) EXPECT_EQ(h, 1);  // everything ran on this thread.
+  EXPECT_FALSE(ThreadPool::inside_worker());
+}
+
+TEST(ThreadPool, ExceptionFirstWinsAndAllTasksStillRun) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.run(hits.size(),
+                        [&](std::size_t i) {
+                          ++hits[i];
+                          if (i % 7 == 3) throw Error("boom");
+                        }),
+               Error);
+  // First error wins, but the batch completes: no task is abandoned.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PoolSurvivesThrowingTasksAndStaysReusable) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.run(16, [](std::size_t i) {
+          if (i == 5) throw Error("round failure");
+        }),
+        Error);
+    // Immediately reusable after the throw.
+    std::atomic<int> sum{0};
+    pool.run(16, [&](std::size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 120);
+  }
+}
+
+TEST(ThreadPool, NestedRunDoesNotDeadlock) {
+  ThreadPool pool(2);  // Fewer workers than the nested fan-out wants.
+  std::atomic<int> inner_hits{0};
+  pool.run(4, [&](std::size_t) {
+    pool.run(4, [&](std::size_t) { ++inner_hits; });
+  });
+  EXPECT_EQ(inner_hits.load(), 16);
+}
+
+TEST(ThreadPool, SharedPoolMatchesThreadCountAndParallelForNests) {
+  EXPECT_EQ(ThreadPool::shared().size(), parallel_thread_count());
+  // parallel_for bodies that fan out again must complete (the enqueuing
+  // thread drains its own job, so no idle worker is required).
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, 8, [&](std::size_t outer) {
+    parallel_for(0, 8, [&](std::size_t inner) { ++hits[outer * 8 + inner]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersShareThePool) {
+  constexpr std::size_t kClients = 4, kPer = 2000;
+  std::vector<std::vector<double>> results(kClients);
+  {
+    std::vector<std::jthread> clients;
+    for (std::size_t c = 0; c < kClients; ++c)
+      clients.emplace_back([&, c] {
+        std::vector<double>& out = results[c];
+        out.assign(kPer, 0.0);
+        parallel_for(0, kPer, [&](std::size_t i) {
+          out[i] = static_cast<double>(i) * (static_cast<double>(c) + 1.0);
+        });
+      });
+  }
+  const double base = (kPer - 1) * kPer / 2.0;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    const double sum =
+        std::accumulate(results[c].begin(), results[c].end(), 0.0);
+    EXPECT_DOUBLE_EQ(sum, base * (static_cast<double>(c) + 1.0)) << "client " << c;
+  }
+}
+
+TEST(ThreadPool, SlotPartitionIsIndependentOfPoolSize) {
+  // The slot -> chunk mapping is a pure function of (range, workers):
+  // recording (slot, lo, hi) triples must give the same partition whether
+  // the work runs on the shared pool or inline.
+  const std::size_t n = 1000, workers = 7;
+  std::vector<std::size_t> owner(n, ~std::size_t{0});
+  parallel_for_slots(0, n, workers,
+                     [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) owner[i] = slot;
+                     });
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(owner[i], i / chunk);
+}
+
+}  // namespace
+}  // namespace mlqr
