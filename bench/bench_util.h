@@ -6,9 +6,12 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -20,6 +23,7 @@
 #include "common/simd.h"
 #include "common/table.h"
 #include "discrim/metrics.h"
+#include "pipeline/snapshot.h"
 #include "readout/experiment.h"
 
 namespace mlqr::bench {
@@ -119,6 +123,97 @@ class BenchReport {
   Fields context_;
   std::vector<Fields> rows_;
 };
+
+/// The proposed float (and optionally int16) serving backends for a
+/// throughput bench, with MLQR_SNAPSHOT support: when the env var is set
+/// (a path prefix), ${MLQR_SNAPSHOT}.float.snap / .int16.snap are loaded
+/// via pipeline/snapshot.h instead of retraining — a bench or serving
+/// restart then starts in seconds. Missing snapshot files are trained
+/// once and written to those paths, so the first run seeds the cache.
+/// Without MLQR_SNAPSHOT the bench trains fresh, as before. The struct
+/// owns whichever representation (trained or loaded) backs the
+/// EngineBackends, so keep it alive while serving.
+struct ServingBackends {
+  /// Owning backends (BackendSnapshot::backend() semantics): safe to copy
+  /// around and to hand to swap_shard; the snapshots below are the
+  /// canonical owners either way (trained results are wrapped in one).
+  EngineBackend float_backend;
+  EngineBackend int16_backend;  ///< Only when requested.
+  BackendSnapshot float_snap;
+  BackendSnapshot int16_snap;
+};
+
+inline ServingBackends make_serving_backends(const ReadoutDataset& ds,
+                                             const ProposedConfig& pcfg,
+                                             bool want_int16,
+                                             const char* tag) {
+  ServingBackends sb;
+  const char* prefix = std::getenv("MLQR_SNAPSHOT");
+  const bool use_snapshots = prefix && *prefix;
+  std::string float_path, int16_path;
+  if (use_snapshots) {
+    float_path = prefix;
+    float_path += ".float.snap";
+    int16_path = prefix;
+    int16_path += ".int16.snap";
+  }
+  const auto exists = [](const std::string& p) {
+    return !p.empty() && std::ifstream(p, std::ios::binary).good();
+  };
+  const auto check_loaded = [&](const BackendSnapshot& snap,
+                                const std::string& path, SnapshotKind kind) {
+    MLQR_CHECK_MSG(snap.kind == kind,
+                   "snapshot " << path << " holds a "
+                       << (snap.kind == SnapshotKind::kFloat ? "float"
+                                                             : "int16")
+                       << " backend — wrong kind for this path (renamed "
+                       << "file?)");
+    MLQR_CHECK_MSG(snap.num_qubits() == ds.chip.num_qubits(),
+                   "snapshot " << path << " serves " << snap.num_qubits()
+                               << " qubits, dataset has "
+                               << ds.chip.num_qubits());
+  };
+
+  if (use_snapshots && exists(float_path) &&
+      (!want_int16 || exists(int16_path))) {
+    std::cout << '[' << tag << "] MLQR_SNAPSHOT=" << prefix
+              << ": loading calibration instead of retraining...\n";
+    sb.float_snap = load_backend_file(float_path);
+    check_loaded(sb.float_snap, float_path, SnapshotKind::kFloat);
+    sb.float_backend = sb.float_snap.backend();
+    if (want_int16) {
+      sb.int16_snap = load_backend_file(int16_path);
+      check_loaded(sb.int16_snap, int16_path, SnapshotKind::kInt16);
+      sb.int16_backend = sb.int16_snap.backend();
+    }
+    return sb;
+  }
+
+  std::cout << '[' << tag << "] training proposed discriminator...\n";
+  sb.float_snap.kind = SnapshotKind::kFloat;
+  sb.float_snap.float_d = std::make_shared<const ProposedDiscriminator>(
+      ProposedDiscriminator::train(ds.shots, ds.training_labels, ds.train_idx,
+                                   ds.chip, pcfg));
+  sb.float_snap.name = sb.float_snap.float_d->name();
+  sb.float_backend = sb.float_snap.backend();
+  if (want_int16) {
+    std::cout << '[' << tag << "] calibrating int16 backend...\n";
+    sb.int16_snap.kind = SnapshotKind::kInt16;
+    sb.int16_snap.int16_d =
+        std::make_shared<const QuantizedProposedDiscriminator>(
+            QuantizedProposedDiscriminator::quantize(*sb.float_snap.float_d,
+                                                     ds.shots, ds.train_idx));
+    sb.int16_snap.name = sb.int16_snap.int16_d->name();
+    sb.int16_backend = sb.int16_snap.backend();
+  }
+  if (use_snapshots) {
+    save_backend_file(float_path, *sb.float_snap.float_d);
+    if (want_int16) save_backend_file(int16_path, *sb.int16_snap.int16_d);
+    std::cout << '[' << tag << "] saved calibration snapshot(s) under prefix "
+              << prefix << " (next run loads instead of training)\n";
+  }
+  return sb;
+}
 
 /// Standard dataset sizing for the table benches. Full runs use 400 shots
 /// per basis state (12.8k shots); MLQR_FAST shrinks via

@@ -17,6 +17,8 @@
 // perf trajectory CI archives per commit.
 //
 //   MLQR_THREADS caps N_hw; MLQR_SHOTS sizes the calibration dataset;
+//   MLQR_SNAPSHOT=<prefix> loads <prefix>.{float,int16}.snap calibration
+//   snapshots instead of retraining (first run trains and writes them);
 //   MLQR_FAST=1 shrinks everything to CI scale.
 #include <algorithm>
 #include <iostream>
@@ -99,15 +101,12 @@ int main() {
 
   ProposedConfig pcfg;
   pcfg.trainer.epochs = fast_mode() ? 8 : 20;
-  std::cout << "[pipeline_throughput] training proposed discriminator...\n";
-  const ProposedDiscriminator proposed = ProposedDiscriminator::train(
-      ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
-  std::cout << "[pipeline_throughput] calibrating int16 backend...\n";
-  const QuantizedProposedDiscriminator quantized =
-      QuantizedProposedDiscriminator::quantize(proposed, ds.shots,
-                                               ds.train_idx);
-  const EngineBackend backends[] = {make_backend(proposed),
-                                    make_backend(quantized)};
+  // MLQR_SNAPSHOT=<prefix> serves from <prefix>.{float,int16}.snap instead
+  // of retraining (the first run trains and writes them).
+  const ServingBackends serving = make_serving_backends(
+      ds, pcfg, /*want_int16=*/true, "pipeline_throughput");
+  const EngineBackend backends[] = {serving.float_backend,
+                                    serving.int16_backend};
 
   // Frame pool: the test split, padded by repetition to cover the largest
   // batch (classification cost does not depend on trace content).

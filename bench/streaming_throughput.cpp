@@ -22,7 +22,9 @@
 //   MLQR_THREADS caps the classification fan-out; MLQR_SHOTS sizes the
 //   calibration dataset; MLQR_STREAM_SHOTS caps shots per config;
 //   MLQR_STREAM_BATCH_MAX / MLQR_STREAM_DEADLINE_US tune the micro-batch;
-//   MLQR_FAST=1 shrinks everything to CI scale.
+//   MLQR_SNAPSHOT=<prefix> loads <prefix>.float.snap instead of retraining
+//   (first run trains and writes it); MLQR_FAST=1 shrinks everything to CI
+//   scale.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -112,10 +114,11 @@ int main() {
 
   ProposedConfig pcfg;
   pcfg.trainer.epochs = fast_mode() ? 8 : 20;
-  std::cout << "[streaming_throughput] training proposed discriminator...\n";
-  const ProposedDiscriminator proposed = ProposedDiscriminator::train(
-      ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
-  const EngineBackend backend = make_backend(proposed);
+  // MLQR_SNAPSHOT=<prefix> serves from <prefix>.float.snap instead of
+  // retraining (the first run trains and writes it).
+  const ServingBackends serving = make_serving_backends(
+      ds, pcfg, /*want_int16=*/false, "streaming_throughput");
+  const EngineBackend& backend = serving.float_backend;
 
   std::vector<IqTrace> frames;
   frames.reserve(std::max<std::size_t>(ds.test_idx.size(), 1024));

@@ -1,0 +1,108 @@
+// Calibration snapshot round trip: train the proposed discriminator,
+// quantize its int16 twin, persist both with save_backend, reload them
+// with load_backend, verify bit-identical serving, then hot-swap the
+// reloaded calibration onto a live StreamingEngine without stopping
+// traffic — the full drift-recalibration deployment loop.
+//
+//   ./snapshot_roundtrip [shots_per_basis_state]
+//
+// Writes calibration.float.snap / calibration.int16.snap in the working
+// directory. Point MLQR_SNAPSHOT=calibration at them to make
+// bench/pipeline_throughput and bench/streaming_throughput serve from the
+// saved calibration instead of retraining. MLQR_FAST=1 shrinks the run to
+// CI scale.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/env.h"
+#include "common/table.h"
+#include "pipeline/snapshot.h"
+#include "pipeline/streaming_engine.h"
+#include "readout/dataset.h"
+
+int main(int argc, char** argv) {
+  using namespace mlqr;
+
+  // Default five-qubit chip: the snapshots this writes are directly
+  // loadable by the benches (same chip/channel geometry).
+  DatasetConfig dcfg;
+  dcfg.shots_per_basis_state =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1]))
+               : fast_scaled(400, 2, 120);
+  std::cout << "[snapshot] generating dataset ("
+            << dcfg.shots_per_basis_state << " shots/state)...\n";
+  const ReadoutDataset ds = generate_dataset(dcfg);
+
+  ProposedConfig pcfg;
+  pcfg.trainer.epochs = fast_mode() ? 8 : 20;
+  std::cout << "[snapshot] training float discriminator...\n";
+  const ProposedDiscriminator proposed = ProposedDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
+  std::cout << "[snapshot] calibrating int16 twin...\n";
+  const QuantizedProposedDiscriminator quantized =
+      QuantizedProposedDiscriminator::quantize(proposed, ds.shots,
+                                               ds.train_idx);
+
+  // ---- save -------------------------------------------------------------
+  const std::string float_path = "calibration.float.snap";
+  const std::string int16_path = "calibration.int16.snap";
+  save_backend_file(float_path, proposed);
+  save_backend_file(int16_path, quantized);
+  std::cout << "[snapshot] wrote " << float_path << " and " << int16_path
+            << '\n';
+
+  // ---- load + serve: must be bit-identical to the originals -------------
+  const BackendSnapshot float_snap = load_backend_file(float_path);
+  const BackendSnapshot int16_snap = load_backend_file(int16_path);
+
+  auto count_mismatches = [&](const EngineBackend& a, const EngineBackend& b) {
+    ReadoutEngine ea(a), eb(b);
+    const std::vector<int> la = ea.process_batch(ds.shots.traces).labels;
+    const std::vector<int> lb = eb.process_batch(ds.shots.traces).labels;
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < la.size(); ++i) bad += la[i] != lb[i];
+    return bad;
+  };
+  const std::size_t float_bad =
+      count_mismatches(make_backend(proposed), float_snap.backend());
+  const std::size_t int16_bad =
+      count_mismatches(make_backend(quantized), int16_snap.backend());
+
+  Table table("Snapshot round trip (" + std::to_string(ds.shots.size()) +
+              " frames)");
+  table.set_header({"Backend", "Saved as", "Label mismatches vs original"});
+  table.add_row({float_snap.name, float_path, std::to_string(float_bad)});
+  table.add_row({int16_snap.name, int16_path, std::to_string(int16_bad)});
+  table.print();
+  if (float_bad + int16_bad != 0) {
+    std::cerr << "snapshot round trip is NOT bit-identical\n";
+    return 1;
+  }
+
+  // ---- hot recalibration on a live engine -------------------------------
+  // Serve the first half on the trained float backend, swap every shard to
+  // the reloaded int16 calibration between micro-batches, serve the rest.
+  StreamingConfig scfg;
+  scfg.queue_capacity = ds.shots.size();
+  StreamingEngine engine(make_backend(proposed), 2, scfg);
+  const std::size_t half = ds.shots.size() / 2;
+  std::vector<StreamingEngine::Ticket> tickets;
+  for (std::size_t s = 0; s < half; ++s)
+    tickets.push_back(engine.submit(ds.shots.traces[s]));
+  engine.drain();
+  engine.swap_shard(0, int16_snap.backend());
+  engine.swap_shard(1, int16_snap.backend());
+  for (std::size_t s = half; s < ds.shots.size(); ++s)
+    tickets.push_back(engine.submit(ds.shots.traces[s]));
+  engine.drain();
+  std::vector<int> labels(engine.num_qubits());
+  for (const auto t : tickets) engine.wait(t, labels);
+  std::cout << "[snapshot] hot swap: " << engine.shots_completed()
+            << " shots served across " << engine.batches_dispatched()
+            << " micro-batches, " << engine.shards_swapped()
+            << " shard swaps, zero dropped tickets\n"
+            << "\nServe these calibrations in the benches with:\n"
+            << "  MLQR_SNAPSHOT=calibration ./pipeline_throughput\n";
+  return 0;
+}

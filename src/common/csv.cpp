@@ -1,5 +1,7 @@
 #include "common/csv.h"
 
+#include <limits>
+#include <locale>
 #include <sstream>
 
 #include "common/error.h"
@@ -8,6 +10,9 @@ namespace mlqr {
 
 CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
   MLQR_CHECK_MSG(out_.good(), "cannot open CSV file for writing: " << path);
+  // CSV is a locale-free format: under a comma-decimal global locale the
+  // default-constructed stream would print 1.5 as "1,5" — two cells.
+  out_.imbue(std::locale::classic());
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
@@ -33,7 +38,12 @@ void CsvWriter::write_row(const std::vector<double>& cells) {
   std::vector<std::string> text;
   text.reserve(cells.size());
   for (double v : cells) {
+    // Round-trip precision (max_digits10): default ~6 significant digits
+    // silently truncated bench results. Classic locale: the global locale
+    // must not leak comma decimal points (or digit grouping) into cells.
     std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os.precision(std::numeric_limits<double>::max_digits10);
     os << v;
     text.push_back(os.str());
   }

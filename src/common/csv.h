@@ -14,7 +14,10 @@ class CsvWriter {
   /// Opens (truncates) the file; throws mlqr::Error on failure.
   explicit CsvWriter(const std::string& path);
 
-  /// Writes one row. Numeric convenience overload included.
+  /// Writes one row. The numeric overload formats with round-trip
+  /// precision (max_digits10) in the classic "C" locale — output is
+  /// independent of the global locale (no comma decimal points) and
+  /// parses back to the exact double written.
   void write_row(const std::vector<std::string>& cells);
   void write_row(const std::vector<double>& cells);
 

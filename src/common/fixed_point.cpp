@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/serialize.h"
 
 namespace mlqr {
 
@@ -120,6 +121,46 @@ FixedPointFormat saturating_format(double lo, double hi, int total_bits) {
   const double bound = std::max(std::abs(lo), std::abs(hi));
   return FixedPointFormat{total_bits,
                           std::max(widest_covering_frac(bound, total_bits), 0)};
+}
+
+void save_format(std::ostream& os, const FixedPointFormat& fmt) {
+  io::write_i32(os, fmt.total_bits);
+  io::write_i32(os, fmt.frac_bits);
+}
+
+FixedPointFormat load_format(std::istream& is) {
+  FixedPointFormat fmt;
+  fmt.total_bits = io::read_i32(is);
+  fmt.frac_bits = io::read_i32(is);
+  // Same width window to_code enforces; frac may exceed W-1 (ap_fixed with
+  // I <= 0) but never by more than the shift budget the arithmetic allows.
+  MLQR_CHECK_MSG(fmt.total_bits >= 2 && fmt.total_bits <= 48,
+                 "corrupt fixed-point width " << fmt.total_bits);
+  MLQR_CHECK_MSG(fmt.frac_bits >= -62 && fmt.frac_bits <= 62,
+                 "corrupt fixed-point fraction " << fmt.frac_bits);
+  return fmt;
+}
+
+void save_quantization_config(std::ostream& os, const QuantizationConfig& cfg) {
+  io::write_i32(os, cfg.weight_bits);
+  io::write_i32(os, cfg.activation_bits);
+  io::write_i32(os, cfg.accum_bits);
+  io::write_u64(os, cfg.max_calibration_shots);
+}
+
+QuantizationConfig load_quantization_config(std::istream& is) {
+  QuantizationConfig cfg;
+  cfg.weight_bits = io::read_i32(is);
+  cfg.activation_bits = io::read_i32(is);
+  cfg.accum_bits = io::read_i32(is);
+  cfg.max_calibration_shots = io::read_count(is);
+  MLQR_CHECK_MSG(cfg.weight_bits >= 2 && cfg.weight_bits <= 16 &&
+                     cfg.activation_bits >= 2 && cfg.activation_bits <= 16 &&
+                     cfg.accum_bits >= 8 && cfg.accum_bits <= 63,
+                 "corrupt quantization config (W=" << cfg.weight_bits
+                     << " A=" << cfg.activation_bits
+                     << " ACC=" << cfg.accum_bits << ')');
+  return cfg;
 }
 
 }  // namespace mlqr

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -78,5 +79,15 @@ FixedPointFormat fit_format(double lo, double hi, int total_bits);
 /// bounds — the deployed activation-path behaviour, where saturating
 /// outliers beats failing synthesis.
 FixedPointFormat saturating_format(double lo, double hi, int total_bits);
+
+/// Binary little-endian persistence of a format descriptor — one leaf of
+/// the calibration snapshot layer (common/serialize.h). load_format throws
+/// mlqr::Error on truncation or an out-of-range width.
+void save_format(std::ostream& os, const FixedPointFormat& fmt);
+FixedPointFormat load_format(std::istream& is);
+
+/// Same for the precision-knob bundle the quantized backends carry.
+void save_quantization_config(std::ostream& os, const QuantizationConfig& cfg);
+QuantizationConfig load_quantization_config(std::istream& is);
 
 }  // namespace mlqr

@@ -7,17 +7,6 @@
 
 namespace mlqr {
 
-namespace {
-
-std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
-  if (duration_ns <= 0.0) return chip.n_samples;
-  const auto samples = static_cast<std::size_t>(duration_ns / chip.dt_ns());
-  MLQR_CHECK_MSG(samples > 0 && samples <= chip.n_samples,
-                 "duration " << duration_ns << " ns out of range");
-  return samples;
-}
-
-}  // namespace
 
 std::vector<float> FnnDiscriminator::raw_features(const IqTrace& trace) const {
   std::vector<float> x;
@@ -47,7 +36,7 @@ FnnDiscriminator FnnDiscriminator::train(const ShotSet& shots,
   FnnDiscriminator d;
   d.cfg_ = cfg;
   d.n_qubits_ = shots.n_qubits;
-  d.samples_used_ = resolve_samples(chip, cfg.duration_ns);
+  d.samples_used_ = chip.window_samples(cfg.duration_ns);
 
   // Two-level mode cannot represent leaked shots; drop them from training
   // (that is exactly what a two-level-era pipeline would do).

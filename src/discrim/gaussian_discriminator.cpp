@@ -7,14 +7,6 @@ namespace mlqr {
 
 namespace {
 
-std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
-  if (duration_ns <= 0.0) return chip.n_samples;
-  const auto samples = static_cast<std::size_t>(duration_ns / chip.dt_ns());
-  MLQR_CHECK_MSG(samples > 0 && samples <= chip.n_samples,
-                 "duration " << duration_ns << " ns out of range");
-  return samples;
-}
-
 std::vector<double> extract(const BasebandTrace& trace, bool split_window) {
   return split_window ? split_window_features(trace) : mtv_features(trace);
 }
@@ -32,7 +24,7 @@ GaussianShotDiscriminator GaussianShotDiscriminator::train(
   GaussianShotDiscriminator d;
   d.cfg_ = cfg;
   d.demod_ = Demodulator(chip);
-  d.samples_used_ = resolve_samples(chip, cfg.duration_ns);
+  d.samples_used_ = chip.window_samples(cfg.duration_ns);
 
   const std::size_t feat_dim = cfg.split_window ? 4 : 2;
   for (std::size_t q = 0; q < shots.n_qubits; ++q) {

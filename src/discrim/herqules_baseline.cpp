@@ -10,14 +10,6 @@ namespace mlqr {
 
 namespace {
 
-std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
-  if (duration_ns <= 0.0) return chip.n_samples;
-  const auto samples = static_cast<std::size_t>(duration_ns / chip.dt_ns());
-  MLQR_CHECK_MSG(samples > 0 && samples <= chip.n_samples,
-                 "duration " << duration_ns << " ns out of range");
-  return samples;
-}
-
 /// Per-qubit feature indices used at a given level count. The bank always
 /// holds 3 QMF + 3 RMF; two-level mode keeps only the |0>vs|1> QMF and the
 /// 1->0 RMF (the published two-level input layout, 2 features per qubit).
@@ -45,7 +37,7 @@ HerqulesDiscriminator HerqulesDiscriminator::train(
   d.cfg_ = cfg;
   d.n_qubits_ = shots.n_qubits;
   d.demod_ = Demodulator(chip);
-  d.samples_used_ = resolve_samples(chip, cfg.duration_ns);
+  d.samples_used_ = chip.window_samples(cfg.duration_ns);
 
   MfBankConfig bank_cfg;
   bank_cfg.use_qmf = true;

@@ -1,20 +1,11 @@
 #include "discrim/proposed.h"
 
+#include <cmath>
+
 #include "common/error.h"
+#include "common/serialize.h"
 
 namespace mlqr {
-
-namespace {
-
-std::size_t resolve_samples(const ChipProfile& chip, double duration_ns) {
-  if (duration_ns <= 0.0) return chip.n_samples;
-  const auto samples = static_cast<std::size_t>(duration_ns / chip.dt_ns());
-  MLQR_CHECK_MSG(samples > 0 && samples <= chip.n_samples,
-                 "duration " << duration_ns << " ns out of range");
-  return samples;
-}
-
-}  // namespace
 
 ProposedDiscriminator ProposedDiscriminator::train(
     const ShotSet& shots, std::span<const int> labels_flat,
@@ -28,7 +19,7 @@ ProposedDiscriminator ProposedDiscriminator::train(
   ProposedDiscriminator d;
   d.cfg_ = cfg;
   d.demod_ = Demodulator(chip);
-  d.samples_used_ = resolve_samples(chip, cfg.duration_ns);
+  d.samples_used_ = chip.window_samples(cfg.duration_ns);
 
   const std::size_t n_qubits = shots.n_qubits;
   const std::size_t per_q = cfg.mf.filters_per_qubit();
@@ -107,6 +98,64 @@ ProposedDiscriminator ProposedDiscriminator::train(
   // classify_into touches the raw trace exactly once.
   d.fused_ =
       FusedFrontend::build(d.demod_, d.bank_, d.normalizer_, d.samples_used_);
+  return d;
+}
+
+void ProposedDiscriminator::save(std::ostream& os) const {
+  MLQR_CHECK_MSG(!models_.empty(), "cannot save an untrained discriminator");
+  io::write_u64(os, samples_used_);
+  demod_.save(os);
+  bank_.save(os);
+  normalizer_.save(os);
+  fused_.save(os);
+  io::write_u64(os, models_.size());
+  for (const Mlp& m : models_) m.save(os);
+}
+
+ProposedDiscriminator ProposedDiscriminator::load(std::istream& is) {
+  ProposedDiscriminator d;
+  d.samples_used_ = io::read_count(is);
+  MLQR_CHECK_MSG(d.samples_used_ > 0, "corrupt discriminator: zero samples");
+  d.demod_ = Demodulator::load(is);
+  d.bank_ = ChipMfBank::load(is);
+  d.normalizer_ = FeatureNormalizer::load(is);
+  d.fused_ = FusedFrontend::load(is);
+  const std::size_t n_models = io::read_count(is, 4096);
+  d.models_.reserve(n_models);
+  for (std::size_t q = 0; q < n_models; ++q)
+    d.models_.push_back(Mlp::load(is));
+
+  // Cross-component consistency: the same checks train() guarantees by
+  // construction become hard load-time errors on a mismatched stream.
+  const std::size_t n_qubits = d.bank_.num_qubits();
+  const std::size_t feat_dim = d.bank_.total_features();
+  MLQR_CHECK_MSG(n_models == n_qubits, "snapshot has " << n_models
+                     << " heads for " << n_qubits << " qubits");
+  MLQR_CHECK_MSG(d.demod_.num_qubits() == n_qubits,
+                 "snapshot demodulator has " << d.demod_.num_qubits()
+                     << " channels for " << n_qubits << " qubits");
+  MLQR_CHECK_MSG(d.normalizer_.dim() == feat_dim,
+                 "snapshot normalizer dim " << d.normalizer_.dim()
+                     << " != feature dim " << feat_dim);
+  MLQR_CHECK_MSG(d.fused_.n_filters() == feat_dim &&
+                     d.fused_.n_samples() == d.samples_used_ &&
+                     d.fused_.num_qubits() == n_qubits,
+                 "snapshot fused front-end does not match the bank ("
+                     << d.fused_.n_filters() << " filters, "
+                     << d.fused_.n_samples() << " samples)");
+  for (const Mlp& m : d.models_) {
+    MLQR_CHECK_MSG(m.input_size() == feat_dim,
+                   "snapshot head reads " << m.input_size()
+                       << " features, front-end emits " << feat_dim);
+    MLQR_CHECK_MSG(m.output_size() == static_cast<std::size_t>(kNumLevels),
+                   "snapshot head emits " << m.output_size() << " levels");
+  }
+  for (std::size_t q = 0; q < n_qubits; ++q)
+    MLQR_CHECK_MSG(d.bank_.bank(q).filter(0).length() == d.samples_used_,
+                   "snapshot kernels cover "
+                       << d.bank_.bank(q).filter(0).length()
+                       << " samples, window is " << d.samples_used_);
+  d.cfg_.mf = d.bank_.config();
   return d;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -103,6 +104,15 @@ class ProposedDiscriminator {
   /// Raw (normalized) feature vector for one trace — exposed for the
   /// quantization study and the FPGA cost model.
   std::vector<float> features(const IqTrace& trace) const;
+
+  /// Binary little-endian persistence of the full inference state (demod
+  /// plan, filter banks, normalizer, fused front-end, per-qubit heads).
+  /// Training-only knobs (TrainerConfig, class weights) are not part of a
+  /// snapshot; a reloaded instance classifies bit-identically but cannot
+  /// resume training. Prefer pipeline/snapshot.h's save_backend /
+  /// load_backend wrappers, which add the magic+version header.
+  void save(std::ostream& os) const;
+  static ProposedDiscriminator load(std::istream& is);
 
  private:
   ProposedConfig cfg_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "nn/normalizer.h"
 
 namespace mlqr {
@@ -82,6 +83,49 @@ void QuantizedProposedDiscriminator::classify_into(const IqTrace& trace,
   for (std::size_t q = 0; q < heads_.size(); ++q)
     out[q] = heads_[q].predict(scratch.int_features, scratch.int_logits,
                                scratch.int_act_a, scratch.int_act_b);
+}
+
+void QuantizedProposedDiscriminator::save(std::ostream& os) const {
+  MLQR_CHECK_MSG(!heads_.empty(), "cannot save an uncalibrated discriminator");
+  save_quantization_config(os, cfg_);
+  frontend_.save(os);
+  io::write_u64(os, heads_.size());
+  for (const QuantizedMlp& h : heads_) h.save(os);
+}
+
+QuantizedProposedDiscriminator QuantizedProposedDiscriminator::load(
+    std::istream& is) {
+  QuantizedProposedDiscriminator q;
+  q.cfg_ = load_quantization_config(is);
+  q.frontend_ = QuantizedFrontend::load(is);
+  const std::size_t n_heads = io::read_count(is, 4096);
+  q.heads_.reserve(n_heads);
+  for (std::size_t h = 0; h < n_heads; ++h)
+    q.heads_.push_back(QuantizedMlp::load(is));
+
+  MLQR_CHECK_MSG(n_heads == q.frontend_.num_qubits(),
+                 "snapshot has " << n_heads << " integer heads for "
+                                 << q.frontend_.num_qubits() << " qubits");
+  for (const QuantizedMlp& h : q.heads_) {
+    MLQR_CHECK_MSG(h.input_size() == q.frontend_.n_filters(),
+                   "snapshot integer head reads " << h.input_size()
+                       << " features, front-end emits "
+                       << q.frontend_.n_filters());
+    MLQR_CHECK_MSG(h.output_size() == static_cast<std::size_t>(kNumLevels),
+                   "snapshot integer head emits " << h.output_size()
+                                                  << " levels");
+    // The front-end writes feature codes on feature_format(); the first
+    // layer must consume exactly that grid or the requant chain shifts by
+    // the wrong amount — a silent misclassification, so check it hard.
+    const FixedPointFormat& in = h.layers().front().in_fmt;
+    MLQR_CHECK_MSG(in.total_bits == q.frontend_.feature_format().total_bits &&
+                       in.frac_bits == q.frontend_.feature_format().frac_bits,
+                   "snapshot head input grid <" << in.total_bits << ','
+                       << in.frac_bits << "> != front-end feature grid <"
+                       << q.frontend_.feature_format().total_bits << ','
+                       << q.frontend_.feature_format().frac_bits << '>');
+  }
+  return q;
 }
 
 CalibratedFormats QuantizedProposedDiscriminator::calibrated_formats() const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -77,6 +78,14 @@ class QuantizedProposedDiscriminator {
   /// HLS precision knobs from the calibrated formats (see
   /// hls_config_from_formats) rather than assumed deployment widths.
   DesignSpec design_spec() const;
+
+  /// Binary little-endian persistence of the complete integer datapath
+  /// (config, fused front-end tables, per-qubit integer heads). A reloaded
+  /// instance classifies bit-identically. Prefer pipeline/snapshot.h's
+  /// save_backend / load_backend wrappers, which add the magic+version
+  /// header.
+  void save(std::ostream& os) const;
+  static QuantizedProposedDiscriminator load(std::istream& is);
 
  private:
   QuantizationConfig cfg_;

@@ -1,24 +1,13 @@
 #include "dsp/channelizer.h"
 
-#include <cmath>
-
-#include "common/error.h"
 #include "common/parallel.h"
 
 namespace mlqr {
 
 Channelizer::Channelizer(const ChipProfile& chip, double duration_ns)
-    : demod_(chip), dt_ns_(chip.dt_ns()) {
-  if (duration_ns <= 0.0) {
-    samples_used_ = chip.n_samples;
-  } else {
-    samples_used_ = static_cast<std::size_t>(duration_ns / chip.dt_ns());
-    MLQR_CHECK_MSG(samples_used_ > 0 && samples_used_ <= chip.n_samples,
-                   "duration " << duration_ns << " ns maps to "
-                               << samples_used_ << " samples (trace has "
-                               << chip.n_samples << ')');
-  }
-}
+    : demod_(chip),
+      samples_used_(chip.window_samples(duration_ns)),
+      dt_ns_(chip.dt_ns()) {}
 
 double Channelizer::duration_ns() const {
   return static_cast<double>(samples_used_) * dt_ns_;

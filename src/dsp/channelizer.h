@@ -23,7 +23,9 @@ struct ChannelizedShot {
 class Channelizer {
  public:
   /// `duration_ns` = 0 keeps the full trace; otherwise traces are truncated
-  /// to floor(duration/dt) samples before demodulation.
+  /// to ChipProfile::window_samples(duration_ns) samples before
+  /// demodulation (round-to-nearest, shared with every duration-aware
+  /// discriminator so all stages agree on the window).
   Channelizer(const ChipProfile& chip, double duration_ns = 0.0);
 
   std::size_t samples_used() const { return samples_used_; }

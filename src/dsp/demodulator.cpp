@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/error.h"
+#include "common/serialize.h"
 
 namespace mlqr {
 
@@ -16,6 +17,21 @@ Demodulator::Demodulator(const ChipProfile& chip) {
     tone_step_.push_back(std::polar(1.0, -omega));
     tone_angle_.push_back(-omega);
   }
+}
+
+void Demodulator::save(std::ostream& os) const {
+  io::write_vec_f64(os, tone_angle_);
+}
+
+Demodulator Demodulator::load(std::istream& is) {
+  Demodulator demod;
+  demod.tone_angle_ = io::read_vec_f64(is);
+  MLQR_CHECK_MSG(!demod.tone_angle_.empty(),
+                 "corrupt demodulator: zero channels");
+  demod.tone_step_.reserve(demod.tone_angle_.size());
+  for (double angle : demod.tone_angle_)
+    demod.tone_step_.push_back(std::polar(1.0, angle));
+  return demod;
 }
 
 Complexd Demodulator::lo_phase(std::size_t qubit, std::size_t t) const {

@@ -8,6 +8,7 @@
 // FNN baseline consume its output.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "sim/chip_profile.h"
@@ -45,6 +46,13 @@ class Demodulator {
   /// error). The quantized front-end builds its LO lookup tables and
   /// pre-rotated kernels from this.
   Complexd lo_phase(std::size_t qubit, std::size_t t) const;
+
+  /// Binary little-endian persistence of the IF plan (calibration snapshot
+  /// leaf): tone angles travel as exact f64 bit patterns and the phasor
+  /// steps are rebuilt with the same std::polar call the constructor uses,
+  /// so a reloaded demodulator is bit-identical.
+  void save(std::ostream& os) const;
+  static Demodulator load(std::istream& is);
 
  private:
   std::vector<Complexd> tone_step_;  ///< exp(-i*2*pi*f_q*dt) per qubit.

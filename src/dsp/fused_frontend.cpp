@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "common/simd.h"
 
 namespace mlqr {
@@ -47,6 +48,34 @@ FusedFrontend FusedFrontend::build(const Demodulator& demod,
           -(mf.bias() + static_cast<double>(norm.mean()[j])) / std_dev));
     }
   }
+  return fe;
+}
+
+void FusedFrontend::save(std::ostream& os) const {
+  io::write_u64(os, n_samples_);
+  io::write_u64(os, n_qubits_);
+  io::write_vec_f32(os, kr_);
+  io::write_vec_f32(os, ki_);
+  io::write_vec_f32(os, scale_);
+  io::write_vec_f32(os, offset_);
+}
+
+FusedFrontend FusedFrontend::load(std::istream& is) {
+  FusedFrontend fe;
+  fe.n_samples_ = io::read_count(is);
+  fe.n_qubits_ = io::read_count(is, 4096);
+  MLQR_CHECK_MSG(fe.n_samples_ > 0 && fe.n_qubits_ > 0,
+                 "corrupt fused front-end dims");
+  fe.kr_ = io::read_vec_f32(is);
+  fe.ki_ = io::read_vec_f32(is);
+  fe.scale_ = io::read_vec_f32(is);
+  fe.offset_ = io::read_vec_f32(is);
+  MLQR_CHECK_MSG(!fe.scale_.empty() && fe.offset_.size() == fe.scale_.size() &&
+                     fe.kr_.size() == fe.scale_.size() * fe.n_samples_ &&
+                     fe.ki_.size() == fe.kr_.size(),
+                 "fused front-end tables do not match their dims ("
+                     << fe.scale_.size() << " filters x " << fe.n_samples_
+                     << " samples)");
   return fe;
 }
 

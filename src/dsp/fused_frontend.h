@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "discrim/inference_scratch.h"
@@ -58,6 +59,12 @@ class FusedFrontend {
   std::size_t n_samples() const { return n_samples_; }
   std::size_t n_filters() const { return scale_.size(); }
   std::size_t num_qubits() const { return n_qubits_; }
+
+  /// Binary little-endian persistence of the pre-rotated kernel tables and
+  /// affine maps (calibration snapshot leaf); a reloaded front-end computes
+  /// bit-identical features.
+  void save(std::ostream& os) const;
+  static FusedFrontend load(std::istream& is);
 
  private:
   std::size_t n_samples_ = 0;

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "common/simd.h"
 
 namespace mlqr {
@@ -93,6 +94,56 @@ QuantizedFrontend QuantizedFrontend::build(const Demodulator& demod,
           -(mf.bias() + static_cast<double>(norm.mean()[j])) / std_dev);
     }
   }
+  return fe;
+}
+
+void QuantizedFrontend::save(std::ostream& os) const {
+  io::write_u64(os, n_samples_);
+  io::write_u64(os, n_qubits_);
+  save_format(os, trace_fmt_);
+  save_format(os, feature_fmt_);
+  save_format(os, lo_fmt_);
+  io::write_u64(os, kernel_fmt_.size());
+  for (const FixedPointFormat& fmt : kernel_fmt_) save_format(os, fmt);
+  io::write_vec_i16(os, kr_);
+  io::write_vec_i16(os, ki_);
+  io::write_vec_f64(os, scale_);
+  io::write_vec_f64(os, offset_);
+  io::write_vec_i16(os, lo_);
+}
+
+QuantizedFrontend QuantizedFrontend::load(std::istream& is) {
+  QuantizedFrontend fe;
+  fe.n_samples_ = io::read_count(is);
+  fe.n_qubits_ = io::read_count(is, 4096);
+  MLQR_CHECK_MSG(fe.n_samples_ > 0 && fe.n_qubits_ > 0,
+                 "corrupt quantized front-end dims");
+  fe.trace_fmt_ = load_format(is);
+  fe.feature_fmt_ = load_format(is);
+  fe.lo_fmt_ = load_format(is);
+  const std::size_t n_filters = io::read_count(is);
+  fe.kernel_fmt_.reserve(n_filters);
+  for (std::size_t f = 0; f < n_filters; ++f)
+    fe.kernel_fmt_.push_back(load_format(is));
+  fe.kr_ = io::read_vec_i16(is);
+  fe.ki_ = io::read_vec_i16(is);
+  fe.scale_ = io::read_vec_f64(is);
+  fe.offset_ = io::read_vec_f64(is);
+  fe.lo_ = io::read_vec_i16(is);
+  MLQR_CHECK_MSG(n_filters > 0 && fe.scale_.size() == n_filters &&
+                     fe.offset_.size() == n_filters &&
+                     fe.kr_.size() == n_filters * fe.n_samples_ &&
+                     fe.ki_.size() == fe.kr_.size() &&
+                     fe.lo_.size() == fe.n_qubits_ * fe.n_samples_ * 2,
+                 "quantized front-end tables do not match their dims ("
+                     << n_filters << " filters x " << fe.n_samples_
+                     << " samples, " << fe.n_qubits_ << " qubits)");
+  // Re-pin the madd-safety invariant on untrusted input: fused_dot_i16's
+  // pairwise int16 multiply-add requires kernel codes != -2^15.
+  for (std::int16_t c : fe.kr_)
+    MLQR_CHECK_MSG(c > INT16_MIN, "kernel code -32768 is not representable");
+  for (std::int16_t c : fe.ki_)
+    MLQR_CHECK_MSG(c > INT16_MIN, "kernel code -32768 is not representable");
   return fe;
 }
 

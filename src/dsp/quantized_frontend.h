@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -74,6 +75,12 @@ class QuantizedFrontend {
   /// a <W,2> grid) — exposed for tests and the FPGA NCO model.
   std::span<const std::int16_t> lo_table(std::size_t qubit) const;
   const FixedPointFormat& lo_format() const { return lo_fmt_; }
+
+  /// Binary little-endian persistence of every table and format the
+  /// integer datapath needs (calibration snapshot leaf); a reloaded
+  /// front-end emits bit-identical feature codes.
+  void save(std::ostream& os) const;
+  static QuantizedFrontend load(std::istream& is);
 
  private:
   std::size_t n_samples_ = 0;

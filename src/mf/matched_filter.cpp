@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "linalg/stats.h"
 
 namespace mlqr {
@@ -117,6 +118,21 @@ MatchedFilter MatchedFilter::build(std::span<const BasebandTrace> traces,
 
   for (Complexd& k : mf.kernel_) k *= scale;
   mf.bias_ = (pa + pb) * 0.5 * scale;
+  return mf;
+}
+
+void MatchedFilter::save(std::ostream& os) const {
+  io::write_vec_complexd(os, kernel_);
+  io::write_f64(os, bias_);
+  io::write_f64(os, separation_);
+}
+
+MatchedFilter MatchedFilter::load(std::istream& is) {
+  MatchedFilter mf;
+  mf.kernel_ = io::read_vec_complexd(is);
+  MLQR_CHECK_MSG(!mf.kernel_.empty(), "corrupt matched filter: empty kernel");
+  mf.bias_ = io::read_f64(is);
+  mf.separation_ = io::read_f64(is);
   return mf;
 }
 

@@ -15,6 +15,7 @@
 // the score directly interpretable (positive = class b).
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -55,6 +56,12 @@ class MatchedFilter {
   /// Raw (pre-normalization) separation between the training centroids —
   /// a filter-quality diagnostic (~SNR in kernel units).
   double training_separation() const { return separation_; }
+
+  /// Binary little-endian persistence (calibration snapshot leaf): the
+  /// conjugated kernel, bias and separation travel as exact f64 bit
+  /// patterns, so a reloaded filter scores every trace bit-identically.
+  void save(std::ostream& os) const;
+  static MatchedFilter load(std::istream& is);
 
  private:
   std::vector<Complexd> kernel_;  ///< Conjugated, scaled kernel.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/serialize.h"
 
 namespace mlqr {
 
@@ -76,6 +77,66 @@ QubitMfBank QubitMfBank::train(std::span<const BasebandTrace> traces,
     }
   }
   MLQR_CHECK(bank.filters_.size() == cfg.filters_per_qubit());
+  return bank;
+}
+
+namespace {
+
+void save_bank_config(std::ostream& os, const MfBankConfig& cfg) {
+  io::write_bool(os, cfg.use_qmf);
+  io::write_bool(os, cfg.use_rmf);
+  io::write_bool(os, cfg.use_emf);
+  io::write_f64(os, cfg.miner.early_fraction);
+  io::write_f64(os, cfg.miner.late_fraction);
+  io::write_f64(os, cfg.miner.margin);
+  io::write_u64(os, cfg.min_error_traces);
+  io::write_u64(os, cfg.kernel_smooth_window);
+}
+
+MfBankConfig load_bank_config(std::istream& is) {
+  MfBankConfig cfg;
+  cfg.use_qmf = io::read_bool(is);
+  cfg.use_rmf = io::read_bool(is);
+  cfg.use_emf = io::read_bool(is);
+  cfg.miner.early_fraction = io::read_f64(is);
+  cfg.miner.late_fraction = io::read_f64(is);
+  cfg.miner.margin = io::read_f64(is);
+  cfg.min_error_traces = io::read_count(is);
+  cfg.kernel_smooth_window = io::read_count(is);
+  MLQR_CHECK_MSG(cfg.filters_per_qubit() > 0,
+                 "corrupt bank config: every filter group disabled");
+  return cfg;
+}
+
+}  // namespace
+
+void QubitMfBank::save(std::ostream& os) const {
+  save_bank_config(os, cfg_);
+  io::write_u64(os, filters_.size());
+  for (const MatchedFilter& f : filters_) f.save(os);
+  for (const auto& idx : mined_.relaxation) io::write_vec_u64(os, idx);
+  for (const auto& idx : mined_.excitation) io::write_vec_u64(os, idx);
+  for (const auto& idx : mined_.clean) io::write_vec_u64(os, idx);
+}
+
+QubitMfBank QubitMfBank::load(std::istream& is) {
+  QubitMfBank bank;
+  bank.cfg_ = load_bank_config(is);
+  const std::size_t n_filters = io::read_count(is, 64);
+  MLQR_CHECK_MSG(n_filters == bank.cfg_.filters_per_qubit(),
+                 "bank has " << n_filters << " filters, config implies "
+                             << bank.cfg_.filters_per_qubit());
+  bank.filters_.reserve(n_filters);
+  for (std::size_t f = 0; f < n_filters; ++f)
+    bank.filters_.push_back(MatchedFilter::load(is));
+  const std::size_t kernel_len = bank.filters_.front().length();
+  for (const MatchedFilter& f : bank.filters_)
+    MLQR_CHECK_MSG(f.length() == kernel_len,
+                   "bank filters disagree on kernel length ("
+                       << f.length() << " vs " << kernel_len << ')');
+  for (auto& idx : bank.mined_.relaxation) idx = io::read_vec_u64(is);
+  for (auto& idx : bank.mined_.excitation) idx = io::read_vec_u64(is);
+  for (auto& idx : bank.mined_.clean) idx = io::read_vec_u64(is);
   return bank;
 }
 
@@ -165,6 +226,25 @@ void ChipMfBank::adopt(const MfBankConfig& cfg,
                    "adopted bank does not match the config's filter layout");
   cfg_ = cfg;
   banks_ = std::move(banks);
+}
+
+void ChipMfBank::save(std::ostream& os) const {
+  save_bank_config(os, cfg_);
+  io::write_u64(os, banks_.size());
+  for (const QubitMfBank& b : banks_) b.save(os);
+}
+
+ChipMfBank ChipMfBank::load(std::istream& is) {
+  const MfBankConfig cfg = load_bank_config(is);
+  const std::size_t n_qubits = io::read_count(is, 4096);
+  MLQR_CHECK_MSG(n_qubits > 0, "corrupt chip bank: zero qubits");
+  std::vector<QubitMfBank> banks;
+  banks.reserve(n_qubits);
+  for (std::size_t q = 0; q < n_qubits; ++q)
+    banks.push_back(QubitMfBank::load(is));
+  ChipMfBank chip_bank;
+  chip_bank.adopt(cfg, std::move(banks));  // Re-validates the filter layout.
+  return chip_bank;
 }
 
 void ChipMfBank::features(const std::vector<BasebandTrace>& per_qubit_baseband,

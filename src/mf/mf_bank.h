@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -63,6 +64,12 @@ class QubitMfBank {
   /// compacted over enabled groups).
   const MatchedFilter& filter(std::size_t i) const { return filters_.at(i); }
 
+  /// Binary little-endian persistence (calibration snapshot leaf): config,
+  /// every trained filter, and the mined-trace diagnostics round-trip;
+  /// features() on a reloaded bank is bit-identical to the original.
+  void save(std::ostream& os) const;
+  static QubitMfBank load(std::istream& is);
+
  private:
   MfBankConfig cfg_;
   std::vector<MatchedFilter> filters_;
@@ -98,6 +105,7 @@ class ChipMfBank {
   std::size_t total_features() const {
     return num_qubits() * features_per_qubit();
   }
+  const MfBankConfig& config() const { return cfg_; }
 
   /// Concatenated features for one shot (all qubits), appended to `out`.
   void features(const std::vector<BasebandTrace>& per_qubit_baseband,
@@ -109,6 +117,10 @@ class ChipMfBank {
   /// that demodulate qubit-by-qubit to bound memory use this instead of
   /// train().
   void adopt(const MfBankConfig& cfg, std::vector<QubitMfBank> banks);
+
+  /// Binary little-endian persistence of the whole chip-level bank.
+  void save(std::ostream& os) const;
+  static ChipMfBank load(std::istream& is);
 
  private:
   MfBankConfig cfg_;

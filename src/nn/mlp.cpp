@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "linalg/gemm.h"
 
 namespace mlqr {
@@ -129,41 +130,37 @@ float Mlp::max_abs_weight() const {
 }
 
 void Mlp::save(std::ostream& os) const {
-  const std::uint64_t n_layers = layers_.size();
-  os.write(reinterpret_cast<const char*>(&n_layers), sizeof(n_layers));
+  // Explicit little-endian layout (common/serialize.h): layer count, then
+  // per layer the dims and the exact f32 bit patterns of weights/biases —
+  // a reloaded network is bit-identical on every host.
+  io::write_u64(os, layers_.size());
   for (const DenseLayer& l : layers_) {
-    const std::uint64_t in = l.in, out = l.out;
-    os.write(reinterpret_cast<const char*>(&in), sizeof(in));
-    os.write(reinterpret_cast<const char*>(&out), sizeof(out));
-    os.write(reinterpret_cast<const char*>(l.w.data()),
-             static_cast<std::streamsize>(l.w.size() * sizeof(float)));
-    os.write(reinterpret_cast<const char*>(l.b.data()),
-             static_cast<std::streamsize>(l.b.size() * sizeof(float)));
+    io::write_u64(os, l.in);
+    io::write_u64(os, l.out);
+    io::write_vec_f32(os, l.w);
+    io::write_vec_f32(os, l.b);
   }
   MLQR_CHECK_MSG(os.good(), "MLP serialization failed");
 }
 
 Mlp Mlp::load(std::istream& is) {
-  std::uint64_t n_layers = 0;
-  is.read(reinterpret_cast<char*>(&n_layers), sizeof(n_layers));
-  MLQR_CHECK_MSG(is.good() && n_layers > 0 && n_layers < 64,
-                 "corrupt MLP stream");
+  const std::size_t n_layers = io::read_count(is, 64);
+  MLQR_CHECK_MSG(n_layers > 0, "corrupt MLP stream: zero layers");
   Mlp mlp;
   mlp.layers_.resize(n_layers);
+  std::size_t prev_out = 0;
   for (DenseLayer& l : mlp.layers_) {
-    std::uint64_t in = 0, out = 0;
-    is.read(reinterpret_cast<char*>(&in), sizeof(in));
-    is.read(reinterpret_cast<char*>(&out), sizeof(out));
-    MLQR_CHECK_MSG(is.good() && in > 0 && out > 0, "corrupt MLP layer header");
-    l.in = in;
-    l.out = out;
-    l.w.resize(l.in * l.out);
-    l.b.resize(l.out);
-    is.read(reinterpret_cast<char*>(l.w.data()),
-            static_cast<std::streamsize>(l.w.size() * sizeof(float)));
-    is.read(reinterpret_cast<char*>(l.b.data()),
-            static_cast<std::streamsize>(l.b.size() * sizeof(float)));
-    MLQR_CHECK_MSG(is.good(), "truncated MLP stream");
+    l.in = io::read_count(is);
+    l.out = io::read_count(is);
+    MLQR_CHECK_MSG(l.in > 0 && l.out > 0, "corrupt MLP layer header");
+    MLQR_CHECK_MSG(prev_out == 0 || l.in == prev_out,
+                   "MLP layer chain mismatch: input " << l.in
+                       << " after a layer with " << prev_out << " outputs");
+    prev_out = l.out;
+    l.w = io::read_vec_f32(is);
+    l.b = io::read_vec_f32(is);
+    MLQR_CHECK_MSG(l.w.size() == l.in * l.out && l.b.size() == l.out,
+                   "MLP layer payload does not match its dims");
   }
   return mlp;
 }

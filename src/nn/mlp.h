@@ -73,7 +73,9 @@ class Mlp {
   /// format that avoids saturation.
   float max_abs_weight() const;
 
-  /// Binary serialization (layer sizes + raw weights).
+  /// Binary little-endian serialization (layer dims + exact f32 weight bit
+  /// patterns; calibration snapshot leaf). load throws mlqr::Error on a
+  /// truncated stream or inconsistent layer chain.
   void save(std::ostream& os) const;
   static Mlp load(std::istream& is);
 

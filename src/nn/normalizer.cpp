@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/serialize.h"
 
 namespace mlqr {
 
@@ -30,6 +31,23 @@ FeatureNormalizer FeatureNormalizer::fit(std::span<const float> features,
     const double var = m2[c] / static_cast<double>(n - 1);
     norm.std_[c] = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
   }
+  return norm;
+}
+
+void FeatureNormalizer::save(std::ostream& os) const {
+  io::write_vec_f32(os, mean_);
+  io::write_vec_f32(os, std_);
+}
+
+FeatureNormalizer FeatureNormalizer::load(std::istream& is) {
+  FeatureNormalizer norm;
+  norm.mean_ = io::read_vec_f32(is);
+  norm.std_ = io::read_vec_f32(is);
+  MLQR_CHECK_MSG(!norm.mean_.empty() && norm.mean_.size() == norm.std_.size(),
+                 "corrupt normalizer: " << norm.mean_.size() << " means, "
+                                        << norm.std_.size() << " std devs");
+  for (float s : norm.std_)
+    MLQR_CHECK_MSG(s > 0.0f, "corrupt normalizer: non-positive std dev " << s);
   return norm;
 }
 

@@ -6,6 +6,7 @@
 // inference is a pure affine map (cheap on the FPGA).
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,11 @@ class FeatureNormalizer {
 
   const std::vector<float>& mean() const { return mean_; }
   const std::vector<float>& std_dev() const { return std_; }
+
+  /// Binary little-endian persistence (calibration snapshot leaf); a
+  /// reloaded normalizer applies bit-identically.
+  void save(std::ostream& os) const;
+  static FeatureNormalizer load(std::istream& is);
 
  private:
   std::vector<float> mean_;

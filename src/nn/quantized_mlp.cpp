@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "common/simd.h"
 
 namespace mlqr {
@@ -117,6 +118,51 @@ QuantizedMlp QuantizedMlp::quantize(const Mlp& mlp,
           cfg.accum_bits);
 
     q.layers_.push_back(std::move(ql));
+  }
+  return q;
+}
+
+void QuantizedMlp::save(std::ostream& os) const {
+  save_quantization_config(os, cfg_);
+  io::write_u64(os, layers_.size());
+  for (const QuantizedDenseLayer& l : layers_) {
+    io::write_u64(os, l.in);
+    io::write_u64(os, l.out);
+    save_format(os, l.weight_fmt);
+    save_format(os, l.in_fmt);
+    io::write_vec_i16(os, l.w);
+    io::write_vec_i64(os, l.b);
+  }
+}
+
+QuantizedMlp QuantizedMlp::load(std::istream& is) {
+  QuantizedMlp q;
+  q.cfg_ = load_quantization_config(is);
+  const std::size_t n_layers = io::read_count(is, 64);
+  MLQR_CHECK_MSG(n_layers > 0, "corrupt quantized MLP: zero layers");
+  q.layers_.resize(n_layers);
+  std::size_t prev_out = 0;
+  for (QuantizedDenseLayer& l : q.layers_) {
+    l.in = io::read_count(is);
+    l.out = io::read_count(is);
+    MLQR_CHECK_MSG(l.in > 0 && l.out > 0, "corrupt quantized MLP layer dims");
+    MLQR_CHECK_MSG(prev_out == 0 || l.in == prev_out,
+                   "quantized MLP layer chain mismatch: input "
+                       << l.in << " after a layer with " << prev_out
+                       << " outputs");
+    prev_out = l.out;
+    l.weight_fmt = load_format(is);
+    l.in_fmt = load_format(is);
+    l.w = io::read_vec_i16(is);
+    l.b = io::read_vec_i64(is);
+    MLQR_CHECK_MSG(l.w.size() == l.in * l.out && l.b.size() == l.out,
+                   "quantized MLP layer payload does not match its dims");
+    // simd::dot_i16's madd path requires weight codes != -2^15 — the same
+    // invariant quantize() pins at build time, re-pinned on the load path
+    // so a corrupt snapshot cannot smuggle the one forbidden code in.
+    for (std::int16_t w : l.w)
+      MLQR_CHECK_MSG(w > INT16_MIN,
+                     "quantized MLP weight code -32768 is not representable");
   }
   return q;
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -83,6 +84,12 @@ class QuantizedMlp {
   double logit_resolution() const;
 
   const QuantizationConfig& config() const { return cfg_; }
+
+  /// Binary little-endian persistence (calibration snapshot leaf): the
+  /// config, every layer's formats and the exact integer codes round-trip,
+  /// so a reloaded head's integer forward pass is bit-identical.
+  void save(std::ostream& os) const;
+  static QuantizedMlp load(std::istream& is);
 
  private:
   QuantizationConfig cfg_;

@@ -1,0 +1,150 @@
+#include "pipeline/snapshot.h"
+
+#include <array>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace mlqr {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic{'M', 'L', 'Q', 'R', 'S', 'N', 'A', 'P'};
+
+void write_header(std::ostream& os, SnapshotKind kind, std::size_t n_qubits,
+                  std::size_t n_samples, const std::string& name) {
+  os.write(kMagic.data(), kMagic.size());
+  io::write_u32(os, kSnapshotVersion);
+  io::write_u8(os, static_cast<std::uint8_t>(kind));
+  io::write_u64(os, n_qubits);
+  io::write_u64(os, n_samples);
+  io::write_string(os, name);
+}
+
+struct Header {
+  SnapshotKind kind;
+  std::size_t n_qubits;
+  std::size_t n_samples;
+  std::string name;
+};
+
+Header read_header(std::istream& is) {
+  std::array<char, 8> magic{};
+  io::read_bytes(is, magic.data(), magic.size());
+  MLQR_CHECK_MSG(magic == kMagic,
+                 "not a calibration snapshot (bad magic; expected MLQRSNAP)");
+  const std::uint32_t version = io::read_u32(is);
+  MLQR_CHECK_MSG(version == kSnapshotVersion,
+                 "snapshot version " << version << " unsupported (this build "
+                     << "reads version " << kSnapshotVersion << ')');
+  const std::uint8_t kind = io::read_u8(is);
+  MLQR_CHECK_MSG(kind <= static_cast<std::uint8_t>(SnapshotKind::kInt16),
+                 "unknown snapshot kind " << static_cast<int>(kind));
+  Header h;
+  h.kind = static_cast<SnapshotKind>(kind);
+  h.n_qubits = io::read_count(is, 4096);
+  h.n_samples = io::read_count(is);
+  h.name = io::read_string(is);
+  return h;
+}
+
+}  // namespace
+
+std::size_t BackendSnapshot::num_qubits() const {
+  return float_d ? float_d->num_qubits()
+                 : (int16_d ? int16_d->num_qubits() : 0);
+}
+
+EngineBackend BackendSnapshot::backend() const {
+  MLQR_CHECK_MSG(float_d || int16_d, "empty snapshot has no backend");
+  if (float_d) {
+    auto d = float_d;  // Copy of the shared_ptr: the lambda keeps it alive.
+    return EngineBackend(
+        d->name(), d->num_qubits(),
+        [d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
+          d->classify_into(t, s, out);
+        });
+  }
+  auto d = int16_d;
+  return EngineBackend(
+      d->name(), d->num_qubits(),
+      [d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
+        d->classify_into(t, s, out);
+      });
+}
+
+void save_backend(std::ostream& os, const ProposedDiscriminator& d) {
+  write_header(os, SnapshotKind::kFloat, d.num_qubits(), d.samples_used(),
+               d.name());
+  d.save(os);
+  MLQR_CHECK_MSG(os.good(), "snapshot write failed");
+}
+
+void save_backend(std::ostream& os, const QuantizedProposedDiscriminator& d) {
+  write_header(os, SnapshotKind::kInt16, d.num_qubits(),
+               d.frontend().n_samples(), d.name());
+  d.save(os);
+  MLQR_CHECK_MSG(os.good(), "snapshot write failed");
+}
+
+BackendSnapshot load_backend(std::istream& is) {
+  const Header h = read_header(is);
+  BackendSnapshot snap;
+  snap.kind = h.kind;
+  snap.name = h.name;
+  std::size_t n_qubits = 0;
+  std::size_t n_samples = 0;
+  if (h.kind == SnapshotKind::kFloat) {
+    snap.float_d = std::make_shared<const ProposedDiscriminator>(
+        ProposedDiscriminator::load(is));
+    n_qubits = snap.float_d->num_qubits();
+    n_samples = snap.float_d->samples_used();
+  } else {
+    snap.int16_d = std::make_shared<const QuantizedProposedDiscriminator>(
+        QuantizedProposedDiscriminator::load(is));
+    n_qubits = snap.int16_d->num_qubits();
+    n_samples = snap.int16_d->frontend().n_samples();
+  }
+  MLQR_CHECK_MSG(n_qubits == h.n_qubits && n_samples == h.n_samples,
+                 "snapshot header (" << h.n_qubits << " qubits, "
+                     << h.n_samples << " samples) disagrees with payload ("
+                     << n_qubits << " qubits, " << n_samples << " samples)");
+  return snap;
+}
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  MLQR_CHECK_MSG(os.good(), "cannot open snapshot file for writing: " << path);
+  return os;
+}
+
+}  // namespace
+
+void save_backend_file(const std::string& path,
+                       const ProposedDiscriminator& d) {
+  std::ofstream os = open_out(path);
+  save_backend(os, d);
+  os.flush();
+  MLQR_CHECK_MSG(os.good(), "failed to write snapshot file: " << path);
+}
+
+void save_backend_file(const std::string& path,
+                       const QuantizedProposedDiscriminator& d) {
+  std::ofstream os = open_out(path);
+  save_backend(os, d);
+  os.flush();
+  MLQR_CHECK_MSG(os.good(), "failed to write snapshot file: " << path);
+}
+
+BackendSnapshot load_backend_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MLQR_CHECK_MSG(is.good(), "cannot open snapshot file: " << path);
+  return load_backend(is);
+}
+
+}  // namespace mlqr

@@ -1,0 +1,82 @@
+// Versioned binary calibration snapshots: a trained discriminator's full
+// inference state, persisted so a deployment never retrains just to serve.
+//
+// Frequency-multiplexed readout chains are recalibrated continuously as
+// the device drifts; the snapshot layer is the hand-off between the
+// (slow, offline) calibration pipeline and the (always-on) serving path:
+//
+//   train/quantize  ->  save_backend(os, d)   ->  bytes on disk
+//   bytes on disk   ->  load_backend(is)      ->  BackendSnapshot
+//   snapshot.backend()                        ->  owning EngineBackend
+//   StreamingEngine::swap_shard(shard, b)     ->  hot recalibration
+//
+// Format (everything little-endian, see common/serialize.h):
+//
+//   magic   8 bytes  "MLQRSNAP"
+//   version u32      kSnapshotVersion (hard error on mismatch — no silent
+//                    cross-version decoding)
+//   kind    u8       0 = float ProposedDiscriminator,
+//                    1 = int16 QuantizedProposedDiscriminator
+//   n_qubits u64     chip/channel metadata, checked against
+//   n_samples u64    the decoded payload on load
+//   name    string   backend name recorded at save time
+//   payload          the discriminator's own save() stream
+//
+// Guarantees: floats travel as exact IEEE-754 bit patterns, so a loaded
+// backend classifies bit-identically to the instance that was saved (both
+// kinds; pinned by tests/test_snapshot.cpp). Loads hard-error on magic,
+// version, truncation, and any dimension inconsistency — a corrupt or
+// mismatched snapshot never half-loads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "discrim/proposed.h"
+#include "discrim/quantized_proposed.h"
+#include "pipeline/readout_engine.h"
+
+namespace mlqr {
+
+/// Discriminator family a snapshot carries.
+enum class SnapshotKind : std::uint8_t {
+  kFloat = 0,  ///< ProposedDiscriminator (fused float path).
+  kInt16 = 1,  ///< QuantizedProposedDiscriminator (integer datapath).
+};
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// A loaded snapshot: owns the reconstructed discriminator (exactly one of
+/// the two pointers is set) and mints EngineBackends that share that
+/// ownership — unlike make_backend(), a snapshot backend keeps its
+/// discriminator alive for as long as any copy of the backend exists, so
+/// it can outlive the snapshot and ride through swap_shard.
+struct BackendSnapshot {
+  SnapshotKind kind = SnapshotKind::kFloat;
+  std::string name;  ///< Backend name recorded at save time.
+  std::shared_ptr<const ProposedDiscriminator> float_d;
+  std::shared_ptr<const QuantizedProposedDiscriminator> int16_d;
+
+  std::size_t num_qubits() const;
+
+  /// Owning backend over the loaded discriminator (see above).
+  EngineBackend backend() const;
+};
+
+/// Serializes a trained discriminator with the snapshot header.
+void save_backend(std::ostream& os, const ProposedDiscriminator& d);
+void save_backend(std::ostream& os, const QuantizedProposedDiscriminator& d);
+
+/// Deserializes either kind; throws mlqr::Error on bad magic, version
+/// mismatch, truncation, or dimension inconsistency.
+BackendSnapshot load_backend(std::istream& is);
+
+/// File conveniences (binary mode; throw mlqr::Error on I/O failure).
+void save_backend_file(const std::string& path, const ProposedDiscriminator& d);
+void save_backend_file(const std::string& path,
+                       const QuantizedProposedDiscriminator& d);
+BackendSnapshot load_backend_file(const std::string& path);
+
+}  // namespace mlqr

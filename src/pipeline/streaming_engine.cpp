@@ -103,10 +103,14 @@ void StreamingEngine::extend_queued_run() {
 void StreamingEngine::dispatch_loop() {
   std::unique_lock lock(mutex_);
   for (;;) {
+    // Yield to pending swap_shard calls before claiming a batch: between
+    // batches the mutex is held continuously under sustained load, so
+    // without this gate a swapper could starve forever.
     work_cv_.wait(lock, [&] {
-      return ready_run() > 0 || (stop_ && head_ == next_ticket_);
+      return (swaps_pending_ == 0 && ready_run() > 0) ||
+             (stop_ && head_ == next_ticket_);
     });
-    if (ready_run() == 0) return;  // Stopped and fully drained.
+    if (stop_ && head_ == next_ticket_) return;  // Stopped and fully drained.
     // Micro-batch window: give the batch a chance to fill, but never hold
     // the oldest pending shot past its deadline. Skipped once stopping —
     // shutdown flushes immediately.
@@ -124,32 +128,56 @@ void StreamingEngine::dispatch_loop() {
     queued_run_ -= m;
     for (std::size_t i = 0; i < m; ++i)
       slot_of(t0 + i).state = SlotState::kInFlight;
+    dispatching_ = true;
     lock.unlock();
 
     // Classify the claimed slots through the shared engine machinery. The
     // slots are exclusively ours until marked kDone, so reading frames and
     // writing labels outside the lock is race-free (the producer's frame
-    // writes happened-before its kQueued transition).
-    core_.classify(
-        m,
-        [this, t0](std::size_t s) -> const IqTrace& {
-          return slot_of(t0 + s).frame;
-        },
-        [this, t0](std::size_t s) -> const EngineBackend& {
-          return shards_[slot_of(t0 + s).shard];
-        },
-        [this, t0](std::size_t s) -> std::span<int> {
-          Slot& slot = slot_of(t0 + s);
-          return {slot.labels.data(), slot.labels.size()};
-        },
-        /*micros=*/nullptr);
+    // writes happened-before its kQueued transition). shards_ is stable
+    // while dispatching_ is true: swap_shard waits for the gap between
+    // batches. A throwing backend must not escape this jthread
+    // (std::terminate, stuck kInFlight slots, hung waiters) — the failure
+    // is captured and delivered through the affected tickets instead, and
+    // the dispatcher lives on. The thread-pool fan-out propagates the
+    // first worker exception and remains reusable, so a partial batch
+    // failure poisons only this micro-batch.
+    std::exception_ptr batch_error;
+    try {
+      core_.classify(
+          m,
+          [this, t0](std::size_t s) -> const IqTrace& {
+            return slot_of(t0 + s).frame;
+          },
+          [this, t0](std::size_t s) -> const EngineBackend& {
+            return shards_[slot_of(t0 + s).shard];
+          },
+          [this, t0](std::size_t s) -> std::span<int> {
+            Slot& slot = slot_of(t0 + s);
+            return {slot.labels.data(), slot.labels.size()};
+          },
+          /*micros=*/nullptr);
+    } catch (...) {
+      batch_error = std::current_exception();
+    }
 
     lock.lock();
-    for (std::size_t i = 0; i < m; ++i)
-      slot_of(t0 + i).state = SlotState::kDone;
+    dispatching_ = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      Slot& slot = slot_of(t0 + i);
+      slot.state = SlotState::kDone;
+      slot.error = batch_error;
+    }
+    if (batch_error) {
+      failed_unconsumed_ += m;
+      if (!first_error_) first_error_ = batch_error;
+    }
     completed_ += m;
     ++batches_;
     done_cv_.notify_all();
+    // Wake a swapper (or producers racing the swap gate) parked on
+    // work_cv_ — done_cv_ only covers wait()/drain().
+    if (swaps_pending_ > 0) work_cv_.notify_all();
   }
 }
 
@@ -177,6 +205,19 @@ void StreamingEngine::wait(Ticket t, std::span<int> out) {
         "ticket " << t << " was already waited (each ticket is one-shot)");
     done_cv_.wait(lock);
   }
+  if (slot.error) {
+    // The backend threw while classifying this ticket's batch: the labels
+    // are invalid. Consume the ticket (one-shot contract unchanged), free
+    // the slot, and deliver the failure to this waiter.
+    std::exception_ptr err;
+    std::swap(err, slot.error);
+    slot.state = SlotState::kFree;
+    --failed_unconsumed_;
+    if (failed_unconsumed_ == 0) first_error_ = nullptr;
+    lock.unlock();
+    space_cv_.notify_all();
+    std::rethrow_exception(err);
+  }
   std::copy(slot.labels.begin(), slot.labels.end(), out.begin());
   slot.state = SlotState::kFree;  // ticket stays == t: marks "consumed".
   lock.unlock();
@@ -197,6 +238,31 @@ void StreamingEngine::drain() {
   flush_ = std::max(flush_, target);
   work_cv_.notify_all();
   done_cv_.wait(lock, [&] { return completed_ >= target; });
+  // Surface classify failures to flush-and-check callers that never wait
+  // individual tickets. The failed tickets stay retrievable: each wait()
+  // still rethrows, and once all are consumed drain() goes quiet again.
+  if (failed_unconsumed_ > 0) std::rethrow_exception(first_error_);
+}
+
+void StreamingEngine::swap_shard(std::size_t shard, EngineBackend backend) {
+  MLQR_CHECK_MSG(backend.valid(), "swap_shard got an invalid backend");
+  MLQR_CHECK_MSG(backend.num_qubits() == n_qubits_,
+                 "swap_shard backend reports " << backend.num_qubits()
+                     << " qubits, engine serves " << n_qubits_);
+  std::unique_lock lock(mutex_);
+  MLQR_CHECK_MSG(shard < shards_.size(),
+                 "swap_shard index " << shard << " out of range (engine has "
+                                     << shards_.size() << " shards)");
+  // Park until the dispatcher is between micro-batches; the pending-swap
+  // count makes it yield the next claim to us, so this is bounded by one
+  // batch even under saturation.
+  ++swaps_pending_;
+  done_cv_.wait(lock, [&] { return !dispatching_; });
+  shards_[shard] = std::move(backend);
+  ++swaps_;
+  --swaps_pending_;
+  lock.unlock();
+  work_cv_.notify_all();  // Release the dispatcher's swap gate.
 }
 
 std::uint64_t StreamingEngine::shots_submitted() const {
@@ -212,6 +278,11 @@ std::uint64_t StreamingEngine::shots_completed() const {
 std::uint64_t StreamingEngine::batches_dispatched() const {
   std::scoped_lock lock(mutex_);
   return batches_;
+}
+
+std::uint64_t StreamingEngine::shards_swapped() const {
+  std::scoped_lock lock(mutex_);
+  return swaps_;
 }
 
 }  // namespace mlqr

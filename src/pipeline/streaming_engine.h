@@ -27,6 +27,15 @@
 //     been classified. Tickets complete in arbitrary shard order but every
 //     ticket is individually awaitable (out-of-order completion is pinned
 //     by tests/test_streaming.cpp).
+//   * A backend that throws mid-batch does not kill the engine: the
+//     dispatcher catches the failure, marks that micro-batch's tickets
+//     failed (wait() rethrows the stored exception per ticket, drain()
+//     surfaces it while failed tickets remain unconsumed) and keeps
+//     serving subsequent batches.
+//   * swap_shard(shard, backend) hot-swaps one shard's calibration between
+//     micro-batches — the drift-recalibration path (typically fed by a
+//     pipeline/snapshot.h BackendSnapshot) — without dropping or
+//     rerouting tickets.
 //
 // Steady state allocates nothing: ring slots reuse their frame/label
 // capacity, scratch lives per worker slot, and the dispatcher loop holds
@@ -36,6 +45,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -103,19 +113,42 @@ class StreamingEngine {
   /// its producer has not submitted yet — the call blocks until it is
   /// (and forever if it never is). Each ticket can be waited exactly once;
   /// waiting a released ticket throws Error.
+  ///
+  /// If the backend threw while classifying this ticket's micro-batch, the
+  /// slot is released (ticket consumed) and the stored exception is
+  /// rethrown instead of copying labels — the dispatcher survives such
+  /// failures and keeps classifying later submissions.
   void wait(Ticket t, std::span<int> out);
 
   /// Allocating convenience wrapper around wait(t, out).
   std::vector<int> wait(Ticket t);
 
   /// Blocks until every ticket issued so far has been classified (results
-  /// stay retrievable via wait afterwards).
+  /// stay retrievable via wait afterwards). If any completed-but-unwaited
+  /// ticket failed, rethrows the earliest such batch's exception (without
+  /// consuming the tickets — each failed ticket still rethrows from its
+  /// own wait()); once every failed ticket has been waited, drain()
+  /// returns normally again.
   void drain();
+
+  /// Atomically replaces one shard's backend between micro-batches: blocks
+  /// until the dispatcher is not classifying (the dispatcher yields the
+  /// next batch to a pending swap, so this is bounded by one micro-batch
+  /// even under saturation), then installs the new backend under the
+  /// engine lock. Queued and future tickets routed to `shard` classify on
+  /// the new backend; no ticket is dropped or rerouted. The backend must
+  /// be valid and agree on the qubit count (throws Error otherwise). Pass
+  /// an owning backend (e.g. BackendSnapshot::backend()) or keep the
+  /// wrapped discriminator alive for the engine's lifetime. Safe to call
+  /// concurrently with submit/wait/drain from any thread, but not while
+  /// the engine is being destroyed.
+  void swap_shard(std::size_t shard, EngineBackend backend);
 
   /// Counters (each takes the engine lock briefly).
   std::uint64_t shots_submitted() const;
   std::uint64_t shots_completed() const;
   std::uint64_t batches_dispatched() const;
+  std::uint64_t shards_swapped() const;
 
  private:
   enum class SlotState : std::uint8_t {
@@ -137,6 +170,9 @@ class StreamingEngine {
     std::size_t shard = 0;
     SlotState state = SlotState::kFree;
     std::chrono::steady_clock::time_point arrival{};
+    /// Set when the backend threw while classifying this slot's batch; the
+    /// labels are invalid and wait() rethrows instead of copying.
+    std::exception_ptr error;
   };
 
   Ticket submit_routed(const IqTrace& frame, bool keyed, std::uint64_t key);
@@ -164,6 +200,18 @@ class StreamingEngine {
   std::size_t queued_run_ = 0;  ///< Contiguous kQueued slots from head_.
   std::uint64_t completed_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t swaps_ = 0;
+  /// kDone-with-error tickets not yet consumed by wait(), and the earliest
+  /// such batch's exception (what drain() rethrows while any remain).
+  std::size_t failed_unconsumed_ = 0;
+  std::exception_ptr first_error_;
+  /// True while the dispatcher runs core_.classify outside the lock (it
+  /// reads shards_ there, so swap_shard must not mutate them meanwhile).
+  bool dispatching_ = false;
+  /// Swappers waiting for a batch gap; the dispatcher yields to them
+  /// before claiming the next micro-batch so swaps cannot starve under
+  /// sustained load.
+  std::size_t swaps_pending_ = 0;
   bool stop_ = false;
 
   std::jthread dispatcher_;  ///< Last member: joins before state dies.

@@ -7,6 +7,16 @@
 
 namespace mlqr {
 
+std::size_t ChipProfile::window_samples(double duration_ns) const {
+  if (duration_ns <= 0.0) return n_samples;
+  const auto samples =
+      static_cast<std::size_t>(std::llround(duration_ns / dt_ns()));
+  MLQR_CHECK_MSG(samples > 0 && samples <= n_samples,
+                 "duration " << duration_ns << " ns maps to " << samples
+                             << " samples (trace has " << n_samples << ')');
+  return samples;
+}
+
 namespace {
 
 /// Places the three per-level responses on a circle of radius `amp` at the

@@ -84,6 +84,15 @@ struct ChipProfile {
   double dt_ns() const { return 1e3 / sample_rate_msps; }
   double duration_ns() const { return dt_ns() * static_cast<double>(n_samples); }
 
+  /// Maps a readout duration to a sample window: 0 means the full trace,
+  /// otherwise round(duration/dt) — nearest, not truncation, so a duration
+  /// that is an exact multiple of a non-representable dt (e.g. 10/3 ns at
+  /// 300 MS/s) never loses its last sample to floating-point
+  /// representation error. Every duration-aware stage (Channelizer and all
+  /// discriminators) resolves through this one helper so they agree on the
+  /// window. Throws when the result is 0 or exceeds n_samples.
+  std::size_t window_samples(double duration_ns) const;
+
   /// Validates invariants (Nyquist, crosstalk shape, level ordering).
   void validate() const;
 

@@ -151,6 +151,21 @@ TEST(Channelizer, DurationTruncates) {
   EXPECT_DOUBLE_EQ(chan.duration_ns(), 200.0);
 }
 
+TEST(Channelizer, ExactMultipleOfNonRepresentableDtKeepsAllSamples) {
+  // dt = 10/3 ns is not representable in binary floating point, so a
+  // duration that is an exact multiple of dt can sit one ulp below the
+  // integer after duration/dt. Truncation mapped ~1 in 4 of these windows
+  // to k-1 samples (silently dropping the last sample); round-to-nearest
+  // must recover every k.
+  ChipProfile chip = noiseless_chip();
+  chip.sample_rate_msps = 300.0;  // dt = 10/3 ns.
+  for (std::size_t k = 1; k <= chip.n_samples; ++k) {
+    const double duration_ns = static_cast<double>(k) * 1e3 / 300.0;
+    const Channelizer chan(chip, duration_ns);
+    ASSERT_EQ(chan.samples_used(), k) << "duration " << duration_ns << " ns";
+  }
+}
+
 TEST(Channelizer, InvalidDurationThrows) {
   const ChipProfile chip = noiseless_chip();
   EXPECT_THROW(Channelizer(chip, 1e9), Error);

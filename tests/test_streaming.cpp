@@ -237,6 +237,109 @@ TEST(Streaming, RejectsBadShardSets) {
   EXPECT_THROW(StreamingEngine(std::move(mixed)), Error);
 }
 
+/// Sentinel that makes flaky_backend() throw for a frame.
+constexpr float kPoison = 12345.0f;
+
+/// Backend for the failure tests: classifies to zeros, but throws when a
+/// frame's first I sample carries the poison sentinel. Two qubits, no
+/// training needed.
+EngineBackend flaky_backend() {
+  return EngineBackend(
+      "flaky", 2, [](const IqTrace& t, InferenceScratch&, std::span<int> out) {
+        MLQR_CHECK_MSG(t.i.empty() || t.i[0] != kPoison,
+                       "flaky backend poisoned frame");
+        std::fill(out.begin(), out.end(), 0);
+      });
+}
+
+IqTrace plain_frame() { return IqTrace(32); }
+
+IqTrace poison_frame() {
+  IqTrace t(32);
+  t.i[0] = kPoison;
+  return t;
+}
+
+TEST(Streaming, ThrowingBackendSurfacesFromWaitAndEngineSurvives) {
+  // A backend exception used to escape the dispatcher jthread ->
+  // std::terminate with the batch's slots stuck kInFlight. Now the failure
+  // is delivered through the affected ticket's wait() and the dispatcher
+  // keeps serving.
+  StreamingConfig cfg;
+  cfg.batch_max = 1;  // One ticket per micro-batch: failures stay per-shot.
+  cfg.deadline_us = 0;
+  StreamingEngine eng(flaky_backend(), 2, cfg);
+  const auto good0 = eng.submit(plain_frame());
+  const auto bad = eng.submit(poison_frame());
+  const auto good1 = eng.submit(plain_frame());
+  EXPECT_EQ(eng.wait(good0), (std::vector<int>{0, 0}));
+  EXPECT_THROW(eng.wait(bad), Error);
+  EXPECT_THROW(eng.wait(bad), Error);  // Consumed: one-shot contract holds.
+  EXPECT_EQ(eng.wait(good1), (std::vector<int>{0, 0}));
+  // The engine is still alive for later submissions.
+  const auto good2 = eng.submit(plain_frame());
+  EXPECT_EQ(eng.wait(good2), (std::vector<int>{0, 0}));
+  EXPECT_EQ(eng.shots_completed(), 4u);
+}
+
+TEST(Streaming, BatchFailurePoisonsEveryTicketOfThatBatch) {
+  // Failure granularity is the micro-batch: the dispatcher cannot know
+  // which shot threw, so every ticket of the failed batch rethrows.
+  StreamingConfig cfg;
+  cfg.batch_max = 4;
+  cfg.deadline_us = 200000;  // Batch forms by count, not deadline.
+  StreamingEngine eng(flaky_backend(), 1, cfg);
+  std::vector<StreamingEngine::Ticket> tickets;
+  for (int s = 0; s < 4; ++s)
+    tickets.push_back(eng.submit(s == 2 ? poison_frame() : plain_frame()));
+  for (const auto t : tickets) EXPECT_THROW(eng.wait(t), Error);
+  // The next (clean) batch classifies normally.
+  EXPECT_EQ(eng.wait(eng.submit(plain_frame())), (std::vector<int>{0, 0}));
+  EXPECT_EQ(eng.batches_dispatched(), 2u);
+}
+
+TEST(Streaming, DrainSurfacesFailuresUntilTicketsAreConsumed) {
+  StreamingConfig cfg;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  StreamingEngine eng(flaky_backend(), 1, cfg);
+  const auto good = eng.submit(plain_frame());
+  const auto bad = eng.submit(poison_frame());
+  EXPECT_THROW(eng.drain(), Error);
+  EXPECT_THROW(eng.drain(), Error);  // Still unconsumed: drain keeps flagging.
+  EXPECT_EQ(eng.wait(good), (std::vector<int>{0, 0}));
+  EXPECT_THROW(eng.wait(bad), Error);
+  EXPECT_NO_THROW(eng.drain());  // All failures delivered: quiet again.
+}
+
+TEST(Streaming, FailuresUnderBackpressureNeitherDeadlockNorLeakSlots) {
+  // A tiny ring forces submit() to block on slots held by failed tickets;
+  // wait() must free them (and count exactly the poisoned shots as
+  // failures) or the producer would hang forever.
+  StreamingConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  StreamingEngine eng(flaky_backend(), 2, cfg);
+  constexpr std::size_t kShots = 24;
+  std::jthread producer([&] {
+    for (std::size_t s = 0; s < kShots; ++s)
+      eng.submit(s % 3 == 0 ? poison_frame() : plain_frame());
+  });
+  std::size_t failures = 0;
+  std::vector<int> out(eng.num_qubits());
+  for (std::size_t s = 0; s < kShots; ++s) {
+    try {
+      eng.wait(s, out);
+    } catch (const Error&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, kShots / 3);
+  EXPECT_EQ(eng.shots_completed(), kShots);
+  EXPECT_NO_THROW(eng.drain());
+}
+
 TEST(Streaming, DestructorDrainsOutstandingWork) {
   // Submit without waiting, destroy immediately: the dispatcher must flush
   // the ring before join (no hang, no sanitizer complaint).
