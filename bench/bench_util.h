@@ -162,11 +162,9 @@ inline ServingBackends make_serving_backends(const ReadoutDataset& ds,
   };
   const auto check_loaded = [&](const BackendSnapshot& snap,
                                 const std::string& path, SnapshotKind kind) {
-    MLQR_CHECK_MSG(snap.kind == kind,
-                   "snapshot " << path << " holds a "
-                       << (snap.kind == SnapshotKind::kFloat ? "float"
-                                                             : "int16")
-                       << " backend — wrong kind for this path (renamed "
+    MLQR_CHECK_MSG(snap.kind() == kind,
+                   "snapshot " << path << " holds a \"" << snap.name()
+                       << "\" backend — wrong kind for this path (renamed "
                        << "file?)");
     MLQR_CHECK_MSG(snap.num_qubits() == ds.chip.num_qubits(),
                    "snapshot " << path << " serves " << snap.num_qubits()
@@ -190,25 +188,20 @@ inline ServingBackends make_serving_backends(const ReadoutDataset& ds,
   }
 
   std::cout << '[' << tag << "] training proposed discriminator...\n";
-  sb.float_snap.kind = SnapshotKind::kFloat;
-  sb.float_snap.float_d = std::make_shared<const ProposedDiscriminator>(
-      ProposedDiscriminator::train(ds.shots, ds.training_labels, ds.train_idx,
-                                   ds.chip, pcfg));
-  sb.float_snap.name = sb.float_snap.float_d->name();
+  sb.float_snap = BackendSnapshot::wrap(ProposedDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg));
   sb.float_backend = sb.float_snap.backend();
   if (want_int16) {
     std::cout << '[' << tag << "] calibrating int16 backend...\n";
-    sb.int16_snap.kind = SnapshotKind::kInt16;
-    sb.int16_snap.int16_d =
-        std::make_shared<const QuantizedProposedDiscriminator>(
-            QuantizedProposedDiscriminator::quantize(*sb.float_snap.float_d,
-                                                     ds.shots, ds.train_idx));
-    sb.int16_snap.name = sb.int16_snap.int16_d->name();
+    sb.int16_snap =
+        BackendSnapshot::wrap(QuantizedProposedDiscriminator::quantize(
+            *sb.float_snap.as<ProposedDiscriminator>(), ds.shots,
+            ds.train_idx));
     sb.int16_backend = sb.int16_snap.backend();
   }
   if (use_snapshots) {
-    save_backend_file(float_path, *sb.float_snap.float_d);
-    if (want_int16) save_backend_file(int16_path, *sb.int16_snap.int16_d);
+    save_backend_file(float_path, sb.float_snap);
+    if (want_int16) save_backend_file(int16_path, sb.int16_snap);
     std::cout << '[' << tag << "] saved calibration snapshot(s) under prefix "
               << prefix << " (next run loads instead of training)\n";
   }

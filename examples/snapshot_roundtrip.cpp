@@ -11,18 +11,82 @@
 // bench/pipeline_throughput and bench/streaming_throughput serve from the
 // saved calibration instead of retraining. MLQR_FAST=1 shrinks the run to
 // CI scale.
+//
+// MLQR_CORPUS_DIR=<dir> switches to seed-corpus mode: train every
+// registered snapshot kind on a tiny two-qubit dataset, write one valid
+// <dir>/<kind>.snap per design, and exit. The checked-in fuzz/corpus/
+// seeds for the load_backend fuzzer are generated this way.
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "common/env.h"
 #include "common/table.h"
+#include "discrim/fnn_baseline.h"
+#include "discrim/gaussian_discriminator.h"
+#include "discrim/herqules_baseline.h"
 #include "pipeline/snapshot.h"
 #include "pipeline/streaming_engine.h"
 #include "readout/dataset.h"
 
+namespace {
+
+// Seed-corpus mode: one small, valid snapshot per registered kind (plus
+// both Gaussian flavours), written as <dir>/<name>.snap.
+int write_corpus(const std::string& dir) {
+  using namespace mlqr;
+  DatasetConfig dcfg;
+  dcfg.chip = ChipProfile::test_two_qubit();
+  dcfg.shots_per_basis_state = 120;
+  dcfg.seed = 20260807;
+  std::cout << "[corpus] generating two-qubit dataset...\n";
+  const ReadoutDataset ds = generate_dataset(dcfg);
+
+  const auto emit = [&dir](const std::string& stem, const auto& d) {
+    const std::string path = dir + "/" + stem + ".snap";
+    save_backend_file(path, d);
+    std::cout << "[corpus] wrote " << path << '\n';
+  };
+
+  ProposedConfig pcfg;
+  pcfg.trainer.epochs = 6;
+  const ProposedDiscriminator proposed = ProposedDiscriminator::train(
+      ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
+  emit("float", proposed);
+  emit("int16", QuantizedProposedDiscriminator::quantize(proposed, ds.shots,
+                                                         ds.train_idx));
+
+  FnnConfig fcfg;
+  fcfg.trainer.epochs = 2;
+  fcfg.hidden = {16};  // Seed inputs should be small; capacity is moot.
+  emit("fnn", FnnDiscriminator::train(ds.shots, ds.training_labels,
+                                      ds.train_idx, ds.chip, fcfg));
+
+  HerqulesConfig hcfg;
+  hcfg.trainer.epochs = 4;
+  hcfg.hidden = {16};
+  emit("herqules", HerqulesDiscriminator::train(ds.shots, ds.training_labels,
+                                                ds.train_idx, ds.chip, hcfg));
+
+  GaussianDiscriminatorConfig gcfg;
+  gcfg.kind = GaussianKind::kLda;
+  emit("lda", GaussianShotDiscriminator::train(ds.shots, ds.training_labels,
+                                               ds.train_idx, ds.chip, gcfg));
+  gcfg.kind = GaussianKind::kQda;
+  emit("qda", GaussianShotDiscriminator::train(ds.shots, ds.training_labels,
+                                               ds.train_idx, ds.chip, gcfg));
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace mlqr;
+
+  if (const char* corpus_dir = std::getenv("MLQR_CORPUS_DIR");
+      corpus_dir && *corpus_dir)
+    return write_corpus(corpus_dir);
 
   // Default five-qubit chip: the snapshots this writes are directly
   // loadable by the benches (same chip/channel geometry).
@@ -72,8 +136,8 @@ int main(int argc, char** argv) {
   Table table("Snapshot round trip (" + std::to_string(ds.shots.size()) +
               " frames)");
   table.set_header({"Backend", "Saved as", "Label mismatches vs original"});
-  table.add_row({float_snap.name, float_path, std::to_string(float_bad)});
-  table.add_row({int16_snap.name, int16_path, std::to_string(int16_bad)});
+  table.add_row({float_snap.name(), float_path, std::to_string(float_bad)});
+  table.add_row({int16_snap.name(), int16_path, std::to_string(int16_bad)});
   table.print();
   if (float_bad + int16_bad != 0) {
     std::cerr << "snapshot round trip is NOT bit-identical\n";

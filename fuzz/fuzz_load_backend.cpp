@@ -1,0 +1,33 @@
+// libFuzzer harness for the snapshot decoder: the fuzzer mutates whole
+// snapshot byte streams (seeded from fuzz/corpus/, one valid snapshot per
+// registered kind) and feeds them to load_backend. The contract — shared
+// with tests/test_snapshot_fuzz.cpp — is that any input either decodes
+// into a serviceable snapshot or throws mlqr::Error; a crash, hang,
+// over-allocation, or sanitizer report is a finding.
+//
+// Build:  CC=clang CXX=clang++ cmake -B build -S . -DMLQR_FUZZ=ON \
+//             -DMLQR_SANITIZE=ON
+// Run:    ./build/fuzz_load_backend -rss_limit_mb=4096 fuzz/corpus
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "pipeline/snapshot.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::stringstream ss(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const mlqr::BackendSnapshot snap = mlqr::load_backend(ss);
+    // A stream that decodes must yield a fully serviceable snapshot.
+    (void)snap.backend();
+    (void)snap.name();
+    (void)snap.num_qubits();
+  } catch (const mlqr::Error&) {
+    // Rejected hostile input: the expected outcome for most mutants.
+  }
+  return 0;
+}

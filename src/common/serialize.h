@@ -16,6 +16,7 @@
 #include <complex>
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <span>
 #include <string>
@@ -149,18 +150,52 @@ inline bool read_bool(std::istream& is) {
   return v == 1;
 }
 
+/// Bytes left between the stream's read position and its end, or nullopt
+/// when the stream is not seekable (pipes). Probes with tellg/seekg and
+/// restores the position; never touches stream contents. The count readers
+/// use this to reject element counts that promise more payload than the
+/// stream holds *before* sizing any allocation — a hostile 2^60 count in a
+/// 100-byte file fails here, not in operator new.
+inline std::optional<std::uint64_t> remaining_bytes(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::nullopt;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (end == std::istream::pos_type(-1) || !is.good() || end < pos)
+    return std::nullopt;
+  return static_cast<std::uint64_t>(end - pos);
+}
+
 /// Reads an element count written by a vector/string writer, bounded so a
-/// corrupt stream cannot size a pathological allocation.
+/// corrupt stream cannot size a pathological allocation. When `elem_bytes`
+/// is nonzero, the count is additionally bounded by the bytes actually
+/// remaining in the stream: a count promising n * elem_bytes of payload
+/// beyond the stream's end is rejected before any allocation. Pass 0 for
+/// metadata counts (qubit totals, shard indices) that do not directly size
+/// a following byte run.
 inline std::size_t read_count(std::istream& is,
-                              std::uint64_t cap = kMaxSerializedCount) {
+                              std::uint64_t cap = kMaxSerializedCount,
+                              std::uint64_t elem_bytes = 0) {
   const std::uint64_t n = read_u64(is);
   MLQR_CHECK_MSG(n <= cap,
                  "corrupt snapshot count " << n << " (cap " << cap << ')');
+  if (elem_bytes > 0 && n > 0) {
+    if (const std::optional<std::uint64_t> left = remaining_bytes(is)) {
+      // n * elem_bytes cannot overflow: n <= cap <= 2^28, elem_bytes is a
+      // small fixed element size.
+      MLQR_CHECK_MSG(n * elem_bytes <= *left,
+                     "corrupt snapshot count " << n << " (needs "
+                                               << n * elem_bytes
+                                               << " bytes, stream has "
+                                               << *left << ')');
+    }
+  }
   return static_cast<std::size_t>(n);
 }
 
 inline std::string read_string(std::istream& is) {
-  const std::size_t n = read_count(is, 1u << 16);
+  const std::size_t n = read_count(is, 1u << 16, 1);
   std::string s(n, '\0');
   if (n > 0) read_bytes(is, s.data(), n);
   return s;
@@ -203,37 +238,40 @@ inline void write_vec_complexd(std::ostream& os,
 }
 
 inline std::vector<float> read_vec_f32(std::istream& is) {
-  std::vector<float> v(read_count(is));
+  std::vector<float> v(read_count(is, kMaxSerializedCount, sizeof(float)));
   for (float& x : v) x = read_f32(is);
   return v;
 }
 
 inline std::vector<double> read_vec_f64(std::istream& is) {
-  std::vector<double> v(read_count(is));
+  std::vector<double> v(read_count(is, kMaxSerializedCount, sizeof(double)));
   for (double& x : v) x = read_f64(is);
   return v;
 }
 
 inline std::vector<std::int16_t> read_vec_i16(std::istream& is) {
-  std::vector<std::int16_t> v(read_count(is));
+  std::vector<std::int16_t> v(
+      read_count(is, kMaxSerializedCount, sizeof(std::int16_t)));
   for (std::int16_t& x : v) x = read_i16(is);
   return v;
 }
 
 inline std::vector<std::int64_t> read_vec_i64(std::istream& is) {
-  std::vector<std::int64_t> v(read_count(is));
+  std::vector<std::int64_t> v(
+      read_count(is, kMaxSerializedCount, sizeof(std::int64_t)));
   for (std::int64_t& x : v) x = read_i64(is);
   return v;
 }
 
 inline std::vector<std::size_t> read_vec_u64(std::istream& is) {
-  std::vector<std::size_t> v(read_count(is));
+  std::vector<std::size_t> v(read_count(is, kMaxSerializedCount, 8));
   for (std::size_t& x : v) x = static_cast<std::size_t>(read_u64(is));
   return v;
 }
 
 inline std::vector<std::complex<double>> read_vec_complexd(std::istream& is) {
-  std::vector<std::complex<double>> v(read_count(is));
+  std::vector<std::complex<double>> v(
+      read_count(is, kMaxSerializedCount, 16));
   for (std::complex<double>& z : v) {
     const double re = read_f64(is);
     const double im = read_f64(is);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "discrim/joint_label.h"
 
 namespace mlqr {
@@ -100,6 +101,43 @@ void FnnDiscriminator::classify_into(const IqTrace& trace,
   const int joint =
       model_.predict_reusing(x, scratch.logits, scratch.activations);
   decode_joint_into(static_cast<std::size_t>(joint), cfg_.n_levels, out);
+}
+
+void FnnDiscriminator::save(std::ostream& os) const {
+  io::write_u32(os, static_cast<std::uint32_t>(cfg_.n_levels));
+  io::write_u64(os, n_qubits_);
+  io::write_u64(os, samples_used_);
+  normalizer_.save(os);
+  model_.save(os);
+}
+
+FnnDiscriminator FnnDiscriminator::load(std::istream& is) {
+  FnnDiscriminator d;
+  const std::uint32_t n_levels = io::read_u32(is);
+  MLQR_CHECK_MSG(
+      n_levels >= 2 && n_levels <= static_cast<std::uint32_t>(kNumLevels),
+      "corrupt FNN snapshot: " << n_levels << " levels");
+  d.cfg_.n_levels = static_cast<int>(n_levels);
+  d.n_qubits_ = io::read_count(is, 4096);
+  d.samples_used_ = io::read_count(is);
+  MLQR_CHECK_MSG(d.n_qubits_ > 0 && d.samples_used_ > 0,
+                 "corrupt FNN snapshot dims");
+  d.normalizer_ = FeatureNormalizer::load(is);
+  d.model_ = Mlp::load(is);
+  // Cross-component consistency: the raw-trace layout fixes the input
+  // width, and the joint head must be exactly k^n wide
+  // (joint_class_count throws on overflow, so a hostile qubit count dies
+  // here rather than sizing anything).
+  const std::size_t in_dim = 2 * d.samples_used_;
+  MLQR_CHECK_MSG(
+      d.normalizer_.dim() == in_dim && d.model_.input_size() == in_dim,
+      "FNN snapshot input dims disagree (window " << d.samples_used_
+          << ", normalizer " << d.normalizer_.dim() << ", network "
+          << d.model_.input_size() << ')');
+  MLQR_CHECK_MSG(d.model_.output_size() ==
+                     joint_class_count(d.n_qubits_, d.cfg_.n_levels),
+                 "FNN snapshot head does not match its qubit/level counts");
+  return d;
 }
 
 }  // namespace mlqr

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -66,9 +67,17 @@ class FnnDiscriminator {
   std::string name() const { return "FNN"; }
 
   std::size_t num_qubits() const { return n_qubits_; }
+  std::size_t samples_used() const { return samples_used_; }
   std::size_t parameter_count() const { return model_.parameter_count(); }
   const Mlp& model() const { return model_; }
   std::size_t input_dim() const { return model_.input_size(); }
+
+  /// Binary little-endian persistence of the inference state (level count,
+  /// dims, normalizer, network) — the FNN's calibration snapshot payload.
+  /// Training-only config does not travel. load throws mlqr::Error on any
+  /// corrupt or inconsistent stream.
+  void save(std::ostream& os) const;
+  static FnnDiscriminator load(std::istream& is);
 
  private:
   /// Raw-trace feature vector: [I(0..n-1), Q(0..n-1)].

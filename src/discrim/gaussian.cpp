@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "linalg/stats.h"
+#include "nn/dense_stack.h"
 
 namespace mlqr {
 
@@ -92,6 +94,60 @@ GaussianClassifier GaussianClassifier::fit(std::span<const double> features,
   return g;
 }
 
+void GaussianClassifier::save(std::ostream& os) const {
+  io::write_u8(os, kind_ == GaussianKind::kQda ? 1 : 0);
+  io::write_u64(os, dim_);
+  io::write_u64(os, means_.size());
+  for (std::size_t c = 0; c < means_.size(); ++c) {
+    io::write_bool(os, present_[c]);
+    if (present_[c]) io::write_vec_f64(os, means_[c]);
+  }
+  io::write_vec_f64(os, log_dets_);
+  io::write_u64(os, chols_.size());
+  for (const Cholesky& chol : chols_) chol.save(os);
+}
+
+GaussianClassifier GaussianClassifier::load(std::istream& is) {
+  GaussianClassifier g;
+  const std::uint8_t kind = io::read_u8(is);
+  MLQR_CHECK_MSG(kind <= 1, "corrupt Gaussian classifier kind "
+                                << static_cast<int>(kind));
+  g.kind_ = kind == 1 ? GaussianKind::kQda : GaussianKind::kLda;
+  g.dim_ = io::read_count(is, 1u << 12);
+  const std::size_t n_classes = io::read_count(is, 4096);
+  MLQR_CHECK_MSG(g.dim_ > 0 && n_classes >= 2,
+                 "corrupt Gaussian classifier dims");
+  g.means_.resize(n_classes);
+  g.present_.assign(n_classes, false);
+  std::size_t n_present = 0;
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    if (!io::read_bool(is)) continue;
+    g.present_[c] = true;
+    ++n_present;
+    g.means_[c] = io::read_vec_f64(is);
+    MLQR_CHECK_MSG(g.means_[c].size() == g.dim_,
+                   "Gaussian class mean does not match its dimension");
+  }
+  MLQR_CHECK_MSG(n_present > 0, "Gaussian classifier has no fitted class");
+  g.log_dets_ = io::read_vec_f64(is);
+  const std::size_t n_chols = io::read_count(is, 4096);
+  g.chols_.reserve(n_chols);
+  for (std::size_t i = 0; i < n_chols; ++i)
+    g.chols_.push_back(Cholesky::load(is));
+  // scores() walks the factors by the fit-time layout — one pooled factor
+  // for LDA, one per present class (with per-class log-dets) for QDA; a
+  // stream whose layout disagrees with its kind byte must not half-load.
+  const bool qda = g.kind_ == GaussianKind::kQda;
+  MLQR_CHECK_MSG(
+      qda ? g.chols_.size() == n_present && g.log_dets_.size() == n_classes
+          : g.chols_.size() == 1 && g.log_dets_.size() == 1,
+      "Gaussian classifier factor layout does not match its kind");
+  for (const Cholesky& chol : g.chols_)
+    MLQR_CHECK_MSG(chol.lower().rows() == g.dim_,
+                   "Gaussian classifier factor does not match its dimension");
+  return g;
+}
+
 std::vector<double> GaussianClassifier::scores(
     std::span<const double> x) const {
   MLQR_CHECK(x.size() == dim_);
@@ -116,10 +172,7 @@ std::vector<double> GaussianClassifier::scores(
 
 int GaussianClassifier::predict(std::span<const double> x) const {
   const std::vector<double> s = scores(x);
-  int best = 0;
-  for (std::size_t c = 1; c < s.size(); ++c)
-    if (s[c] > s[best]) best = static_cast<int>(c);
-  return best;
+  return argmax_tie_low(std::span<const double>(s));
 }
 
 }  // namespace mlqr

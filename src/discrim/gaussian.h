@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,14 @@ class GaussianClassifier {
   GaussianKind kind() const { return kind_; }
   std::size_t dim() const { return dim_; }
   std::size_t n_classes() const { return means_.size(); }
+
+  /// Binary little-endian persistence (calibration snapshot leaf): kind,
+  /// dims, per-class means/presence, and the exact Cholesky factors —
+  /// scores() on a reloaded classifier is bit-identical. load throws
+  /// mlqr::Error unless the factor layout matches the kind exactly (one
+  /// pooled factor for LDA, one per present class for QDA).
+  void save(std::ostream& os) const;
+  static GaussianClassifier load(std::istream& is);
 
  private:
   GaussianKind kind_ = GaussianKind::kLda;

@@ -1,6 +1,7 @@
 #include "discrim/gaussian_discriminator.h"
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "discrim/iq_features.h"
 
 namespace mlqr {
@@ -67,6 +68,44 @@ void GaussianShotDiscriminator::classify_into(const IqTrace& trace,
 
 std::string GaussianShotDiscriminator::name() const {
   return cfg_.kind == GaussianKind::kLda ? "LDA" : "QDA";
+}
+
+void GaussianShotDiscriminator::save(std::ostream& os) const {
+  io::write_u8(os, cfg_.kind == GaussianKind::kQda ? 1 : 0);
+  io::write_bool(os, cfg_.split_window);
+  io::write_u64(os, samples_used_);
+  demod_.save(os);
+  io::write_u64(os, per_qubit_.size());
+  for (const GaussianClassifier& g : per_qubit_) g.save(os);
+}
+
+GaussianShotDiscriminator GaussianShotDiscriminator::load(std::istream& is) {
+  GaussianShotDiscriminator d;
+  const std::uint8_t kind = io::read_u8(is);
+  MLQR_CHECK_MSG(kind <= 1, "corrupt Gaussian discriminator kind "
+                                << static_cast<int>(kind));
+  d.cfg_.kind = kind == 1 ? GaussianKind::kQda : GaussianKind::kLda;
+  d.cfg_.split_window = io::read_bool(is);
+  d.samples_used_ = io::read_count(is);
+  MLQR_CHECK_MSG(d.samples_used_ > 0, "corrupt Gaussian discriminator window");
+  d.demod_ = Demodulator::load(is);
+  const std::size_t n_qubits = io::read_count(is, 4096);
+  MLQR_CHECK_MSG(n_qubits > 0 && n_qubits == d.demod_.num_qubits(),
+                 "Gaussian discriminator qubit counts disagree (payload "
+                     << n_qubits << ", demod " << d.demod_.num_qubits()
+                     << ')');
+  const std::size_t feat_dim = d.cfg_.split_window ? 4 : 2;
+  d.per_qubit_.reserve(n_qubits);
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    GaussianClassifier g = GaussianClassifier::load(is);
+    // Every per-qubit classifier must share the discriminator's kind and
+    // consume exactly the feature layout classify_into extracts.
+    MLQR_CHECK_MSG(g.kind() == d.cfg_.kind && g.dim() == feat_dim,
+                   "Gaussian discriminator classifier " << q
+                       << " does not match the discriminator's kind/layout");
+    d.per_qubit_.push_back(std::move(g));
+  }
+  return d;
 }
 
 }  // namespace mlqr

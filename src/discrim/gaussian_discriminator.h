@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -52,6 +53,14 @@ class GaussianShotDiscriminator {
 
   std::string name() const;
   std::size_t num_qubits() const { return per_qubit_.size(); }
+  std::size_t samples_used() const { return samples_used_; }
+
+  /// Binary little-endian persistence of the inference state (kind,
+  /// window, demodulator, per-qubit classifiers) — the LDA/QDA calibration
+  /// snapshot payload. load throws mlqr::Error on any corrupt or
+  /// kind-inconsistent stream.
+  void save(std::ostream& os) const;
+  static GaussianShotDiscriminator load(std::istream& is);
 
  private:
   GaussianDiscriminatorConfig cfg_;

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "discrim/joint_label.h"
 
 namespace mlqr {
@@ -157,6 +158,62 @@ void HerqulesDiscriminator::classify_into(const IqTrace& trace,
   const int joint =
       model_.predict_reusing(feats, scratch.logits, scratch.activations);
   decode_joint_into(static_cast<std::size_t>(joint), cfg_.n_levels, out);
+}
+
+void HerqulesDiscriminator::save(std::ostream& os) const {
+  io::write_u32(os, static_cast<std::uint32_t>(cfg_.n_levels));
+  io::write_u64(os, n_qubits_);
+  io::write_u64(os, samples_used_);
+  demod_.save(os);
+  bank_.save(os);
+  normalizer_.save(os);
+  model_.save(os);
+}
+
+HerqulesDiscriminator HerqulesDiscriminator::load(std::istream& is) {
+  HerqulesDiscriminator d;
+  const std::uint32_t n_levels = io::read_u32(is);
+  MLQR_CHECK_MSG(
+      n_levels >= 2 && n_levels <= static_cast<std::uint32_t>(kNumLevels),
+      "corrupt HERQULES snapshot: " << n_levels << " levels");
+  d.cfg_.n_levels = static_cast<int>(n_levels);
+  d.n_qubits_ = io::read_count(is, 4096);
+  d.samples_used_ = io::read_count(is);
+  MLQR_CHECK_MSG(d.n_qubits_ > 0 && d.samples_used_ > 0,
+                 "corrupt HERQULES snapshot dims");
+  d.demod_ = Demodulator::load(is);
+  d.bank_ = ChipMfBank::load(is);
+  d.normalizer_ = FeatureNormalizer::load(is);
+  d.model_ = Mlp::load(is);
+
+  // Cross-component consistency — every index classify_into takes must be
+  // provably in range before the discriminator is handed out.
+  MLQR_CHECK_MSG(d.demod_.num_qubits() == d.n_qubits_ &&
+                     d.bank_.num_qubits() == d.n_qubits_,
+                 "HERQULES snapshot qubit counts disagree (header "
+                     << d.n_qubits_ << ", demod " << d.demod_.num_qubits()
+                     << ", bank " << d.bank_.num_qubits() << ')');
+  const std::span<const std::size_t> active =
+      active_filter_indices(d.cfg_.n_levels);
+  MLQR_CHECK_MSG(d.bank_.features_per_qubit() > active.back(),
+                 "HERQULES snapshot bank has too few filters for "
+                     << d.cfg_.n_levels << "-level readout");
+  for (std::size_t q = 0; q < d.n_qubits_; ++q)
+    for (std::size_t f = 0; f < d.bank_.bank(q).feature_count(); ++f)
+      MLQR_CHECK_MSG(
+          d.bank_.bank(q).filter(f).length() == d.samples_used_,
+          "HERQULES snapshot kernel length does not match its window");
+  const std::size_t feat_dim = active.size() * d.n_qubits_;
+  MLQR_CHECK_MSG(
+      d.normalizer_.dim() == feat_dim && d.model_.input_size() == feat_dim,
+      "HERQULES snapshot feature dims disagree (layout " << feat_dim
+          << ", normalizer " << d.normalizer_.dim() << ", head "
+          << d.model_.input_size() << ')');
+  MLQR_CHECK_MSG(d.model_.output_size() ==
+                     joint_class_count(d.n_qubits_, d.cfg_.n_levels),
+                 "HERQULES snapshot head does not match its qubit/level "
+                 "counts");
+  return d;
 }
 
 }  // namespace mlqr

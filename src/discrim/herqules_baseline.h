@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -66,9 +67,17 @@ class HerqulesDiscriminator {
   std::string name() const { return "HERQULES"; }
 
   std::size_t num_qubits() const { return n_qubits_; }
+  std::size_t samples_used() const { return samples_used_; }
   std::size_t parameter_count() const { return model_.parameter_count(); }
   const Mlp& model() const { return model_; }
   const ChipMfBank& mf_bank() const { return bank_; }
+
+  /// Binary little-endian persistence of the inference state (level count,
+  /// dims, demodulator, filter bank, normalizer, joint head) — the
+  /// HERQULES calibration snapshot payload. load throws mlqr::Error on any
+  /// corrupt or cross-component-inconsistent stream.
+  void save(std::ostream& os) const;
+  static HerqulesDiscriminator load(std::istream& is);
 
  private:
   HerqulesConfig cfg_;

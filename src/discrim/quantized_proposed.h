@@ -67,6 +67,7 @@ class QuantizedProposedDiscriminator {
   }
 
   std::size_t num_qubits() const { return heads_.size(); }
+  std::size_t samples_used() const { return frontend_.n_samples(); }
   std::size_t feature_dim() const { return frontend_.n_filters(); }
   const QuantizedFrontend& frontend() const { return frontend_; }
   const QuantizedMlp& head(std::size_t q) const { return heads_.at(q); }

@@ -23,8 +23,7 @@ FusedFrontend FusedFrontend::build(const Demodulator& demod,
   FusedFrontend fe;
   fe.n_samples_ = n_samples;
   fe.n_qubits_ = n_qubits;
-  fe.kr_.resize(n_filters * n_samples);
-  fe.ki_.resize(n_filters * n_samples);
+  fe.table_.assign(n_filters, n_samples);
   fe.scale_.reserve(n_filters);
   fe.offset_.reserve(n_filters);
 
@@ -33,13 +32,14 @@ FusedFrontend FusedFrontend::build(const Demodulator& demod,
       const MatchedFilter& mf = bank.bank(q).filter(f);
       MLQR_CHECK_MSG(mf.length() == n_samples,
                      "kernel length " << mf.length() << " != " << n_samples);
-      const std::size_t row = (q * per_q + f) * n_samples;
+      float* kr = fe.table_.row_r(q * per_q + f);
+      float* ki = fe.table_.row_i(q * per_q + f);
       // Rotation in double (exact LO phasor), storage in float: the one
       // rounding the fused path adds over the reference path.
       for (std::size_t t = 0; t < n_samples; ++t) {
         const Complexd r = mf.kernel()[t] * demod.lo_phase(q, t);
-        fe.kr_[row + t] = static_cast<float>(r.real());
-        fe.ki_[row + t] = static_cast<float>(r.imag());
+        kr[t] = static_cast<float>(r.real());
+        ki[t] = static_cast<float>(r.imag());
       }
       const std::size_t j = q * per_q + f;
       const double std_dev = static_cast<double>(norm.std_dev()[j]);
@@ -54,8 +54,7 @@ FusedFrontend FusedFrontend::build(const Demodulator& demod,
 void FusedFrontend::save(std::ostream& os) const {
   io::write_u64(os, n_samples_);
   io::write_u64(os, n_qubits_);
-  io::write_vec_f32(os, kr_);
-  io::write_vec_f32(os, ki_);
+  table_.save_rows(os);
   io::write_vec_f32(os, scale_);
   io::write_vec_f32(os, offset_);
 }
@@ -66,13 +65,12 @@ FusedFrontend FusedFrontend::load(std::istream& is) {
   fe.n_qubits_ = io::read_count(is, 4096);
   MLQR_CHECK_MSG(fe.n_samples_ > 0 && fe.n_qubits_ > 0,
                  "corrupt fused front-end dims");
-  fe.kr_ = io::read_vec_f32(is);
-  fe.ki_ = io::read_vec_f32(is);
+  fe.table_.load_rows(is, fe.n_samples_);
   fe.scale_ = io::read_vec_f32(is);
   fe.offset_ = io::read_vec_f32(is);
   MLQR_CHECK_MSG(!fe.scale_.empty() && fe.offset_.size() == fe.scale_.size() &&
-                     fe.kr_.size() == fe.scale_.size() * fe.n_samples_ &&
-                     fe.ki_.size() == fe.kr_.size(),
+                     fe.table_.row_elements() ==
+                         fe.scale_.size() * fe.n_samples_,
                  "fused front-end tables do not match their dims ("
                      << fe.scale_.size() << " filters x " << fe.n_samples_
                      << " samples)");
@@ -86,13 +84,11 @@ void FusedFrontend::features_into(const IqTrace& trace,
   MLQR_CHECK_MSG(trace.size() >= n_samples_,
                  "trace shorter than front-end window: "
                      << trace.size() << " < " << n_samples_);
-  const std::size_t n = n_samples_;
   const float* xi = trace.i.data();
   const float* xq = trace.q.data();
   scratch.features.resize(n_filters());
   for (std::size_t f = 0; f < n_filters(); ++f) {
-    const float acc =
-        simd::fused_dot_f32(kr_.data() + f * n, ki_.data() + f * n, xi, xq, n);
+    const float acc = table_.accumulate(f, xi, xq);
     const float z = acc * scale_[f] + offset_[f];
     scratch.features[f] = std::clamp(z, -kMaxAbsFeatureZ, kMaxAbsFeatureZ);
   }

@@ -29,6 +29,7 @@
 
 #include "discrim/inference_scratch.h"
 #include "dsp/demodulator.h"
+#include "dsp/fused_kernel_table.h"
 #include "mf/mf_bank.h"
 #include "nn/normalizer.h"
 #include "sim/iq.h"
@@ -69,10 +70,9 @@ class FusedFrontend {
  private:
   std::size_t n_samples_ = 0;
   std::size_t n_qubits_ = 0;
-  std::vector<float> kr_;     ///< Re R, n_filters x n_samples, filter-major.
-  std::vector<float> ki_;     ///< Im R, same layout.
-  std::vector<float> scale_;  ///< Per filter: 1 / std.
-  std::vector<float> offset_; ///< Per filter: -(bias + mean) / std.
+  FusedKernelTable<float> table_;  ///< Pre-rotated kernel rows (SoA).
+  std::vector<float> scale_;       ///< Per filter: 1 / std.
+  std::vector<float> offset_;      ///< Per filter: -(bias + mean) / std.
 };
 
 }  // namespace mlqr

@@ -35,8 +35,7 @@ QuantizedFrontend QuantizedFrontend::build(const Demodulator& demod,
   fe.feature_fmt_ = feature_fmt;
   fe.lo_fmt_ = fit_format(-1.0, 1.0, 16);
   fe.kernel_fmt_.reserve(n_filters);
-  fe.kr_.assign(n_filters * n_samples, 0);
-  fe.ki_.assign(n_filters * n_samples, 0);
+  fe.table_.assign(n_filters, n_samples);
   fe.scale_.reserve(n_filters);
   fe.offset_.reserve(n_filters);
   fe.lo_.assign(n_qubits * n_samples * 2, 0);
@@ -70,7 +69,8 @@ QuantizedFrontend QuantizedFrontend::build(const Demodulator& demod,
           bound > 0.0 ? fit_format(-bound, bound, cfg.weight_bits)
                       : FixedPointFormat{cfg.weight_bits, cfg.weight_bits - 1};
 
-      const std::size_t row = (q * per_q + f) * n_samples;
+      std::int16_t* kr = fe.table_.row_r(q * per_q + f);
+      std::int16_t* ki = fe.table_.row_i(q * per_q + f);
       for (std::size_t t = 0; t < n_samples; ++t) {
         const std::int64_t cr = to_code(rotated[t].real(), kfmt);
         const std::int64_t ci = to_code(rotated[t].imag(), kfmt);
@@ -79,8 +79,8 @@ QuantizedFrontend QuantizedFrontend::build(const Demodulator& demod,
         // never being -2^15, so pin that invariant where the codes are
         // minted.
         MLQR_CHECK(cr > INT16_MIN && ci > INT16_MIN);
-        fe.kr_[row + t] = static_cast<std::int16_t>(cr);
-        fe.ki_[row + t] = static_cast<std::int16_t>(ci);
+        kr[t] = static_cast<std::int16_t>(cr);
+        ki[t] = static_cast<std::int16_t>(ci);
       }
 
       // Fold MF bias and the normalizer's affine into one requant step:
@@ -105,8 +105,7 @@ void QuantizedFrontend::save(std::ostream& os) const {
   save_format(os, lo_fmt_);
   io::write_u64(os, kernel_fmt_.size());
   for (const FixedPointFormat& fmt : kernel_fmt_) save_format(os, fmt);
-  io::write_vec_i16(os, kr_);
-  io::write_vec_i16(os, ki_);
+  table_.save_rows(os);
   io::write_vec_f64(os, scale_);
   io::write_vec_f64(os, offset_);
   io::write_vec_i16(os, lo_);
@@ -121,29 +120,25 @@ QuantizedFrontend QuantizedFrontend::load(std::istream& is) {
   fe.trace_fmt_ = load_format(is);
   fe.feature_fmt_ = load_format(is);
   fe.lo_fmt_ = load_format(is);
-  const std::size_t n_filters = io::read_count(is);
+  // Each format is 8 serialized bytes, so the filter count is bounded by
+  // the bytes actually left in the stream before the formats allocate.
+  const std::size_t n_filters = io::read_count(is, io::kMaxSerializedCount, 8);
   fe.kernel_fmt_.reserve(n_filters);
   for (std::size_t f = 0; f < n_filters; ++f)
     fe.kernel_fmt_.push_back(load_format(is));
-  fe.kr_ = io::read_vec_i16(is);
-  fe.ki_ = io::read_vec_i16(is);
+  // load_rows re-pins the madd-safety invariant (no -2^15 code) on this
+  // untrusted input.
+  fe.table_.load_rows(is, fe.n_samples_);
   fe.scale_ = io::read_vec_f64(is);
   fe.offset_ = io::read_vec_f64(is);
   fe.lo_ = io::read_vec_i16(is);
   MLQR_CHECK_MSG(n_filters > 0 && fe.scale_.size() == n_filters &&
                      fe.offset_.size() == n_filters &&
-                     fe.kr_.size() == n_filters * fe.n_samples_ &&
-                     fe.ki_.size() == fe.kr_.size() &&
+                     fe.table_.row_elements() == n_filters * fe.n_samples_ &&
                      fe.lo_.size() == fe.n_qubits_ * fe.n_samples_ * 2,
                  "quantized front-end tables do not match their dims ("
                      << n_filters << " filters x " << fe.n_samples_
                      << " samples, " << fe.n_qubits_ << " qubits)");
-  // Re-pin the madd-safety invariant on untrusted input: fused_dot_i16's
-  // pairwise int16 multiply-add requires kernel codes != -2^15.
-  for (std::int16_t c : fe.kr_)
-    MLQR_CHECK_MSG(c > INT16_MIN, "kernel code -32768 is not representable");
-  for (std::int16_t c : fe.ki_)
-    MLQR_CHECK_MSG(c > INT16_MIN, "kernel code -32768 is not representable");
   return fe;
 }
 
@@ -184,8 +179,7 @@ void QuantizedFrontend::features_into(const IqTrace& trace,
   const std::int16_t* xq = scratch.int_trace_q.data();
   scratch.int_features.resize(n_filters());
   for (std::size_t f = 0; f < n_filters(); ++f) {
-    const std::int64_t acc =
-        simd::fused_dot_i16(kr_.data() + f * n, ki_.data() + f * n, xi, xq, n);
+    const std::int64_t acc = table_.accumulate(f, xi, xq);
     double z = static_cast<double>(acc) * scale_[f] + offset_[f];
     z = std::clamp(z, -static_cast<double>(kMaxAbsFeatureZ),
                    static_cast<double>(kMaxAbsFeatureZ));

@@ -31,6 +31,7 @@
 #include "common/fixed_point.h"
 #include "discrim/inference_scratch.h"
 #include "dsp/demodulator.h"
+#include "dsp/fused_kernel_table.h"
 #include "mf/mf_bank.h"
 #include "nn/normalizer.h"
 #include "sim/iq.h"
@@ -89,8 +90,7 @@ class QuantizedFrontend {
   FixedPointFormat feature_fmt_;
   FixedPointFormat lo_fmt_;
   std::vector<FixedPointFormat> kernel_fmt_;  ///< Per filter.
-  std::vector<std::int16_t> kr_;  ///< n_filters x n_samples, filter-major.
-  std::vector<std::int16_t> ki_;  ///< Imaginary rows, same layout.
+  FusedKernelTable<std::int16_t> table_;  ///< Rotated kernel code rows (SoA).
   std::vector<double> scale_;     ///< Per filter: acc -> normalized value.
   std::vector<double> offset_;    ///< Per filter: -(bias + mean)/std.
   std::vector<std::int16_t> lo_;  ///< n_qubits x n_samples x 2 (cos, sin).

@@ -1,6 +1,7 @@
 // Cholesky factorization for covariance matrices (QDA / Mahalanobis paths).
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <span>
 #include <vector>
@@ -27,6 +28,15 @@ class Cholesky {
   double mahalanobis_squared(std::span<const double> x) const;
 
   const Matrix& lower() const { return l_; }
+
+  /// Binary little-endian persistence of the factor (calibration snapshot
+  /// leaf: exact f64 bit patterns of L). load throws mlqr::Error unless
+  /// the stream decodes to a well-formed factor — square, lower-triangular
+  /// with an all-zero strict upper part, and a positive finite diagonal —
+  /// so a corrupt snapshot cannot smuggle in a factor solve() would choke
+  /// on (division by a zero/NaN pivot).
+  void save(std::ostream& os) const;
+  static Cholesky load(std::istream& is);
 
  private:
   explicit Cholesky(Matrix l) : l_(std::move(l)) {}

@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/serialize.h"
 #include "linalg/gemm.h"
+#include "nn/dense_stack.h"
 
 namespace mlqr {
 
@@ -34,20 +35,12 @@ void Mlp::init_weights(Rng& rng) {
   }
 }
 
-std::size_t Mlp::input_size() const {
-  MLQR_CHECK(!layers_.empty());
-  return layers_.front().in;
-}
+std::size_t Mlp::input_size() const { return stack_input_size(layers_); }
 
-std::size_t Mlp::output_size() const {
-  MLQR_CHECK(!layers_.empty());
-  return layers_.back().out;
-}
+std::size_t Mlp::output_size() const { return stack_output_size(layers_); }
 
 std::size_t Mlp::parameter_count() const {
-  std::size_t n = 0;
-  for (const DenseLayer& l : layers_) n += l.parameter_count();
-  return n;
+  return stack_parameter_count(layers_);
 }
 
 std::vector<float> Mlp::logits(std::span<const float> x) const {
@@ -80,15 +73,13 @@ void Mlp::logits_into(std::span<const float> x, std::vector<float>& out,
 
 int Mlp::predict(std::span<const float> x) const {
   const std::vector<float> z = logits(x);
-  return static_cast<int>(
-      std::max_element(z.begin(), z.end()) - z.begin());
+  return argmax_tie_low(std::span<const float>(z));
 }
 
 int Mlp::predict_reusing(std::span<const float> x, std::vector<float>& out,
                          std::vector<float>& scratch) const {
   logits_into(x, out, scratch);
-  return static_cast<int>(
-      std::max_element(out.begin(), out.end()) - out.begin());
+  return argmax_tie_low(std::span<const float>(out));
 }
 
 std::vector<float> Mlp::forward_batch(std::span<const float> x,
@@ -152,15 +143,10 @@ Mlp Mlp::load(std::istream& is) {
   for (DenseLayer& l : mlp.layers_) {
     l.in = io::read_count(is);
     l.out = io::read_count(is);
-    MLQR_CHECK_MSG(l.in > 0 && l.out > 0, "corrupt MLP layer header");
-    MLQR_CHECK_MSG(prev_out == 0 || l.in == prev_out,
-                   "MLP layer chain mismatch: input " << l.in
-                       << " after a layer with " << prev_out << " outputs");
-    prev_out = l.out;
     l.w = io::read_vec_f32(is);
     l.b = io::read_vec_f32(is);
-    MLQR_CHECK_MSG(l.w.size() == l.in * l.out && l.b.size() == l.out,
-                   "MLP layer payload does not match its dims");
+    check_layer_chain(l, prev_out, "MLP");
+    prev_out = l.out;
   }
   return mlp;
 }

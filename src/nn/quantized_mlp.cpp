@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/serialize.h"
 #include "common/simd.h"
+#include "nn/dense_stack.h"
 
 namespace mlqr {
 
@@ -145,18 +146,12 @@ QuantizedMlp QuantizedMlp::load(std::istream& is) {
   for (QuantizedDenseLayer& l : q.layers_) {
     l.in = io::read_count(is);
     l.out = io::read_count(is);
-    MLQR_CHECK_MSG(l.in > 0 && l.out > 0, "corrupt quantized MLP layer dims");
-    MLQR_CHECK_MSG(prev_out == 0 || l.in == prev_out,
-                   "quantized MLP layer chain mismatch: input "
-                       << l.in << " after a layer with " << prev_out
-                       << " outputs");
-    prev_out = l.out;
     l.weight_fmt = load_format(is);
     l.in_fmt = load_format(is);
     l.w = io::read_vec_i16(is);
     l.b = io::read_vec_i64(is);
-    MLQR_CHECK_MSG(l.w.size() == l.in * l.out && l.b.size() == l.out,
-                   "quantized MLP layer payload does not match its dims");
+    check_layer_chain(l, prev_out, "quantized MLP");
+    prev_out = l.out;
     // simd::dot_i16's madd path requires weight codes != -2^15 — the same
     // invariant quantize() pins at build time, re-pinned on the load path
     // so a corrupt snapshot cannot smuggle the one forbidden code in.
@@ -168,19 +163,15 @@ QuantizedMlp QuantizedMlp::load(std::istream& is) {
 }
 
 std::size_t QuantizedMlp::input_size() const {
-  MLQR_CHECK(!layers_.empty());
-  return layers_.front().in;
+  return stack_input_size(layers_);
 }
 
 std::size_t QuantizedMlp::output_size() const {
-  MLQR_CHECK(!layers_.empty());
-  return layers_.back().out;
+  return stack_output_size(layers_);
 }
 
 std::size_t QuantizedMlp::parameter_count() const {
-  std::size_t n = 0;
-  for (const QuantizedDenseLayer& l : layers_) n += l.parameter_count();
-  return n;
+  return stack_parameter_count(layers_);
 }
 
 void QuantizedMlp::logits_into(std::span<const std::int32_t> x,
@@ -237,10 +228,7 @@ int QuantizedMlp::predict(std::span<const std::int32_t> x,
                           std::vector<std::int16_t>& act_a,
                           std::vector<std::int16_t>& act_b) const {
   logits_into(x, logits, act_a, act_b);
-  int best = 0;
-  for (std::size_t j = 1; j < logits.size(); ++j)
-    if (logits[j] > logits[best]) best = static_cast<int>(j);
-  return best;
+  return argmax_tie_low(std::span<const std::int64_t>(logits));
 }
 
 int QuantizedMlp::logit_frac_bits() const {

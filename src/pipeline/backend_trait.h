@@ -1,0 +1,55 @@
+// The compile-time contract every discriminator design implements.
+//
+// The repo used to special-case each design: five make_backend overloads,
+// two snapshot codecs, and per-type glue in every bench. ReadoutBackend is
+// the single abstraction instead — any type with a scratch-aware
+// classify_into, a qubit count, and a name plugs into the engines
+// (batching, thread fan-out, streaming shards, hot swap) for free, and
+// SnapshotableBackend extends the contract with binary persistence so the
+// snapshot registry (pipeline/snapshot.h) can save and reload it by kind.
+// The concepts are checked where templates are instantiated, so a design
+// missing a method fails at compile time with the requirement named,
+// instead of deep inside an overload set.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "discrim/inference_scratch.h"
+#include "sim/iq.h"
+
+namespace mlqr {
+
+/// A trained shot discriminator the engines can serve: classifies one
+/// multiplexed trace into per-qubit levels using caller-provided scratch
+/// (no allocation on the hot path). classify_into must be const and pure
+/// per shot — the engines rely on that for bit-identical labels across
+/// batch size, thread count, and shard count.
+template <typename D>
+concept ReadoutBackend =
+    requires(const D& d, const IqTrace& trace, InferenceScratch& scratch,
+             std::span<int> out) {
+      { d.classify_into(trace, scratch, out) } -> std::same_as<void>;
+      { d.num_qubits() } -> std::convertible_to<std::size_t>;
+      { d.name() } -> std::convertible_to<std::string>;
+    };
+
+/// A ReadoutBackend that also round-trips through the binary snapshot
+/// format: save(os) writes the payload the static load(is) reads back
+/// bit-identically, and samples_used() reports the trace window so the
+/// snapshot header can carry it. Every shipped design satisfies this
+/// (static_asserted in tests/test_backend_trait.cpp), which is what lets
+/// save_backend/load_backend dispatch purely on the snapshot kind byte.
+template <typename D>
+concept SnapshotableBackend =
+    ReadoutBackend<D> &&
+    requires(const D& d, std::ostream& os, std::istream& is) {
+      { d.samples_used() } -> std::convertible_to<std::size_t>;
+      { d.save(os) } -> std::same_as<void>;
+      { D::load(is) } -> std::same_as<D>;
+    };
+
+}  // namespace mlqr

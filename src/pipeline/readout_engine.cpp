@@ -30,46 +30,6 @@ LatencyStats summarize_latency(std::vector<double> micros) {
   return stats;
 }
 
-EngineBackend make_backend(const ProposedDiscriminator& d) {
-  return EngineBackend(
-      d.name(), d.num_qubits(),
-      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
-        d.classify_into(t, s, out);
-      });
-}
-
-EngineBackend make_backend(const QuantizedProposedDiscriminator& d) {
-  return EngineBackend(
-      d.name(), d.num_qubits(),
-      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
-        d.classify_into(t, s, out);
-      });
-}
-
-EngineBackend make_backend(const FnnDiscriminator& d) {
-  return EngineBackend(
-      d.name(), d.num_qubits(),
-      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
-        d.classify_into(t, s, out);
-      });
-}
-
-EngineBackend make_backend(const HerqulesDiscriminator& d) {
-  return EngineBackend(
-      d.name(), d.num_qubits(),
-      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
-        d.classify_into(t, s, out);
-      });
-}
-
-EngineBackend make_backend(const GaussianShotDiscriminator& d) {
-  return EngineBackend(
-      d.name(), d.num_qubits(),
-      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
-        d.classify_into(t, s, out);
-      });
-}
-
 void EngineCore::classify(std::size_t n, const FrameAt& frame_at,
                           const BackendAt& backend_at,
                           const LabelsAt& labels_at, double* micros) {

@@ -22,14 +22,10 @@
 #include <string>
 #include <vector>
 
-#include "discrim/fnn_baseline.h"
-#include "discrim/gaussian_discriminator.h"
-#include "discrim/herqules_baseline.h"
 #include "discrim/inference_scratch.h"
 #include "discrim/metrics.h"
-#include "discrim/proposed.h"
-#include "discrim/quantized_proposed.h"
 #include "discrim/shot_set.h"
+#include "pipeline/backend_trait.h"
 #include "sim/iq.h"
 #include "sim/readout_simulator.h"
 
@@ -106,11 +102,20 @@ class EngineBackend {
   ClassifyInto fn_;
 };
 
-EngineBackend make_backend(const ProposedDiscriminator& d);
-EngineBackend make_backend(const QuantizedProposedDiscriminator& d);
-EngineBackend make_backend(const FnnDiscriminator& d);
-EngineBackend make_backend(const HerqulesDiscriminator& d);
-EngineBackend make_backend(const GaussianShotDiscriminator& d);
+/// Wraps any ReadoutBackend in a type-erased EngineBackend. Non-owning:
+/// `d` must outlive the result (discriminators are heavy to copy; the
+/// snapshot layer's BackendSnapshot::backend() builds the owning variant).
+/// This one template replaced five identical per-type overloads — a new
+/// design plugs into batching, streaming shards, and swap_shard by
+/// satisfying the concept, with no engine-side registration.
+template <ReadoutBackend D>
+EngineBackend make_backend(const D& d) {
+  return EngineBackend(
+      d.name(), d.num_qubits(),
+      [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
+        d.classify_into(t, s, out);
+      });
+}
 
 /// The classification machinery shared by the synchronous ReadoutEngine
 /// and the asynchronous StreamingEngine: a worker budget, the per-slot

@@ -5,7 +5,6 @@
 #include <istream>
 #include <ostream>
 
-#include "common/error.h"
 #include "common/serialize.h"
 
 namespace mlqr {
@@ -13,16 +12,6 @@ namespace mlqr {
 namespace {
 
 constexpr std::array<char, 8> kMagic{'M', 'L', 'Q', 'R', 'S', 'N', 'A', 'P'};
-
-void write_header(std::ostream& os, SnapshotKind kind, std::size_t n_qubits,
-                  std::size_t n_samples, const std::string& name) {
-  os.write(kMagic.data(), kMagic.size());
-  io::write_u32(os, kSnapshotVersion);
-  io::write_u8(os, static_cast<std::uint8_t>(kind));
-  io::write_u64(os, n_qubits);
-  io::write_u64(os, n_samples);
-  io::write_string(os, name);
-}
 
 struct Header {
   SnapshotKind kind;
@@ -41,7 +30,7 @@ Header read_header(std::istream& is) {
                  "snapshot version " << version << " unsupported (this build "
                      << "reads version " << kSnapshotVersion << ')');
   const std::uint8_t kind = io::read_u8(is);
-  MLQR_CHECK_MSG(kind <= static_cast<std::uint8_t>(SnapshotKind::kInt16),
+  MLQR_CHECK_MSG(kind <= static_cast<std::uint8_t>(SnapshotKind::kGaussian),
                  "unknown snapshot kind " << static_cast<int>(kind));
   Header h;
   h.kind = static_cast<SnapshotKind>(kind);
@@ -51,94 +40,80 @@ Header read_header(std::istream& is) {
   return h;
 }
 
+// The codec registry: one row per SnapshotKind, indexed by the kind byte.
+// load_backend dispatches through here, so registering a design is one
+// SnapshotTraits specialization plus one row — no engine or call-site edits.
+struct Codec {
+  SnapshotKind kind;
+  BackendSnapshot (*load)(std::istream&);
+};
+
+template <RegisteredSnapshotBackend D>
+BackendSnapshot load_as(std::istream& is) {
+  return BackendSnapshot::wrap(D::load(is));
+}
+
+constexpr std::array<Codec, 5> kCodecs{{
+    {SnapshotKind::kFloat, &load_as<ProposedDiscriminator>},
+    {SnapshotKind::kInt16, &load_as<QuantizedProposedDiscriminator>},
+    {SnapshotKind::kFnn, &load_as<FnnDiscriminator>},
+    {SnapshotKind::kHerqules, &load_as<HerqulesDiscriminator>},
+    {SnapshotKind::kGaussian, &load_as<GaussianShotDiscriminator>},
+}};
+
 }  // namespace
 
-std::size_t BackendSnapshot::num_qubits() const {
-  return float_d ? float_d->num_qubits()
-                 : (int16_d ? int16_d->num_qubits() : 0);
+namespace detail {
+
+void write_snapshot_header(std::ostream& os, SnapshotKind kind,
+                           std::size_t n_qubits, std::size_t n_samples,
+                           const std::string& name) {
+  os.write(kMagic.data(), kMagic.size());
+  io::write_u32(os, kSnapshotVersion);
+  io::write_u8(os, static_cast<std::uint8_t>(kind));
+  io::write_u64(os, n_qubits);
+  io::write_u64(os, n_samples);
+  io::write_string(os, name);
 }
 
-EngineBackend BackendSnapshot::backend() const {
-  MLQR_CHECK_MSG(float_d || int16_d, "empty snapshot has no backend");
-  if (float_d) {
-    auto d = float_d;  // Copy of the shared_ptr: the lambda keeps it alive.
-    return EngineBackend(
-        d->name(), d->num_qubits(),
-        [d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
-          d->classify_into(t, s, out);
-        });
-  }
-  auto d = int16_d;
-  return EngineBackend(
-      d->name(), d->num_qubits(),
-      [d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
-        d->classify_into(t, s, out);
-      });
-}
-
-void save_backend(std::ostream& os, const ProposedDiscriminator& d) {
-  write_header(os, SnapshotKind::kFloat, d.num_qubits(), d.samples_used(),
-               d.name());
-  d.save(os);
+void check_snapshot_stream(std::ostream& os) {
   MLQR_CHECK_MSG(os.good(), "snapshot write failed");
 }
 
-void save_backend(std::ostream& os, const QuantizedProposedDiscriminator& d) {
-  write_header(os, SnapshotKind::kInt16, d.num_qubits(),
-               d.frontend().n_samples(), d.name());
-  d.save(os);
-  MLQR_CHECK_MSG(os.good(), "snapshot write failed");
+void write_snapshot_file(const std::string& path,
+                         const std::function<void(std::ostream&)>& writer) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  MLQR_CHECK_MSG(os.good(), "cannot open snapshot file for writing: " << path);
+  writer(os);
+  os.flush();
+  MLQR_CHECK_MSG(os.good(), "failed to write snapshot file: " << path);
 }
+
+}  // namespace detail
 
 BackendSnapshot load_backend(std::istream& is) {
   const Header h = read_header(is);
-  BackendSnapshot snap;
-  snap.kind = h.kind;
-  snap.name = h.name;
-  std::size_t n_qubits = 0;
-  std::size_t n_samples = 0;
-  if (h.kind == SnapshotKind::kFloat) {
-    snap.float_d = std::make_shared<const ProposedDiscriminator>(
-        ProposedDiscriminator::load(is));
-    n_qubits = snap.float_d->num_qubits();
-    n_samples = snap.float_d->samples_used();
-  } else {
-    snap.int16_d = std::make_shared<const QuantizedProposedDiscriminator>(
-        QuantizedProposedDiscriminator::load(is));
-    n_qubits = snap.int16_d->num_qubits();
-    n_samples = snap.int16_d->frontend().n_samples();
-  }
-  MLQR_CHECK_MSG(n_qubits == h.n_qubits && n_samples == h.n_samples,
-                 "snapshot header (" << h.n_qubits << " qubits, "
-                     << h.n_samples << " samples) disagrees with payload ("
-                     << n_qubits << " qubits, " << n_samples << " samples)");
+  const auto idx = static_cast<std::size_t>(h.kind);
+  MLQR_CHECK_MSG(idx < kCodecs.size() && kCodecs[idx].kind == h.kind,
+                 "no codec for snapshot kind " << static_cast<int>(idx));
+  BackendSnapshot snap = kCodecs[idx].load(is);
+  // The payload re-derives its own geometry and identity; the header must
+  // agree with all of it, or the stream was stitched together from parts.
+  MLQR_CHECK_MSG(
+      snap.num_qubits() == h.n_qubits && snap.num_samples() == h.n_samples,
+      "snapshot header (" << h.n_qubits << " qubits, " << h.n_samples
+          << " samples) disagrees with payload (" << snap.num_qubits()
+          << " qubits, " << snap.num_samples() << " samples)");
+  MLQR_CHECK_MSG(snap.name() == h.name,
+                 "snapshot header names \"" << h.name
+                     << "\" but the payload decodes as \"" << snap.name()
+                     << '"');
   return snap;
 }
 
-namespace {
-
-std::ofstream open_out(const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  MLQR_CHECK_MSG(os.good(), "cannot open snapshot file for writing: " << path);
-  return os;
-}
-
-}  // namespace
-
-void save_backend_file(const std::string& path,
-                       const ProposedDiscriminator& d) {
-  std::ofstream os = open_out(path);
-  save_backend(os, d);
-  os.flush();
-  MLQR_CHECK_MSG(os.good(), "failed to write snapshot file: " << path);
-}
-
-void save_backend_file(const std::string& path,
-                       const QuantizedProposedDiscriminator& d) {
-  std::ofstream os = open_out(path);
-  save_backend(os, d);
-  os.flush();
-  MLQR_CHECK_MSG(os.good(), "failed to write snapshot file: " << path);
+void save_backend_file(const std::string& path, const BackendSnapshot& snap) {
+  detail::write_snapshot_file(path,
+                              [&snap](std::ostream& os) { snap.save(os); });
 }
 
 BackendSnapshot load_backend_file(const std::string& path) {

@@ -16,11 +16,6 @@ void SuiteConfig::apply_fast_mode() {
   herqules.trainer.epochs = std::max(4, herqules.trainer.epochs / 4);
 }
 
-FidelityReport evaluate_on_test(const ShotClassifier& classify,
-                                const ReadoutDataset& ds) {
-  return evaluate_classifier(classify, ds.shots, ds.test_idx);
-}
-
 FidelityReport evaluate_on_test(const EngineBackend& backend,
                                 const ReadoutDataset& ds) {
   ReadoutEngine engine(backend);

@@ -65,15 +65,18 @@ struct SuiteResult {
 /// Runs the full pipeline. Heavy: seconds to minutes depending on config.
 SuiteResult run_suite(const SuiteConfig& cfg);
 
-/// Evaluates one already-trained classifier on a dataset's test split.
-/// Prefer the EngineBackend overload: it batches through the streaming
-/// engine instead of invoking a std::function per shot.
-FidelityReport evaluate_on_test(const ShotClassifier& classify,
-                                const ReadoutDataset& ds);
-
-/// Batched evaluation through ReadoutEngine (the path run_suite uses).
+/// Evaluates one already-trained backend on a dataset's test split, batched
+/// through ReadoutEngine — the single evaluation code path (run_suite, the
+/// benches, and the tests all land here).
 FidelityReport evaluate_on_test(const EngineBackend& backend,
                                 const ReadoutDataset& ds);
+
+/// Convenience for any ReadoutBackend discriminator: wraps it (non-owning)
+/// and routes through the EngineBackend path above.
+template <ReadoutBackend D>
+FidelityReport evaluate_on_test(const D& d, const ReadoutDataset& ds) {
+  return evaluate_on_test(make_backend(d), ds);
+}
 
 /// |2>-detection statistics of a report's ancilla-relevant qubits, averaged:
 /// {P(read 2 | true 2), P(read 2 | true computational)} — feeds ERASER+M.

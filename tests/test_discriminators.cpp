@@ -27,8 +27,7 @@ TEST(Discriminators, ProposedReachesHighComputationalFidelity) {
   ProposedConfig cfg;
   const ProposedDiscriminator d = ProposedDiscriminator::train(
       ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
-  const FidelityReport r = evaluate_on_test(
-      [&](const IqTrace& t) { return d.classify(t); }, ds);
+  const FidelityReport r = evaluate_on_test(d, ds);
 
   // Computational-level accuracy must be solid on the good qubits even at
   // this reduced shot count; macro includes the data-starved |2> level.
@@ -48,8 +47,7 @@ TEST(Discriminators, ProposedDurationTruncationWorks) {
   const ProposedDiscriminator d = ProposedDiscriminator::train(
       ds.shots, ds.training_labels, ds.train_idx, ds.chip, cfg);
   EXPECT_EQ(d.samples_used(), 300u);
-  const FidelityReport r = evaluate_on_test(
-      [&](const IqTrace& t) { return d.classify(t); }, ds);
+  const FidelityReport r = evaluate_on_test(d, ds);
   EXPECT_GT(r.per_qubit[0].per_level_accuracy(0), 0.85);
 }
 
@@ -68,8 +66,7 @@ TEST(Discriminators, GaussianDiscriminatorsTrainAndClassify) {
   GaussianDiscriminatorConfig lda_cfg;
   const GaussianShotDiscriminator lda = GaussianShotDiscriminator::train(
       ds.shots, ds.training_labels, ds.train_idx, ds.chip, lda_cfg);
-  const FidelityReport r = evaluate_on_test(
-      [&](const IqTrace& t) { return lda.classify(t); }, ds);
+  const FidelityReport r = evaluate_on_test(lda, ds);
   EXPECT_GT(r.geometric_mean_fidelity(), 0.6);
   EXPECT_EQ(lda.name(), "LDA");
 }
@@ -83,8 +80,7 @@ TEST(Discriminators, FnnTrainsAndDecodesJointClasses) {
   EXPECT_EQ(fnn.input_dim(), 1000u);
   EXPECT_GT(fnn.parameter_count(), 600000u);
 
-  const FidelityReport r = evaluate_on_test(
-      [&](const IqTrace& t) { return fnn.classify(t); }, ds);
+  const FidelityReport r = evaluate_on_test(fnn, ds);
   // Even a lightly-trained FNN should beat chance clearly on the
   // computational levels of a good qubit.
   EXPECT_GT(r.per_qubit[0].per_level_accuracy(0), 0.7);
@@ -99,8 +95,7 @@ TEST(Discriminators, HerqulesTrainsJointHead) {
   EXPECT_EQ(h.model().input_size(), 30u);   // 6 filters x 5 qubits.
   EXPECT_EQ(h.model().output_size(), 243u);
 
-  const FidelityReport r = evaluate_on_test(
-      [&](const IqTrace& t) { return h.classify(t); }, ds);
+  const FidelityReport r = evaluate_on_test(h, ds);
   EXPECT_GT(r.per_qubit[0].per_level_accuracy(0), 0.7);
 }
 

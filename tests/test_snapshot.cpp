@@ -70,11 +70,13 @@ TEST(Snapshot, FloatRoundTripBitIdentical) {
   std::stringstream ss;
   save_backend(ss, fx.proposed);
   const BackendSnapshot snap = load_backend(ss);
-  EXPECT_EQ(snap.kind, SnapshotKind::kFloat);
-  EXPECT_EQ(snap.name, fx.proposed.name());
+  EXPECT_EQ(snap.kind(), SnapshotKind::kFloat);
+  EXPECT_EQ(snap.name(), fx.proposed.name());
   EXPECT_EQ(snap.num_qubits(), fx.proposed.num_qubits());
-  ASSERT_TRUE(snap.float_d);
-  EXPECT_EQ(snap.float_d->parameter_count(), fx.proposed.parameter_count());
+  const auto reloaded = snap.as<ProposedDiscriminator>();
+  ASSERT_TRUE(reloaded);
+  EXPECT_FALSE(snap.as<QuantizedProposedDiscriminator>());
+  EXPECT_EQ(reloaded->parameter_count(), fx.proposed.parameter_count());
   for (std::size_t threads : {1u, 4u})
     EXPECT_EQ(classify_all(snap.backend(), threads), fx.float_labels)
         << threads << " threads";
@@ -85,13 +87,15 @@ TEST(Snapshot, Int16RoundTripBitIdentical) {
   std::stringstream ss;
   save_backend(ss, fx.quantized);
   const BackendSnapshot snap = load_backend(ss);
-  EXPECT_EQ(snap.kind, SnapshotKind::kInt16);
-  EXPECT_EQ(snap.name, fx.quantized.name());
-  ASSERT_TRUE(snap.int16_d);
+  EXPECT_EQ(snap.kind(), SnapshotKind::kInt16);
+  EXPECT_EQ(snap.name(), fx.quantized.name());
+  const auto reloaded = snap.as<QuantizedProposedDiscriminator>();
+  ASSERT_TRUE(reloaded);
+  EXPECT_FALSE(snap.as<ProposedDiscriminator>());
   // The calibrated formats round-trip exactly — what the FPGA resource
   // model reads from a reloaded calibration.
   const CalibratedFormats a = fx.quantized.calibrated_formats();
-  const CalibratedFormats b = snap.int16_d->calibrated_formats();
+  const CalibratedFormats b = reloaded->calibrated_formats();
   EXPECT_EQ(a.trace.total_bits, b.trace.total_bits);
   EXPECT_EQ(a.trace.frac_bits, b.trace.frac_bits);
   EXPECT_EQ(a.feature.frac_bits, b.feature.frac_bits);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "discrim/proposed.h"
 #include "readout/dataset.h"
 
 namespace mlqr {
