@@ -1,0 +1,207 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis macros
+// and annotated wrappers over the std locking primitives.
+//
+// Every locking invariant in the serving stack ("jobs_ and stop_ guarded
+// by mutex_", "pending swaps drained before the next dispatcher claim")
+// used to live only in comments, checked dynamically by whichever
+// interleavings TSan happened to hit. The MLQR_* macros below turn those
+// comments into attributes Clang proves at compile time: a member declared
+// MLQR_GUARDED_BY(mutex_) cannot be touched without holding mutex_, a
+// helper declared MLQR_REQUIRES(mutex_) cannot be called without it, and
+// the Clang CI legs build with -Werror=thread-safety so a missing lock is
+// a build failure, not a race CI may or may not reproduce. On GCC/MSVC
+// every macro expands to nothing — the wrappers compile to exactly the
+// std primitives they wrap.
+//
+// What the analysis does NOT guarantee (see also README "Static analysis
+// & concurrency contracts"):
+//   * No alias tracking: a reference or pointer obtained under the lock
+//     can be dereferenced after unlock without a warning. The streaming
+//     engine's ring-slot custody hand-off (producers fill kReserved slots,
+//     the dispatcher reads kInFlight slots, both outside the lock) lives
+//     in exactly that blind spot and stays covered by TSan + the
+//     state-machine comments in pipeline/streaming_engine.h.
+//   * No cross-thread happens-before for atomics: WarnOnce and friends
+//     are outside the capability model entirely.
+//   * Constructors and destructors are not analyzed (an object under
+//     construction is single-threaded by definition).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Clang implements the analysis; GCC and MSVC accept the code with the
+// attributes compiled out. (SWIG and other tooling parsers also get the
+// empty expansion.)
+#if defined(__clang__) && !defined(SWIG)
+#define MLQR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MLQR_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability (e.g. a mutex type).
+#define MLQR_CAPABILITY(x) MLQR_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define MLQR_SCOPED_CAPABILITY MLQR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the capability.
+#define MLQR_GUARDED_BY(x) MLQR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is protected by the capability.
+#define MLQR_PT_GUARDED_BY(x) MLQR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the capabilities.
+#define MLQR_REQUIRES(...) \
+  MLQR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capabilities and holds them on return.
+#define MLQR_ACQUIRE(...) \
+  MLQR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases capabilities held on entry.
+#define MLQR_RELEASE(...) \
+  MLQR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `result`.
+#define MLQR_TRY_ACQUIRE(result, ...) \
+  MLQR_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function the caller must NOT hold the capabilities around (documents
+/// non-reentrancy: the function acquires them itself).
+#define MLQR_EXCLUDES(...) MLQR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the named capability.
+#define MLQR_RETURN_CAPABILITY(x) MLQR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Unused in this
+/// codebase (the CI gate runs with zero suppressions); provided so a
+/// future genuine false positive has a named, greppable escape.
+#define MLQR_NO_THREAD_SAFETY_ANALYSIS \
+  MLQR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace mlqr {
+
+/// std::mutex with the capability annotation: everything declared
+/// MLQR_GUARDED_BY(a Mutex) is compile-time checked under Clang.
+class MLQR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MLQR_ACQUIRE() { mu_.lock(); }
+  void unlock() MLQR_RELEASE() { mu_.unlock(); }
+  bool try_lock() MLQR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex, relockable: unlock()/lock() release and
+/// re-acquire mid-scope (the streaming submit path copies frames outside
+/// the lock), and the destructor releases only if currently held. Clang
+/// tracks the held/released state through every branch.
+class MLQR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MLQR_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() MLQR_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Re-acquires after unlock(). Must not be held.
+  void lock() MLQR_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+  /// Releases before scope exit. Must be held.
+  void unlock() MLQR_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+  bool owns_lock() const { return held_; }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable paired with mlqr::Mutex. The capability-annotated
+/// waits make "which lock guards this predicate" part of the signature:
+/// wait(mu) can only be called with mu held, and the caller still holds
+/// it on return. Waits without a predicate are intentionally bare — every
+/// call site owns its predicate loop (spurious wakeups re-check under the
+/// same capability), or uses the predicate overload which loops here.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases mu, sleeps, and re-acquires mu before returning.
+  /// May wake spuriously: callers loop on their predicate.
+  void wait(Mutex& mu) MLQR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller's MutexLock still owns the mutex.
+  }
+
+  /// Predicate form: returns with pred() true and mu held. Re-checks the
+  /// predicate after every wakeup (pinned by tests/test_annotations.cpp).
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) MLQR_REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  /// Timed wait; returns std::cv_status::timeout when `deadline` passed.
+  /// Callers re-check their predicate either way.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      MLQR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// One-shot latch for warn-once diagnostics (malformed env knobs etc.).
+/// Replaces the per-site `static std::atomic<bool> warned` pattern so the
+/// repo's lock-free shared state lives behind one audited type instead of
+/// ad-hoc atomics. Outside the capability model by design: relaxed order
+/// is enough because the latch guards only *which* caller prints, never
+/// any data the racing threads share.
+class WarnOnce {
+ public:
+  /// True for exactly one caller across all threads, ever.
+  bool first() noexcept {
+    return !fired_.exchange(true, std::memory_order_relaxed);
+  }
+
+  bool fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace mlqr

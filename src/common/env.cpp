@@ -1,11 +1,12 @@
 #include "common/env.h"
 
 #include <algorithm>
-#include <atomic>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/annotations.h"
 
 namespace mlqr {
 
@@ -34,8 +35,8 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
     // A malformed knob silently running at the default would record bench
     // results for a configuration the user never asked for. Latched like
     // resolve_thread_count's warning: one line, not one per read.
-    static std::atomic<bool> warned{false};
-    if (!warned.exchange(true))
+    static WarnOnce warned;
+    if (warned.first())
       std::fprintf(stderr,
                    "[mlqr] ignoring malformed %s=\"%s\" (want an integer); "
                    "using %lld\n",

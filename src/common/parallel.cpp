@@ -1,11 +1,11 @@
 #include "common/parallel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/env.h"
 #include "common/thread_pool.h"
 
@@ -20,8 +20,8 @@ std::size_t resolve_thread_count(const char* env_value, unsigned hardware) {
     // Lenient parsing here used to accept "12abc" as 12 and silently drop
     // "0"/garbage — a misconfigured knob that decides every fan-out in the
     // process deserves one loud line.
-    static std::atomic<bool> warned{false};
-    if (!warned.exchange(true))
+    static WarnOnce warned;
+    if (warned.first())
       std::fprintf(stderr,
                    "[mlqr] ignoring invalid MLQR_THREADS=\"%s\" (want an "
                    "integer in [1, %zu]); using %zu worker(s)\n",

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -40,26 +40,33 @@ void ThreadPool::execute(Job& job, std::size_t index) {
   } catch (...) {
     error = std::current_exception();
   }
-  std::scoped_lock lock(job.done_mutex);
+  MutexLock lock(job.done_mutex);
   if (error && !job.first_error) job.first_error = error;
   if (--job.remaining == 0) job.done_cv.notify_all();
 }
 
+bool ThreadPool::claim_front(std::shared_ptr<Job>& job, std::size_t& index) {
+  // The front job may already be fully claimed (the submitting thread
+  // drains its own job too); discard exhausted entries so workers re-wait.
+  job = jobs_.front();
+  if (job->next >= job->count) {
+    jobs_.pop_front();
+    return false;
+  }
+  index = job->next++;
+  if (job->next >= job->count) jobs_.pop_front();
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   t_inside_worker = true;
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+    while (!stop_ && jobs_.empty()) work_cv_.wait(mutex_);
     if (stop_) return;
-    // The front job may already be fully claimed (the submitting thread
-    // drains its own job too); discard exhausted entries and re-wait.
-    const std::shared_ptr<Job> job = jobs_.front();
-    if (job->next >= job->count) {
-      jobs_.pop_front();
-      continue;
-    }
-    const std::size_t index = job->next++;
-    if (job->next >= job->count) jobs_.pop_front();
+    std::shared_ptr<Job> job;
+    std::size_t index = 0;
+    if (!claim_front(job, index)) continue;
     lock.unlock();
     execute(*job, index);
     lock.lock();
@@ -83,12 +90,9 @@ void ThreadPool::run(std::size_t count,
     if (first_error) std::rethrow_exception(first_error);
     return;
   }
-  const auto job = std::make_shared<Job>();
-  job->count = count;
-  job->remaining = count;
-  job->task = &task;
+  const auto job = std::make_shared<Job>(count, &task);
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     jobs_.push_back(job);
   }
   // The caller takes one task itself, so at most count-1 workers are
@@ -101,15 +105,15 @@ void ThreadPool::run(std::size_t count,
   for (;;) {
     std::size_t index;
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       if (job->next >= job->count) break;
       index = job->next++;
-      // Exhausted jobs left mid-deque are discarded by worker_loop.
+      // Exhausted jobs left mid-deque are discarded by claim_front.
     }
     execute(*job, index);
   }
-  std::unique_lock done(job->done_mutex);
-  job->done_cv.wait(done, [&] { return job->remaining == 0; });
+  MutexLock done(job->done_mutex);
+  while (job->remaining != 0) job->done_cv.wait(job->done_mutex);
   if (job->first_error) std::rethrow_exception(job->first_error);
 }
 

@@ -17,16 +17,22 @@
 // keeps working unchanged. Nested run() calls are safe: a task that fans
 // out again enqueues a fresh job and the enqueuing thread drains it
 // itself, so progress never depends on idle pool workers existing.
+//
+// Locking contract (compile-time checked on Clang, see
+// common/annotations.h): the pool-level job queue and stop flag are
+// MLQR_GUARDED_BY(mutex_); each Job's completion count and first-error
+// slot are MLQR_GUARDED_BY(its own done_mutex). The two locks never nest.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace mlqr {
 
@@ -53,7 +59,8 @@ class ThreadPool {
   /// call concurrently from multiple threads and recursively from inside a
   /// task (the caller always drains its own job, so nested fan-outs cannot
   /// deadlock even with zero idle workers).
-  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+  void run(std::size_t count, const std::function<void(std::size_t)>& task)
+      MLQR_EXCLUDES(mutex_);
 
   /// Process-wide pool used by parallel_for*: lazily constructed on first
   /// use with parallel_thread_count() workers (MLQR_THREADS honoured,
@@ -67,22 +74,34 @@ class ThreadPool {
  private:
   /// One run() invocation: a batch of `count` tasks claimed by index.
   struct Job {
-    std::size_t count = 0;
-    std::size_t next = 0;  ///< Next unclaimed index; guarded by pool mutex.
-    const std::function<void(std::size_t)>* task = nullptr;
-    std::size_t remaining;               ///< Guarded by done_mutex.
-    std::exception_ptr first_error;      ///< Guarded by done_mutex.
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    Job(std::size_t n, const std::function<void(std::size_t)>* t)
+        : count(n), task(t), remaining(n) {}
+
+    const std::size_t count;
+    /// Next unclaimed index. Guarded by the owning pool's mutex_ — a
+    /// cross-object capability Clang TSA cannot name from this scope, so
+    /// the contract is enforced at the access sites (all of which hold
+    /// the pool lock via claim_front / run's claim loop).
+    std::size_t next = 0;
+    const std::function<void(std::size_t)>* const task;
+    Mutex done_mutex;
+    CondVar done_cv;
+    std::size_t remaining MLQR_GUARDED_BY(done_mutex);
+    std::exception_ptr first_error MLQR_GUARDED_BY(done_mutex);
   };
 
   void worker_loop();
   static void execute(Job& job, std::size_t index);
+  /// Claims the next task index of the front job, discarding it from the
+  /// queue once fully claimed. False when the front job was exhausted by
+  /// its submitter (the entry is dropped; callers re-check the queue).
+  bool claim_front(std::shared_ptr<Job>& job, std::size_t& index)
+      MLQR_REQUIRES(mutex_);
 
-  std::mutex mutex_;               ///< Guards jobs_ and stop_.
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Job>> jobs_;  ///< FIFO of jobs with unclaimed tasks.
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;  ///< Workers waiting for jobs_ / stop_ under mutex_.
+  std::deque<std::shared_ptr<Job>> jobs_ MLQR_GUARDED_BY(mutex_);
+  bool stop_ MLQR_GUARDED_BY(mutex_) = false;
   std::vector<std::jthread> threads_;
 };
 

@@ -58,13 +58,17 @@
 namespace mlqr {
 
 /// Discriminator family a snapshot carries — the on-disk kind byte. Values
-/// are part of the format; never renumber, only append.
+/// are part of the format; never renumber, only append. The wire values are
+/// pinned in tools/snapshot_kinds.manifest and the static-analysis CI job
+/// (tools/lint_invariants.py) fails on any non-append edit — register a new
+/// kind in both places in the same change.
 enum class SnapshotKind : std::uint8_t {
   kFloat = 0,     ///< ProposedDiscriminator (fused float path).
   kInt16 = 1,     ///< QuantizedProposedDiscriminator (integer datapath).
   kFnn = 2,       ///< FnnDiscriminator (raw-trace joint-head baseline).
   kHerqules = 3,  ///< HerqulesDiscriminator (MF + joint-head baseline).
   kGaussian = 4,  ///< GaussianShotDiscriminator (LDA/QDA baselines).
+  // 5 is reserved for the planned int8 datapath (see the manifest).
 };
 
 inline constexpr std::uint32_t kSnapshotVersion = 1;

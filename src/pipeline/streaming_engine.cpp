@@ -8,7 +8,7 @@ namespace mlqr {
 
 StreamingEngine::StreamingEngine(std::vector<EngineBackend> shards,
                                  StreamingConfig cfg)
-    : cfg_(cfg), shards_(std::move(shards)), core_(cfg.engine) {
+    : cfg_(cfg), core_(cfg.engine), shards_(std::move(shards)) {
   MLQR_CHECK_MSG(!shards_.empty(), "streaming engine needs >= 1 shard");
   for (const EngineBackend& s : shards_) {
     MLQR_CHECK_MSG(s.valid(), "streaming engine got an invalid shard");
@@ -36,7 +36,7 @@ StreamingEngine::StreamingEngine(const EngineBackend& backend,
 
 StreamingEngine::~StreamingEngine() {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -56,10 +56,10 @@ StreamingEngine::Ticket StreamingEngine::submit_routed(const IqTrace& frame,
                                                        bool keyed,
                                                        std::uint64_t key) {
   frame.check_consistent();
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   // Backpressure: the next ticket's slot must have been consumed by wait().
-  space_cv_.wait(lock,
-                 [&] { return slot_of(next_ticket_).state == SlotState::kFree; });
+  while (slot_of(next_ticket_).state != SlotState::kFree)
+    space_cv_.wait(mutex_);
   const Ticket t = next_ticket_++;
   Slot& slot = slot_of(t);
   slot.state = SlotState::kReserved;
@@ -68,8 +68,9 @@ StreamingEngine::Ticket StreamingEngine::submit_routed(const IqTrace& frame,
                      : static_cast<std::size_t>(t % shards_.size());
   lock.unlock();
   // Copy outside the lock: concurrent producers fill distinct slots in
-  // parallel. assign() reuses the slot's capacity — zero allocations once
-  // the ring has seen a frame of this length.
+  // parallel (the kReserved custody hand-off — see Slot). assign() reuses
+  // the slot's capacity — zero allocations once the ring has seen a frame
+  // of this length.
   slot.frame.i.assign(frame.i.begin(), frame.i.end());
   slot.frame.q.assign(frame.q.begin(), frame.q.end());
   slot.arrival = std::chrono::steady_clock::now();
@@ -101,15 +102,14 @@ void StreamingEngine::extend_queued_run() {
 }
 
 void StreamingEngine::dispatch_loop() {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     // Yield to pending swap_shard calls before claiming a batch: between
     // batches the mutex is held continuously under sustained load, so
     // without this gate a swapper could starve forever.
-    work_cv_.wait(lock, [&] {
-      return (swaps_pending_ == 0 && ready_run() > 0) ||
-             (stop_ && head_ == next_ticket_);
-    });
+    while (!((swaps_pending_ == 0 && ready_run() > 0) ||
+             (stop_ && head_ == next_ticket_)))
+      work_cv_.wait(mutex_);
     if (stop_ && head_ == next_ticket_) return;  // Stopped and fully drained.
     // Micro-batch window: give the batch a chance to fill, but never hold
     // the oldest pending shot past its deadline. Skipped once stopping —
@@ -118,9 +118,10 @@ void StreamingEngine::dispatch_loop() {
         ready_run() < cfg_.batch_max) {
       const auto deadline =
           slot_of(head_).arrival + std::chrono::microseconds(cfg_.deadline_us);
-      work_cv_.wait_until(lock, deadline, [&] {
-        return stop_ || flush_ > head_ || ready_run() >= cfg_.batch_max;
-      });
+      while (!(stop_ || flush_ > head_ || ready_run() >= cfg_.batch_max)) {
+        if (work_cv_.wait_until(mutex_, deadline) == std::cv_status::timeout)
+          break;
+      }
     }
     const std::size_t m = ready_run();
     const Ticket t0 = head_;
@@ -129,31 +130,36 @@ void StreamingEngine::dispatch_loop() {
     for (std::size_t i = 0; i < m; ++i)
       slot_of(t0 + i).state = SlotState::kInFlight;
     dispatching_ = true;
+    // Custody hand-off: snapshot the (never-resized) ring and shard tables
+    // under the lock, then classify through the snapshots outside it. The
+    // claimed slots are exclusively ours until marked kDone, so reading
+    // frames and writing labels unlocked is race-free (the producer's
+    // frame writes happened-before its kQueued transition), and shards_
+    // is stable while dispatching_ is true: swap_shard waits for the gap
+    // between batches.
+    Slot* const ring = ring_.data();
+    const std::size_t cap = ring_.size();
+    const EngineBackend* const shards = shards_.data();
     lock.unlock();
 
-    // Classify the claimed slots through the shared engine machinery. The
-    // slots are exclusively ours until marked kDone, so reading frames and
-    // writing labels outside the lock is race-free (the producer's frame
-    // writes happened-before its kQueued transition). shards_ is stable
-    // while dispatching_ is true: swap_shard waits for the gap between
-    // batches. A throwing backend must not escape this jthread
-    // (std::terminate, stuck kInFlight slots, hung waiters) — the failure
-    // is captured and delivered through the affected tickets instead, and
-    // the dispatcher lives on. The thread-pool fan-out propagates the
-    // first worker exception and remains reusable, so a partial batch
-    // failure poisons only this micro-batch.
+    // A throwing backend must not escape this jthread (std::terminate,
+    // stuck kInFlight slots, hung waiters) — the failure is captured and
+    // delivered through the affected tickets instead, and the dispatcher
+    // lives on. The thread-pool fan-out propagates the first worker
+    // exception and remains reusable, so a partial batch failure poisons
+    // only this micro-batch.
     std::exception_ptr batch_error;
     try {
       core_.classify(
           m,
-          [this, t0](std::size_t s) -> const IqTrace& {
-            return slot_of(t0 + s).frame;
+          [ring, cap, t0](std::size_t s) -> const IqTrace& {
+            return ring[(t0 + s) % cap].frame;
           },
-          [this, t0](std::size_t s) -> const EngineBackend& {
-            return shards_[slot_of(t0 + s).shard];
+          [ring, cap, shards, t0](std::size_t s) -> const EngineBackend& {
+            return shards[ring[(t0 + s) % cap].shard];
           },
-          [this, t0](std::size_t s) -> std::span<int> {
-            Slot& slot = slot_of(t0 + s);
+          [ring, cap, t0](std::size_t s) -> std::span<int> {
+            Slot& slot = ring[(t0 + s) % cap];
             return {slot.labels.data(), slot.labels.size()};
           },
           /*micros=*/nullptr);
@@ -185,7 +191,7 @@ void StreamingEngine::wait(Ticket t, std::span<int> out) {
   MLQR_CHECK_MSG(out.size() == n_qubits_,
                  "wait() output span has " << out.size() << " slots, engine "
                                            << n_qubits_ << " qubits");
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   MLQR_CHECK_MSG(t != kNoTicket, "wait on invalid ticket");
   Slot& slot = slot_of(t);
   // Like drain(): a consumer blocked on this ticket should not ride out
@@ -203,7 +209,7 @@ void StreamingEngine::wait(Ticket t, std::span<int> out) {
         slot.ticket == kNoTicket || slot.ticket < t ||
             (slot.ticket == t && slot.state != SlotState::kFree),
         "ticket " << t << " was already waited (each ticket is one-shot)");
-    done_cv_.wait(lock);
+    done_cv_.wait(mutex_);
   }
   if (slot.error) {
     // The backend threw while classifying this ticket's batch: the labels
@@ -231,13 +237,13 @@ std::vector<int> StreamingEngine::wait(Ticket t) {
 }
 
 void StreamingEngine::drain() {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   const Ticket target = next_ticket_;
   // Everything already submitted should dispatch now rather than ride out
   // the micro-batch deadline.
   flush_ = std::max(flush_, target);
   work_cv_.notify_all();
-  done_cv_.wait(lock, [&] { return completed_ >= target; });
+  while (completed_ < target) done_cv_.wait(mutex_);
   // Surface classify failures to flush-and-check callers that never wait
   // individual tickets. The failed tickets stay retrievable: each wait()
   // still rethrows, and once all are consumed drain() goes quiet again.
@@ -249,7 +255,7 @@ void StreamingEngine::swap_shard(std::size_t shard, EngineBackend backend) {
   MLQR_CHECK_MSG(backend.num_qubits() == n_qubits_,
                  "swap_shard backend reports " << backend.num_qubits()
                      << " qubits, engine serves " << n_qubits_);
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   MLQR_CHECK_MSG(shard < shards_.size(),
                  "swap_shard index " << shard << " out of range (engine has "
                                      << shards_.size() << " shards)");
@@ -257,7 +263,7 @@ void StreamingEngine::swap_shard(std::size_t shard, EngineBackend backend) {
   // count makes it yield the next claim to us, so this is bounded by one
   // batch even under saturation.
   ++swaps_pending_;
-  done_cv_.wait(lock, [&] { return !dispatching_; });
+  while (dispatching_) done_cv_.wait(mutex_);
   shards_[shard] = std::move(backend);
   ++swaps_;
   --swaps_pending_;
@@ -266,22 +272,22 @@ void StreamingEngine::swap_shard(std::size_t shard, EngineBackend backend) {
 }
 
 std::uint64_t StreamingEngine::shots_submitted() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return next_ticket_;
 }
 
 std::uint64_t StreamingEngine::shots_completed() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return completed_;
 }
 
 std::uint64_t StreamingEngine::batches_dispatched() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return batches_;
 }
 
 std::uint64_t StreamingEngine::shards_swapped() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return swaps_;
 }
 

@@ -40,17 +40,26 @@
 // Steady state allocates nothing: ring slots reuse their frame/label
 // capacity, scratch lives per worker slot, and the dispatcher loop holds
 // no per-batch heap state.
+//
+// Locking contract (compile-time checked on Clang, see
+// common/annotations.h): every bookkeeping member — the ring vector, the
+// shard table, tickets, counters, and the dispatcher/swap gate flags — is
+// MLQR_GUARDED_BY(mutex_), and the dispatcher-side helpers carry
+// MLQR_REQUIRES(mutex_). The one thing the analysis cannot express is the
+// slot custody hand-off: a producer fills a kReserved slot's frame and
+// the dispatcher reads kInFlight slots' frames / writes their labels
+// outside the lock, via pointers snapshotted under it. That protocol is
+// documented on Slot below and stays covered by TSan.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "pipeline/readout_engine.h"
 
 namespace mlqr {
@@ -102,10 +111,11 @@ class StreamingEngine {
 
   /// Enqueues a copy of `frame` (slot buffers reuse their capacity), routed
   /// round-robin across shards. Blocks while the ring is full.
-  Ticket submit(const IqTrace& frame);
+  Ticket submit(const IqTrace& frame) MLQR_EXCLUDES(mutex_);
 
   /// Keyed routing: the shot classifies on shard `channel_key % shards`.
-  Ticket submit(const IqTrace& frame, std::uint64_t channel_key);
+  Ticket submit(const IqTrace& frame, std::uint64_t channel_key)
+      MLQR_EXCLUDES(mutex_);
 
   /// Blocks until ticket `t` has been classified, copies its labels into
   /// `out` (size num_qubits()) and releases the ring slot. Tickets are
@@ -118,10 +128,10 @@ class StreamingEngine {
   /// slot is released (ticket consumed) and the stored exception is
   /// rethrown instead of copying labels — the dispatcher survives such
   /// failures and keeps classifying later submissions.
-  void wait(Ticket t, std::span<int> out);
+  void wait(Ticket t, std::span<int> out) MLQR_EXCLUDES(mutex_);
 
   /// Allocating convenience wrapper around wait(t, out).
-  std::vector<int> wait(Ticket t);
+  std::vector<int> wait(Ticket t) MLQR_EXCLUDES(mutex_);
 
   /// Blocks until every ticket issued so far has been classified (results
   /// stay retrievable via wait afterwards). If any completed-but-unwaited
@@ -129,7 +139,7 @@ class StreamingEngine {
   /// consuming the tickets — each failed ticket still rethrows from its
   /// own wait()); once every failed ticket has been waited, drain()
   /// returns normally again.
-  void drain();
+  void drain() MLQR_EXCLUDES(mutex_);
 
   /// Atomically replaces one shard's backend between micro-batches: blocks
   /// until the dispatcher is not classifying (the dispatcher yields the
@@ -142,13 +152,14 @@ class StreamingEngine {
   /// wrapped discriminator alive for the engine's lifetime. Safe to call
   /// concurrently with submit/wait/drain from any thread, but not while
   /// the engine is being destroyed.
-  void swap_shard(std::size_t shard, EngineBackend backend);
+  void swap_shard(std::size_t shard, EngineBackend backend)
+      MLQR_EXCLUDES(mutex_);
 
   /// Counters (each takes the engine lock briefly).
-  std::uint64_t shots_submitted() const;
-  std::uint64_t shots_completed() const;
-  std::uint64_t batches_dispatched() const;
-  std::uint64_t shards_swapped() const;
+  std::uint64_t shots_submitted() const MLQR_EXCLUDES(mutex_);
+  std::uint64_t shots_completed() const MLQR_EXCLUDES(mutex_);
+  std::uint64_t batches_dispatched() const MLQR_EXCLUDES(mutex_);
+  std::uint64_t shards_swapped() const MLQR_EXCLUDES(mutex_);
 
  private:
   enum class SlotState : std::uint8_t {
@@ -163,6 +174,17 @@ class StreamingEngine {
   /// ticket can never reach it).
   static constexpr Ticket kNoTicket = ~Ticket{0};
 
+  /// One ring entry. The state/ticket/shard/error fields transition only
+  /// under the engine mutex; frame, labels and arrival follow the custody
+  /// protocol instead (Clang TSA cannot express ownership hand-off, so
+  /// these accesses are deliberately outside the capability model):
+  ///   * kReserved: the submitting producer exclusively fills frame and
+  ///     arrival outside the lock; its kQueued transition (under the
+  ///     lock) publishes the writes to the dispatcher.
+  ///   * kInFlight: the dispatcher exclusively reads frame and writes
+  ///     labels outside the lock; its kDone transition publishes them to
+  ///     the waiter.
+  ///   * kDone -> kFree: wait() copies labels out under the lock.
   struct Slot {
     IqTrace frame;
     std::vector<int> labels;
@@ -175,44 +197,54 @@ class StreamingEngine {
     std::exception_ptr error;
   };
 
-  Ticket submit_routed(const IqTrace& frame, bool keyed, std::uint64_t key);
+  Ticket submit_routed(const IqTrace& frame, bool keyed, std::uint64_t key)
+      MLQR_EXCLUDES(mutex_);
   void dispatch_loop();
   /// Dispatchable micro-batch size: the contiguous queued run from head_
   /// capped at batch_max. O(1) — queued_run_ is maintained incrementally.
-  std::size_t ready_run() const;
+  std::size_t ready_run() const MLQR_REQUIRES(mutex_);
   /// Extends queued_run_ past newly queued slots (amortized O(1)/shot).
-  void extend_queued_run();
-  Slot& slot_of(Ticket t) { return ring_[t % ring_.size()]; }
+  void extend_queued_run() MLQR_REQUIRES(mutex_);
+  Slot& slot_of(Ticket t) MLQR_REQUIRES(mutex_) {
+    return ring_[t % ring_.size()];
+  }
 
   StreamingConfig cfg_;
-  std::vector<EngineBackend> shards_;
-  std::size_t n_qubits_ = 0;
-  EngineCore core_;
+  std::size_t n_qubits_ = 0;  ///< Immutable after construction.
+  EngineCore core_;  ///< Dispatcher-thread only (scratch pool inside).
 
-  mutable std::mutex mutex_;
-  std::condition_variable space_cv_;  ///< Producers waiting for a free slot.
-  std::condition_variable work_cv_;   ///< Dispatcher waiting for shots/stop.
-  std::condition_variable done_cv_;   ///< wait()/drain() waiting on results.
-  std::vector<Slot> ring_;
-  Ticket next_ticket_ = 0;  ///< Next ticket to issue.
-  Ticket head_ = 0;         ///< Oldest ticket not yet claimed for dispatch.
-  Ticket flush_ = 0;        ///< Tickets below this skip the deadline wait.
-  std::size_t queued_run_ = 0;  ///< Contiguous kQueued slots from head_.
-  std::uint64_t completed_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t swaps_ = 0;
+  mutable Mutex mutex_;
+  CondVar space_cv_;  ///< Producers waiting for a free slot.
+  CondVar work_cv_;   ///< Dispatcher waiting for shots/stop/swap gate.
+  CondVar done_cv_;   ///< wait()/drain()/swappers waiting on the dispatcher.
+  /// Never resized after construction; elements follow Slot's custody
+  /// protocol once handed off (pointers snapshotted under the lock).
+  std::vector<Slot> ring_ MLQR_GUARDED_BY(mutex_);
+  /// Stable while dispatching_ is true: swap_shard waits for the gap
+  /// between micro-batches before mutating an element.
+  std::vector<EngineBackend> shards_ MLQR_GUARDED_BY(mutex_);
+  Ticket next_ticket_ MLQR_GUARDED_BY(mutex_) = 0;  ///< Next ticket to issue.
+  /// Oldest ticket not yet claimed for dispatch.
+  Ticket head_ MLQR_GUARDED_BY(mutex_) = 0;
+  /// Tickets below this skip the deadline wait.
+  Ticket flush_ MLQR_GUARDED_BY(mutex_) = 0;
+  /// Contiguous kQueued slots from head_.
+  std::size_t queued_run_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t batches_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t swaps_ MLQR_GUARDED_BY(mutex_) = 0;
   /// kDone-with-error tickets not yet consumed by wait(), and the earliest
   /// such batch's exception (what drain() rethrows while any remain).
-  std::size_t failed_unconsumed_ = 0;
-  std::exception_ptr first_error_;
+  std::size_t failed_unconsumed_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ MLQR_GUARDED_BY(mutex_);
   /// True while the dispatcher runs core_.classify outside the lock (it
   /// reads shards_ there, so swap_shard must not mutate them meanwhile).
-  bool dispatching_ = false;
+  bool dispatching_ MLQR_GUARDED_BY(mutex_) = false;
   /// Swappers waiting for a batch gap; the dispatcher yields to them
   /// before claiming the next micro-batch so swaps cannot starve under
   /// sustained load.
-  std::size_t swaps_pending_ = 0;
-  bool stop_ = false;
+  std::size_t swaps_pending_ MLQR_GUARDED_BY(mutex_) = 0;
+  bool stop_ MLQR_GUARDED_BY(mutex_) = false;
 
   std::jthread dispatcher_;  ///< Last member: joins before state dies.
 };

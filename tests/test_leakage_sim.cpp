@@ -52,9 +52,7 @@ TEST(LeakageSim, DecayDrainsLeakage) {
   LeakageSimulator sim(code, r, MultiLevelReadout{}, 7);
   sim.step();
   EXPECT_GT(sim.leakage_population(), 0.4);
-  // ...then stop injecting and let decay drain it.
-  LeakageRates drain = quiet_rates();
-  drain.p_decay = 0.5;
+  // ...then drain it back down.
   LeakageSimulator sim2(code, r, MultiLevelReadout{}, 7);
   sim2.step();
   // Manually apply LRCs as a proxy for decay-to-zero behaviour.

@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Repo-invariant lints that neither the compiler nor clang-tidy can express.
+
+Two checks, both cheap enough for every CI run and every pre-commit:
+
+  1. snapshot-kinds: the SnapshotKind enum in src/pipeline/snapshot.h is an
+     on-disk format registry. Its wire values are pinned in
+     tools/snapshot_kinds.manifest; this lint fails if an existing entry was
+     renumbered, renamed, or removed (append-only contract), or if a new
+     enum entry was not added to the manifest, or if anything claims a
+     reserved value.
+
+  2. nondeterminism: src/ must stay bit-reproducible. Calls to rand(),
+     std::random_device, wall-clock time sources (time(), gettimeofday,
+     system_clock) are banned outside src/common/timer.h (which owns the
+     steady-clock wrappers). Seeded mlqr RNGs and steady_clock are fine.
+
+Exit status: 0 = all invariants hold, 1 = violation (details on stderr),
+2 = usage / environment error. `--self-test` proves the checks can fail by
+running them against deliberately broken copies in a temp dir.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SNAPSHOT_HEADER = pathlib.Path("src/pipeline/snapshot.h")
+MANIFEST = pathlib.Path("tools/snapshot_kinds.manifest")
+
+# ---------------------------------------------------------------------------
+# Check 1: snapshot kind registry is append-only against the manifest.
+# ---------------------------------------------------------------------------
+
+ENUM_RE = re.compile(
+    r"enum\s+class\s+SnapshotKind\s*:\s*std::uint8_t\s*\{(?P<body>.*?)\}\s*;",
+    re.DOTALL,
+)
+ENUMERATOR_RE = re.compile(r"^\s*(?P<name>k\w+)\s*=\s*(?P<value>\d+)\s*,")
+
+
+def parse_enum(header_text: str) -> dict[str, int]:
+    m = ENUM_RE.search(header_text)
+    if m is None:
+        raise SystemExit(
+            f"error: no `enum class SnapshotKind : std::uint8_t` found in "
+            f"{SNAPSHOT_HEADER} — if the registry moved, update "
+            f"tools/lint_invariants.py alongside it"
+        )
+    kinds: dict[str, int] = {}
+    for line in m.group("body").splitlines():
+        em = ENUMERATOR_RE.match(line)
+        if em:
+            kinds[em.group("name")] = int(em.group("value"))
+    if not kinds:
+        raise SystemExit(
+            f"error: SnapshotKind in {SNAPSHOT_HEADER} has no `kName = N,` "
+            f"enumerators the lint can parse (explicit values are required: "
+            f"they are wire bytes)"
+        )
+    return kinds
+
+
+def parse_manifest(manifest_text: str) -> tuple[dict[str, int], set[int]]:
+    pinned: dict[str, int] = {}
+    reserved: set[int] = set()
+    for lineno, raw in enumerate(manifest_text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = re.fullmatch(r"(?P<name>\w+)\s*=\s*(?P<value>\d+)", line)
+        if m is None:
+            raise SystemExit(
+                f"error: {MANIFEST}:{lineno}: unparseable line {raw!r} "
+                f"(want `name = value`)"
+            )
+        name, value = m.group("name"), int(m.group("value"))
+        if name == "reserved":
+            reserved.add(value)
+        else:
+            pinned[name] = value
+    return pinned, reserved
+
+
+def check_snapshot_kinds(root: pathlib.Path) -> list[str]:
+    kinds = parse_enum((root / SNAPSHOT_HEADER).read_text(encoding="utf-8"))
+    pinned, reserved = parse_manifest(
+        (root / MANIFEST).read_text(encoding="utf-8")
+    )
+    errors = []
+    for name, value in pinned.items():
+        if name not in kinds:
+            errors.append(
+                f"{SNAPSHOT_HEADER}: pinned snapshot kind {name} = {value} "
+                f"was removed or renamed — wire values are append-only"
+            )
+        elif kinds[name] != value:
+            errors.append(
+                f"{SNAPSHOT_HEADER}: snapshot kind {name} renumbered "
+                f"{value} -> {kinds[name]} — existing snapshots on disk "
+                f"would load as the wrong design"
+            )
+    for name, value in kinds.items():
+        if name in pinned:
+            continue
+        if value in reserved:
+            errors.append(
+                f"{SNAPSHOT_HEADER}: new snapshot kind {name} claims "
+                f"reserved value {value} (see {MANIFEST} for what it is "
+                f"being held for)"
+            )
+        elif value in pinned.values():
+            errors.append(
+                f"{SNAPSHOT_HEADER}: new snapshot kind {name} reuses wire "
+                f"value {value}, already pinned to another kind"
+            )
+        else:
+            errors.append(
+                f"{SNAPSHOT_HEADER}: snapshot kind {name} = {value} is not "
+                f"in {MANIFEST} — append it there in the same change to pin "
+                f"the wire value"
+            )
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Check 2: no nondeterminism escapes in src/.
+# ---------------------------------------------------------------------------
+
+# Each entry: (human label, regex matched against comment-stripped code).
+NONDET_PATTERNS = [
+    ("rand()/srand()", re.compile(r"\b(?:std::)?s?rand\s*\(")),
+    ("std::random_device", re.compile(r"\brandom_device\b")),
+    ("wall-clock time()", re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&)")),
+    ("gettimeofday()", re.compile(r"\bgettimeofday\s*\(")),
+    ("clock()", re.compile(r"(?<![\w:.>])clock\s*\(\s*\)")),
+    ("std::chrono::system_clock", re.compile(r"\bsystem_clock\b")),
+]
+
+# timer.h owns the clock wrappers (steady_clock only, but it is the one
+# place allowed to name clock types at all).
+NONDET_EXEMPT = {pathlib.Path("src/common/timer.h")}
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"')
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments and string literals, preserving line numbers."""
+
+    def blank(m: re.Match[str]) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = BLOCK_COMMENT_RE.sub(blank, text)
+    text = STRING_RE.sub(blank, text)
+    return "\n".join(LINE_COMMENT_RE.sub("", ln) for ln in text.splitlines())
+
+
+def check_nondeterminism(root: pathlib.Path) -> list[str]:
+    errors = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in {".h", ".cpp"}:
+            continue
+        rel = path.relative_to(root)
+        if rel in NONDET_EXEMPT:
+            continue
+        code = strip_comments(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            for label, pattern in NONDET_PATTERNS:
+                if pattern.search(line):
+                    errors.append(
+                        f"{rel}:{lineno}: {label} — src/ must stay "
+                        f"bit-reproducible; use a seeded mlqr RNG, or "
+                        f"steady_clock via common/timer.h for durations"
+                    )
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Driver + self-test.
+# ---------------------------------------------------------------------------
+
+
+def run_checks(root: pathlib.Path) -> int:
+    errors = check_snapshot_kinds(root) + check_nondeterminism(root)
+    for e in errors:
+        print(f"lint_invariants: {e}", file=sys.stderr)
+    if not errors:
+        print("lint_invariants: all invariants hold")
+    return 1 if errors else 0
+
+
+def self_test() -> int:
+    """Tamper with scratch copies and assert every mutation is caught."""
+    header = (REPO / SNAPSHOT_HEADER).read_text(encoding="utf-8")
+    mutations = {
+        "renumbered kind": header.replace("kFnn = 2,", "kFnn = 9,"),
+        "removed kind": header.replace("kGaussian = 4,", ""),
+        "renamed kind": header.replace("kHerqules = 3,", "kHercules = 3,"),
+        "reserved value claimed": header.replace(
+            "kGaussian = 4,", "kGaussian = 4,\n  kInt8 = 5,"
+        ),
+        "unpinned new kind": header.replace(
+            "kGaussian = 4,", "kGaussian = 4,\n  kShadow = 7,"
+        ),
+    }
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
+        root = pathlib.Path(tmp)
+        (root / SNAPSHOT_HEADER).parent.mkdir(parents=True)
+        (root / MANIFEST).parent.mkdir(parents=True)
+        (root / MANIFEST).write_text(
+            (REPO / MANIFEST).read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        src_common = root / "src" / "common"
+        src_common.mkdir(parents=True, exist_ok=True)
+
+        # Baseline: pristine copies must pass.
+        (root / SNAPSHOT_HEADER).write_text(header, encoding="utf-8")
+        if check_snapshot_kinds(root) or check_nondeterminism(root):
+            failures.append("pristine copy failed the checks")
+
+        for label, mutated in mutations.items():
+            assert mutated != header, f"mutation {label!r} was a no-op"
+            (root / SNAPSHOT_HEADER).write_text(mutated, encoding="utf-8")
+            if not check_snapshot_kinds(root):
+                failures.append(f"mutation not caught: {label}")
+        (root / SNAPSHOT_HEADER).write_text(header, encoding="utf-8")
+
+        nondet_snippets = {
+            "rand()": "int f() { return rand(); }\n",
+            "std::random_device": "#include <random>\nstd::random_device rd;\n",
+            "system_clock": "auto t = std::chrono::system_clock::now();\n",
+            "time(nullptr)": "long f() { return time(nullptr); }\n",
+        }
+        probe = src_common / "selftest_probe.cpp"
+        for label, snippet in nondet_snippets.items():
+            probe.write_text(snippet, encoding="utf-8")
+            if not check_nondeterminism(root):
+                failures.append(f"nondeterminism not caught: {label}")
+        # Commented-out occurrences must NOT fire.
+        probe.write_text("// rand() is banned here\n", encoding="utf-8")
+        if check_nondeterminism(root):
+            failures.append("false positive on a comment mentioning rand()")
+        # The timer.h exemption must hold.
+        probe.unlink()
+        (src_common / "timer.h").write_text(
+            "auto t = std::chrono::system_clock::now();\n", encoding="utf-8"
+        )
+        if check_nondeterminism(root):
+            failures.append("timer.h exemption not honoured")
+
+    for f in failures:
+        print(f"lint_invariants --self-test: FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(
+            f"lint_invariants --self-test: ok "
+            f"({len(mutations)} registry mutations and "
+            f"{len(nondet_snippets)} nondeterminism probes all caught)"
+        )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=REPO,
+        help="repo root to lint (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the lints fail on deliberately broken inputs, then exit",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not (args.root / SNAPSHOT_HEADER).is_file():
+        print(f"error: {args.root} does not look like the repo root", file=sys.stderr)
+        return 2
+    return run_checks(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
