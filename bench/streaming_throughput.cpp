@@ -19,15 +19,29 @@
 // rows: shards x target rate) — archived by CI next to the
 // pipeline_throughput baseline.
 //
+// Soak mode (--soak-seconds=N) replaces the grid with a sustained
+// resilience run: open-loop Poisson traffic with bounded-blocking
+// admission (submit_for; overflow is rejected, not queued), per-shot
+// deadline shedding, a hot-swap thread cycling shard calibrations, and —
+// with --inject-faults — FaultyBackend shards throwing, stalling, and
+// corrupting on a seeded, deterministic schedule so circuit breakers trip
+// and recover throughout the run. Every ticket is accounted for
+// (done/failed/shed — zero lost, exit 1 otherwise) and the tallies land in
+// BENCH_streaming_throughput.json with context.mode = "soak".
+//
 //   MLQR_THREADS caps the classification fan-out; MLQR_SHOTS sizes the
 //   calibration dataset; MLQR_STREAM_SHOTS caps shots per config;
 //   MLQR_STREAM_BATCH_MAX / MLQR_STREAM_DEADLINE_US tune the micro-batch;
+//   MLQR_SOAK_RATE sets the soak arrival rate (shots/s);
 //   MLQR_SNAPSHOT=<prefix> loads <prefix>.float.snap instead of retraining
 //   (first run trains and writes it); MLQR_FAST=1 shrinks everything to CI
-//   scale.
+//   scale. Flags: --soak-seconds=N --inject-faults --seed=N.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -36,6 +50,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "pipeline/fault_injection.h"
 #include "pipeline/streaming_engine.h"
 
 namespace {
@@ -100,10 +115,257 @@ ConfigResult run_config(const EngineBackend& backend, std::size_t shards,
   return r;
 }
 
+struct SoakOptions {
+  std::size_t seconds = 0;  ///< 0 = grid mode.
+  bool inject_faults = false;
+  std::uint64_t seed = 20250807;
+};
+
+/// Sustained resilience run: Poisson traffic with bounded-blocking
+/// admission, deadline shedding, concurrent hot-swaps, and (optionally)
+/// seeded fault injection on every shard. Returns the process exit code:
+/// nonzero when any ticket is lost or the books do not balance.
+int run_soak(const EngineBackend& clean, const std::vector<IqTrace>& frames,
+             const SoakOptions& opt) {
+  using namespace mlqr::bench;
+  const std::size_t n_shards = 2;
+  const double rate = static_cast<double>(env_int("MLQR_SOAK_RATE", 20000));
+
+  StreamingConfig scfg;
+  scfg.queue_capacity = 4096;
+  scfg.batch_max =
+      static_cast<std::size_t>(env_int("MLQR_STREAM_BATCH_MAX", 64));
+  scfg.deadline_us =
+      static_cast<std::size_t>(env_int("MLQR_STREAM_DEADLINE_US", 100));
+  scfg.shot_deadline_us = 20000;  // Shed anything older than 20 ms.
+  scfg.quarantine_after = 3;
+  scfg.probe_backoff_us = 2000;
+  scfg.fallback = clean;  // Serves while every shard is quarantined.
+
+  // Shard backends: plain copies, or FaultyBackend decorators whose
+  // schedules stagger deterministic outage bursts (8 consecutive throws —
+  // enough to trip quarantine_after = 3) across the two shards, on top of
+  // low background throw/delay/corrupt rates. Every decision is a pure
+  // function of (seed, call index): same seed, same fault sequence.
+  std::vector<FaultyBackend> faulty;
+  std::vector<EngineBackend> shards;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    if (!opt.inject_faults) {
+      shards.push_back(clean);
+      continue;
+    }
+    FaultPlan plan;
+    plan.seed = opt.seed + s;
+    plan.throw_rate = 0.002;
+    plan.delay_rate = 0.002;
+    plan.corrupt_rate = 0.0005;
+    plan.delay_us = 200;
+    for (std::uint64_t w = 0; w < 512; ++w) {
+      const std::uint64_t begin = 300 + w * 2500 + s * 1200;
+      plan.windows.push_back({begin, begin + 8, FaultKind::kThrow});
+    }
+    faulty.emplace_back(clean, plan);
+    shards.push_back(faulty.back().backend());
+  }
+  const std::vector<EngineBackend> swap_pool = shards;  // Same fault state.
+  StreamingEngine engine(std::move(shards), scfg);
+
+  // Stamp buffer sized for the whole run (append-only by the one producer;
+  // the consumer reads entries below n_submitted, published with release
+  // ordering, so no resize may ever happen mid-run).
+  const std::size_t cap = std::min<std::size_t>(
+      static_cast<std::size_t>(rate * static_cast<double>(opt.seconds)) * 2 +
+          65536,
+      std::size_t{1} << 23);
+  std::vector<Clock::time_point> submitted(cap);
+  std::atomic<std::size_t> n_submitted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<bool> producer_done{false};
+
+  std::cout << "[streaming_throughput] soak: " << opt.seconds << " s at "
+            << rate << " shots/s, faults "
+            << (opt.inject_faults ? "on" : "off") << ", seed " << opt.seed
+            << "\n";
+  const auto t_start = Clock::now();
+  const auto t_end = t_start + std::chrono::seconds(opt.seconds);
+
+  std::jthread producer([&] {
+    Rng rng(opt.seed ^ 0x50A4ULL);
+    std::size_t accepted = 0;
+    auto next = Clock::now();
+    while (Clock::now() < t_end && accepted < cap) {
+      next += std::chrono::nanoseconds(
+          static_cast<std::int64_t>(rng.exponential(rate) * 1e9));
+      if (Clock::now() < next) std::this_thread::sleep_until(next);
+      // Bounded-blocking admission: a full ring past the timeout drops the
+      // arrival at the door (counted, never ticketed) instead of stalling
+      // the producer's cycle.
+      submitted[accepted] = Clock::now();
+      if (engine
+              .submit_for(frames[accepted % frames.size()],
+                          std::chrono::microseconds(2000))
+              .has_value()) {
+        ++accepted;
+        n_submitted.store(accepted, std::memory_order_release);
+      } else {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    producer_done.store(true);
+  });
+
+  std::jthread swapper([&] {
+    std::size_t k = 0;
+    while (!producer_done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      engine.swap_shard(k % n_shards, swap_pool[k % n_shards]);
+      ++k;
+    }
+  });
+
+  // In-order consumer: every issued ticket is waited exactly once, so any
+  // lost ticket shows up as a hang (and the final books as a mismatch).
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  std::vector<double> micros;
+  micros.reserve(cap);
+  std::vector<int> labels(engine.num_qubits());
+  std::size_t consumed = 0;
+  for (;;) {
+    const std::size_t avail = n_submitted.load(std::memory_order_acquire);
+    if (consumed == avail) {
+      if (producer_done.load()) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    while (consumed < avail) {
+      switch (engine.wait_result(consumed, labels)) {
+        case ShotStatus::kDone:
+          ++done;
+          micros.push_back(std::chrono::duration<double, std::micro>(
+                               Clock::now() - submitted[consumed])
+                               .count());
+          break;
+        case ShotStatus::kFailed:
+          ++failed;
+          break;
+        case ShotStatus::kShed:
+          ++shed;
+          break;
+        default:
+          break;  // Unreachable: wait_result never times out.
+      }
+      ++consumed;
+    }
+  }
+  producer.join();
+  swapper.join();
+  engine.drain();  // Every ticket already consumed: must not throw.
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+
+  const StreamingStats st = engine.stats();
+  const LatencyStats lat = summarize_latency(std::move(micros));
+  const std::uint64_t resolved = done + failed + shed;
+
+  Table table("Streaming soak (" + std::to_string(opt.seconds) +
+              " s Poisson @ " + Table::num(rate, 0) + "/s, faults " +
+              (opt.inject_faults ? "on" : "off") + ")");
+  table.set_header({"Metric", "Count"});
+  const auto row = [&table](const char* k, std::uint64_t v) {
+    table.add_row({k, std::to_string(v)});
+  };
+  row("submitted", st.submitted);
+  row("done", done);
+  row("failed", failed);
+  row("shed", shed);
+  row("rejected at admission", rejected.load());
+  row("rerouted", st.rerouted);
+  row("quarantines", st.quarantines);
+  row("probes", st.probes);
+  row("recoveries", st.recoveries);
+  row("hot swaps", st.swaps);
+  table.print();
+  std::cout << "  achieved " << Table::num(resolved / wall, 0)
+            << " shots/s, p50 " << Table::num(lat.p50_us, 1) << " us, p99 "
+            << Table::num(lat.p99_us, 1) << " us\n";
+
+  BenchReport report("streaming_throughput");
+  report.context("mode", std::string("soak"));
+  report.context("soak_seconds", static_cast<std::int64_t>(opt.seconds));
+  report.context("inject_faults", opt.inject_faults);
+  report.context("seed", static_cast<std::int64_t>(opt.seed));
+  report.context("target_rate", rate);
+  report.context("threads_max",
+                 static_cast<std::int64_t>(parallel_thread_count()));
+  report.context("queue_capacity",
+                 static_cast<std::int64_t>(scfg.queue_capacity));
+  report.context("batch_max", static_cast<std::int64_t>(scfg.batch_max));
+  report.context("deadline_us", static_cast<std::int64_t>(scfg.deadline_us));
+  report.context("shot_deadline_us",
+                 static_cast<std::int64_t>(scfg.shot_deadline_us));
+  report.add_row({{"shards", static_cast<std::int64_t>(n_shards)},
+                  {"achieved_rate", wall > 0.0 ? resolved / wall : 0.0},
+                  {"submitted", static_cast<std::int64_t>(st.submitted)},
+                  {"done", static_cast<std::int64_t>(done)},
+                  {"failed", static_cast<std::int64_t>(failed)},
+                  {"shed", static_cast<std::int64_t>(shed)},
+                  {"rejected", static_cast<std::int64_t>(rejected.load())},
+                  {"rerouted", static_cast<std::int64_t>(st.rerouted)},
+                  {"quarantines", static_cast<std::int64_t>(st.quarantines)},
+                  {"probes", static_cast<std::int64_t>(st.probes)},
+                  {"recoveries", static_cast<std::int64_t>(st.recoveries)},
+                  {"swaps", static_cast<std::int64_t>(st.swaps)},
+                  {"p50_us", lat.p50_us},
+                  {"p99_us", lat.p99_us}});
+  const std::string json_path = report.save();
+  std::cout << "  report written to " << json_path << "\n";
+
+  // The acceptance gate: zero lost tickets, books balanced.
+  bool ok = true;
+  const auto expect = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::cerr << "[streaming_throughput] SOAK FAILURE: " << what << "\n";
+      ok = false;
+    }
+  };
+  expect(st.submitted == consumed, "every issued ticket was waited");
+  expect(resolved == st.submitted, "every ticket resolved done/failed/shed");
+  expect(st.completed == st.submitted, "engine books balance");
+  expect(st.shed == shed, "shed tally matches engine counter");
+  expect(st.failed == failed, "failure tally matches engine counter");
+  if (opt.inject_faults) {
+    expect(st.failed > 0, "injected faults produced failures");
+    expect(st.quarantines > 0, "outage bursts tripped the breaker");
+    expect(st.recoveries > 0, "probes re-admitted recovered shards");
+  }
+  std::cout << (ok ? "[streaming_throughput] soak OK: zero lost tickets\n"
+                   : "[streaming_throughput] soak FAILED\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlqr::bench;
+
+  SoakOptions soak;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--soak-seconds=", 0) == 0) {
+      soak.seconds = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 15, nullptr, 10));
+    } else if (arg == "--inject-faults") {
+      soak.inject_faults = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      soak.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      std::cerr << "unknown flag " << arg
+                << " (expected --soak-seconds=N, --inject-faults, --seed=N)\n";
+      return 2;
+    }
+  }
 
   DatasetConfig dcfg;
   dcfg.shots_per_basis_state =
@@ -125,6 +387,8 @@ int main() {
   for (std::size_t s : ds.test_idx) frames.push_back(ds.shots.traces[s]);
   while (frames.size() < 1024)
     frames.push_back(frames[frames.size() % ds.test_idx.size()]);
+
+  if (soak.seconds > 0) return run_soak(backend, frames, soak);
 
   // Reference point: the synchronous engine at full tilt on this machine.
   const std::size_t sync_total = fast_scaled(
@@ -167,6 +431,7 @@ int main() {
                                          "achieved_rate", "mean_batch",
                                          "p50_us", "p99_us"});
   BenchReport report("streaming_throughput");
+  report.context("mode", std::string("grid"));
   report.context("threads_max",
                  static_cast<std::int64_t>(parallel_thread_count()));
   report.context("sync_peak_shots_per_sec", sync_peak);

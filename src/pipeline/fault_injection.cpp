@@ -1,0 +1,110 @@
+#include "pipeline/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace mlqr {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates consecutive call indices before they
+/// seed the per-call Rng, so index i and i+1 draw unrelated uniforms.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool fault_decision(const FaultPlan& plan, std::uint64_t index,
+                    FaultKind& kind) {
+  for (const FaultWindow& w : plan.windows) {
+    if (index >= w.begin && index < w.end) {
+      kind = w.kind;
+      return true;
+    }
+  }
+  if (plan.throw_rate <= 0.0 && plan.delay_rate <= 0.0 &&
+      plan.corrupt_rate <= 0.0)
+    return false;
+  // One uniform per call, derived purely from (seed, index): the decision
+  // never depends on how many other calls ran first.
+  Rng rng(plan.seed ^ mix64(index));
+  const double u = rng.uniform();
+  if (u < plan.throw_rate) {
+    kind = FaultKind::kThrow;
+    return true;
+  }
+  if (u < plan.throw_rate + plan.delay_rate) {
+    kind = FaultKind::kDelay;
+    return true;
+  }
+  if (u < plan.throw_rate + plan.delay_rate + plan.corrupt_rate) {
+    kind = FaultKind::kCorrupt;
+    return true;
+  }
+  return false;
+}
+
+FaultyBackend::FaultyBackend(EngineBackend inner, FaultPlan plan)
+    : state_(std::make_shared<State>()) {
+  MLQR_CHECK_MSG(inner.valid(), "FaultyBackend needs a valid inner backend");
+  state_->name = inner.name() + "+faults";
+  state_->inner = std::move(inner);
+  state_->plan = std::move(plan);
+}
+
+void FaultyBackend::run(State& state, const IqTrace& trace,
+                        InferenceScratch& scratch, std::span<int> out) {
+  const std::uint64_t index =
+      state.calls.fetch_add(1, std::memory_order_relaxed);
+  FaultKind kind{};
+  const bool faulted = fault_decision(state.plan, index, kind);
+  if (faulted && kind == FaultKind::kDelay) {
+    state.delays.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(state.plan.delay_us));
+  }
+  if (faulted && kind == FaultKind::kThrow) {
+    state.throws.fetch_add(1, std::memory_order_relaxed);
+    throw InjectedFault("injected fault: " + state.name + " call " +
+                        std::to_string(index));
+  }
+  state.inner.classify_into(trace, scratch, out);
+  if (faulted && kind == FaultKind::kCorrupt && !out.empty()) {
+    // Always-wrong, always-in-range: level 0 becomes 1 and anything else
+    // becomes 0 — silent corruption a fidelity monitor must catch.
+    state.corruptions.fetch_add(1, std::memory_order_relaxed);
+    out[0] = out[0] == 0 ? 1 : 0;
+  }
+}
+
+void FaultyBackend::classify_into(const IqTrace& trace,
+                                  InferenceScratch& scratch,
+                                  std::span<int> out) const {
+  run(*state_, trace, scratch, out);
+}
+
+EngineBackend FaultyBackend::backend() const {
+  std::shared_ptr<State> state = state_;
+  return EngineBackend(
+      state->name, state->inner.num_qubits(),
+      [state](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
+        run(*state, t, s, out);
+      });
+}
+
+FaultInjectionStats FaultyBackend::stats() const {
+  FaultInjectionStats s;
+  s.calls = state_->calls.load(std::memory_order_relaxed);
+  s.throws = state_->throws.load(std::memory_order_relaxed);
+  s.delays = state_->delays.load(std::memory_order_relaxed);
+  s.corruptions = state_->corruptions.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mlqr

@@ -1,0 +1,144 @@
+// Deterministic fault injection for the serving path.
+//
+// The resilience machinery in StreamingEngine — per-shot failure capture,
+// circuit breakers, rerouting, half-open probes — only earns trust if it
+// can be exercised on demand, reproducibly, under the sanitizers. Real
+// faults (a drifted calibration suddenly mis-scaling, a worker stalled on
+// a noisy neighbour, a snapshot swapped mid-traffic) are neither, so
+// FaultyBackend wraps any EngineBackend and injects the three failure
+// shapes that matter to the engine:
+//
+//   * kThrow   — classify_into throws InjectedFault before touching the
+//                labels (the shard-went-bad case the circuit breaker
+//                exists for).
+//   * kDelay   — classify_into sleeps plan.delay_us first (latency spike;
+//                drives deadline shedding and micro-batch stretch).
+//   * kCorrupt — classify_into runs the inner backend, then flips qubit 0's
+//                label to a guaranteed-wrong in-range value (silent data
+//                corruption; what fidelity monitors must catch — the
+//                engine itself cannot).
+//
+// Determinism contract: whether call number i faults is a pure function of
+// (plan, i) — schedule windows are checked first, then the seeded rates
+// draw from Rng(plan.seed mixed with i), never from shared generator
+// state. Calls are numbered by an atomic counter, so a single-producer
+// in-order run faults identically run-to-run and thread interleaving can
+// only permute which *shot* gets call number i, never how many faults
+// occur or the decision sequence itself. No wall-clock, no random_device
+// (tools/lint_invariants.py pins this file as the only allowed Rng site
+// under src/pipeline/).
+//
+// FaultyBackend satisfies the ReadoutBackend concept, so it plugs into
+// make_backend, StreamingEngine shards, swap_shard, and the benches like
+// any real discriminator. It is copyable; copies share one fault schedule
+// and counter stream (state lives behind a shared_ptr), which is what you
+// want when the same faulty shard is installed in several places.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "discrim/inference_scratch.h"
+#include "pipeline/readout_engine.h"
+#include "sim/iq.h"
+
+namespace mlqr {
+
+/// The exception classify_into throws on an injected kThrow fault —
+/// distinct from Error so tests and soak harnesses can tell injected
+/// failures from real engine bugs.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+enum class FaultKind : std::uint8_t { kThrow, kDelay, kCorrupt };
+
+/// One scheduled fault burst: every call with begin <= index < end faults
+/// with `kind`. Windows override the probabilistic rates (first matching
+/// window wins), which is how tests pin exact fault positions and the soak
+/// bench scripts quarantine -> recovery episodes.
+struct FaultWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  FaultKind kind = FaultKind::kThrow;
+};
+
+/// Complete fault schedule. Default-constructed plans inject nothing and
+/// the wrapper is a bit-identical passthrough.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Independent per-call fault probabilities outside any window. Checked
+  /// in this order from one uniform draw: throw, then delay, then corrupt
+  /// (their sum should stay <= 1; excess is clamped by the order).
+  double throw_rate = 0.0;
+  double delay_rate = 0.0;
+  double corrupt_rate = 0.0;
+  /// Sleep injected by a kDelay fault.
+  std::uint64_t delay_us = 200;
+  std::vector<FaultWindow> windows;
+};
+
+/// Monotonic injection counters (one consistent read; counters are atomic).
+struct FaultInjectionStats {
+  std::uint64_t calls = 0;
+  std::uint64_t throws = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t corruptions = 0;
+};
+
+/// Decides the fault (if any) for call `index` under `plan` — the pure
+/// decision function FaultyBackend applies; exposed so tests can assert
+/// the schedule without running a backend. Returns true and sets `kind`
+/// when the call faults.
+bool fault_decision(const FaultPlan& plan, std::uint64_t index,
+                    FaultKind& kind);
+
+/// Decorator injecting plan-driven faults around an inner EngineBackend.
+class FaultyBackend {
+ public:
+  /// Wraps `inner` (copied; EngineBackend is a cheap handle — keep the
+  /// discriminator it references alive as usual).
+  FaultyBackend(EngineBackend inner, FaultPlan plan);
+
+  const std::string& name() const { return state_->name; }
+  std::size_t num_qubits() const { return state_->inner.num_qubits(); }
+
+  /// Classifies through the inner backend with faults applied. Thread-safe
+  /// (the engines call shards from pool workers): the call index comes
+  /// from one atomic fetch_add and every other decision input is
+  /// immutable.
+  void classify_into(const IqTrace& trace, InferenceScratch& scratch,
+                     std::span<int> out) const;
+
+  /// Owning type-erased handle sharing this wrapper's schedule and
+  /// counters — hand this to StreamingEngine shards / swap_shard without
+  /// keeping the FaultyBackend object alive.
+  EngineBackend backend() const;
+
+  const FaultPlan& plan() const { return state_->plan; }
+  FaultInjectionStats stats() const;
+
+ private:
+  struct State {
+    EngineBackend inner;
+    FaultPlan plan;
+    std::string name;
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> throws{0};
+    std::atomic<std::uint64_t> delays{0};
+    std::atomic<std::uint64_t> corruptions{0};
+  };
+
+  static void run(State& state, const IqTrace& trace,
+                  InferenceScratch& scratch, std::span<int> out);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace mlqr

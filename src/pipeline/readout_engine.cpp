@@ -32,7 +32,8 @@ LatencyStats summarize_latency(std::vector<double> micros) {
 
 void EngineCore::classify(std::size_t n, const FrameAt& frame_at,
                           const BackendAt& backend_at,
-                          const LabelsAt& labels_at, double* micros) {
+                          const LabelsAt& labels_at, double* micros,
+                          std::exception_ptr* errors) {
   if (n == 0) return;
   // Worker budget: the configured cap, shrunk so every worker has at least
   // min_shots_per_thread shots (waking a pool worker for two shots loses).
@@ -47,12 +48,23 @@ void EngineCore::classify(std::size_t n, const FrameAt& frame_at,
       0, n, workers, [&](std::size_t slot, std::size_t lo, std::size_t hi) {
         InferenceScratch& scratch = scratch_[slot];
         for (std::size_t s = lo; s < hi; ++s) {
-          if (micros) {
-            Timer shot_timer;
-            backend_at(s).classify_into(frame_at(s), scratch, labels_at(s));
-            micros[s] = shot_timer.seconds() * 1e6;
+          const auto run_shot = [&] {
+            if (micros) {
+              Timer shot_timer;
+              backend_at(s).classify_into(frame_at(s), scratch, labels_at(s));
+              micros[s] = shot_timer.seconds() * 1e6;
+            } else {
+              backend_at(s).classify_into(frame_at(s), scratch, labels_at(s));
+            }
+          };
+          if (errors) {
+            try {
+              run_shot();
+            } catch (...) {
+              errors[s] = std::current_exception();
+            }
           } else {
-            backend_at(s).classify_into(frame_at(s), scratch, labels_at(s));
+            run_shot();
           }
         }
       });

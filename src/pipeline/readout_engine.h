@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <span>
 #include <string>
@@ -139,9 +140,18 @@ class EngineCore {
   /// fan out over at most the configured worker budget, shrunk so every
   /// worker gets >= min_shots_per_thread shots; each worker slot reuses
   /// its own scratch, so steady-state calls allocate nothing.
+  ///
+  /// When `errors` is non-null it must point at n entries; a backend that
+  /// throws classifying shot s fails only that shot — the exception lands
+  /// in errors[s] (workers write disjoint indices, so no synchronization)
+  /// and the remaining shots still classify. When null, the first escaping
+  /// exception propagates out of classify() as before — the synchronous
+  /// ReadoutEngine keeps that contract; the StreamingEngine dispatcher
+  /// passes a sink so one faulty shard shot poisons one ticket, not its
+  /// whole micro-batch.
   void classify(std::size_t n, const FrameAt& frame_at,
                 const BackendAt& backend_at, const LabelsAt& labels_at,
-                double* micros);
+                double* micros, std::exception_ptr* errors = nullptr);
 
  private:
   EngineConfig cfg_;

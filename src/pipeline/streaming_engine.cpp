@@ -1,10 +1,15 @@
 #include "pipeline/streaming_engine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.h"
 
 namespace mlqr {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
 
 StreamingEngine::StreamingEngine(std::vector<EngineBackend> shards,
                                  StreamingConfig cfg)
@@ -19,11 +24,22 @@ StreamingEngine::StreamingEngine(std::vector<EngineBackend> shards,
                        << shards_.front().num_qubits() << ')');
   }
   n_qubits_ = shards_.front().num_qubits();
+  shards_count_ = shards_.size();
+  fallback_ = cfg_.fallback;
+  if (fallback_.valid()) {
+    MLQR_CHECK_MSG(fallback_.num_qubits() == n_qubits_,
+                   "fallback backend reports " << fallback_.num_qubits()
+                       << " qubits, shards serve " << n_qubits_);
+  }
   cfg_.queue_capacity = std::max<std::size_t>(cfg_.queue_capacity, 1);
   cfg_.batch_max =
       std::clamp<std::size_t>(cfg_.batch_max, 1, cfg_.queue_capacity);
+  cfg_.probe_shots = std::max<std::size_t>(cfg_.probe_shots, 1);
   ring_.resize(cfg_.queue_capacity);
   for (Slot& s : ring_) s.labels.assign(n_qubits_, 0);
+  health_.assign(shards_.size(), ShardState{});
+  batch_tickets_.reserve(cfg_.batch_max);
+  batch_errors_.reserve(cfg_.batch_max);
   dispatcher_ = std::jthread([this] { dispatch_loop(); });
 }
 
@@ -44,22 +60,58 @@ StreamingEngine::~StreamingEngine() {
 }
 
 StreamingEngine::Ticket StreamingEngine::submit(const IqTrace& frame) {
-  return submit_routed(frame, /*keyed=*/false, 0);
+  // Blocking admission never rejects, so the optional is always engaged.
+  return *submit_routed(frame, /*keyed=*/false, 0, /*deadline=*/nullptr);
 }
 
 StreamingEngine::Ticket StreamingEngine::submit(const IqTrace& frame,
                                                 std::uint64_t channel_key) {
-  return submit_routed(frame, /*keyed=*/true, channel_key);
+  return *submit_routed(frame, /*keyed=*/true, channel_key,
+                        /*deadline=*/nullptr);
 }
 
-StreamingEngine::Ticket StreamingEngine::submit_routed(const IqTrace& frame,
-                                                       bool keyed,
-                                                       std::uint64_t key) {
+std::optional<StreamingEngine::Ticket> StreamingEngine::try_submit(
+    const IqTrace& frame) {
+  const TimePoint expired{};  // Epoch: any wait times out immediately.
+  return submit_routed(frame, /*keyed=*/false, 0, &expired);
+}
+
+std::optional<StreamingEngine::Ticket> StreamingEngine::try_submit(
+    const IqTrace& frame, std::uint64_t channel_key) {
+  const TimePoint expired{};
+  return submit_routed(frame, /*keyed=*/true, channel_key, &expired);
+}
+
+std::optional<StreamingEngine::Ticket> StreamingEngine::submit_for(
+    const IqTrace& frame, std::chrono::microseconds timeout) {
+  const TimePoint deadline =
+      timeout.count() > 0 ? Clock::now() + timeout : TimePoint{};
+  return submit_routed(frame, /*keyed=*/false, 0, &deadline);
+}
+
+std::optional<StreamingEngine::Ticket> StreamingEngine::submit_for(
+    const IqTrace& frame, std::uint64_t channel_key,
+    std::chrono::microseconds timeout) {
+  const TimePoint deadline =
+      timeout.count() > 0 ? Clock::now() + timeout : TimePoint{};
+  return submit_routed(frame, /*keyed=*/true, channel_key, &deadline);
+}
+
+std::optional<StreamingEngine::Ticket> StreamingEngine::submit_routed(
+    const IqTrace& frame, bool keyed, std::uint64_t key,
+    const TimePoint* deadline) {
   frame.check_consistent();
   MutexLock lock(mutex_);
   // Backpressure: the next ticket's slot must have been consumed by wait().
-  while (slot_of(next_ticket_).state != SlotState::kFree)
-    space_cv_.wait(mutex_);
+  while (slot_of(next_ticket_).state != SlotState::kFree) {
+    if (!deadline) {
+      space_cv_.wait(mutex_);
+    } else if (space_cv_.wait_until(mutex_, *deadline) ==
+                   std::cv_status::timeout &&
+               slot_of(next_ticket_).state != SlotState::kFree) {
+      return std::nullopt;  // Admission rejected: ring still full.
+    }
+  }
   const Ticket t = next_ticket_++;
   Slot& slot = slot_of(t);
   slot.state = SlotState::kReserved;
@@ -73,7 +125,7 @@ StreamingEngine::Ticket StreamingEngine::submit_routed(const IqTrace& frame,
   // of this length.
   slot.frame.i.assign(frame.i.begin(), frame.i.end());
   slot.frame.q.assign(frame.q.begin(), frame.q.end());
-  slot.arrival = std::chrono::steady_clock::now();
+  slot.arrival = Clock::now();
   lock.lock();
   slot.state = SlotState::kQueued;
   extend_queued_run();
@@ -98,6 +150,69 @@ void StreamingEngine::extend_queued_run() {
     const Slot& s = ring_[t % ring_.size()];
     if (s.state != SlotState::kQueued || s.ticket != t) break;
     ++queued_run_;
+  }
+}
+
+std::size_t StreamingEngine::route_shot(Slot& slot, TimePoint now) {
+  slot.probe = false;
+  slot.served_by = slot.shard;
+  if (cfg_.quarantine_after == 0) return slot.served_by;  // Breaker off.
+  ShardState& st = health_[slot.shard];
+  if (!st.quarantined) return slot.served_by;
+  // Half-open probe: once the back-off has elapsed, let a bounded number
+  // of live shots test the shard (the first success re-admits it).
+  if (now >= st.retry_at && st.probe_in_flight < cfg_.probe_shots) {
+    ++st.probe_in_flight;
+    ++probes_;
+    slot.probe = true;
+    return slot.served_by;
+  }
+  // Quarantined: divert to the next healthy shard (deterministic scan
+  // order keeps rerouting reproducible for a given failure pattern).
+  for (std::size_t k = 1; k < shards_.size(); ++k) {
+    const std::size_t cand = (slot.shard + k) % shards_.size();
+    if (!health_[cand].quarantined) {
+      slot.served_by = cand;
+      ++rerouted_;
+      return slot.served_by;
+    }
+  }
+  if (fallback_.valid()) {
+    slot.served_by = kFallbackShard;
+    ++rerouted_;
+    return slot.served_by;
+  }
+  // Every shard quarantined and no fallback: last resort, serve on the
+  // target anyway — a success recovers it, a failure restarts its
+  // back-off, and either way the ticket resolves instead of stranding.
+  return slot.served_by;
+}
+
+void StreamingEngine::record_shot_result(const Slot& slot, bool shot_failed,
+                                         TimePoint now) {
+  if (cfg_.quarantine_after == 0 || slot.served_by == kFallbackShard) return;
+  ShardState& st = health_[slot.served_by];
+  if (slot.probe && st.probe_in_flight > 0) --st.probe_in_flight;
+  if (shot_failed) {
+    if (!st.quarantined) {
+      if (++st.consecutive_failures >= cfg_.quarantine_after) {
+        st.quarantined = true;
+        ++quarantines_;
+        st.retry_at = now + std::chrono::microseconds(cfg_.probe_backoff_us);
+      }
+    } else {
+      // A failed probe (or last-resort traffic on an all-quarantined
+      // engine): stay quarantined and restart the back-off window.
+      st.retry_at = now + std::chrono::microseconds(cfg_.probe_backoff_us);
+    }
+  } else {
+    st.consecutive_failures = 0;
+    if (st.quarantined) {
+      // Any success on a quarantined shard — probe or last-resort — means
+      // it is serving correct labels again: re-admit it.
+      st.quarantined = false;
+      ++recoveries_;
+    }
   }
 }
 
@@ -127,58 +242,98 @@ void StreamingEngine::dispatch_loop() {
     const Ticket t0 = head_;
     head_ += m;
     queued_run_ -= m;
-    for (std::size_t i = 0; i < m; ++i)
-      slot_of(t0 + i).state = SlotState::kInFlight;
+    // Admission control at claim time: frames already past the per-shot
+    // deadline shed immediately (kDone/kShed, no classifier time), the
+    // rest route by shard health and form the classification batch.
+    const TimePoint claim_now = Clock::now();
+    batch_tickets_.clear();
+    bool any_shed = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      Slot& slot = slot_of(t0 + i);
+      if (cfg_.shot_deadline_us > 0 &&
+          claim_now - slot.arrival >
+              std::chrono::microseconds(cfg_.shot_deadline_us)) {
+        slot.state = SlotState::kDone;
+        slot.outcome = SlotOutcome::kShed;
+        slot.error = nullptr;
+        ++shed_;
+        ++completed_;
+        any_shed = true;
+      } else {
+        slot.state = SlotState::kInFlight;
+        route_shot(slot, claim_now);
+        batch_tickets_.push_back(t0 + i);
+      }
+    }
+    if (any_shed) done_cv_.notify_all();
+    const std::size_t b = batch_tickets_.size();
+    if (b == 0) continue;  // Everything shed: nothing to classify.
+    batch_errors_.assign(b, std::exception_ptr{});
     dispatching_ = true;
-    // Custody hand-off: snapshot the (never-resized) ring and shard tables
-    // under the lock, then classify through the snapshots outside it. The
-    // claimed slots are exclusively ours until marked kDone, so reading
-    // frames and writing labels unlocked is race-free (the producer's
-    // frame writes happened-before its kQueued transition), and shards_
-    // is stable while dispatching_ is true: swap_shard waits for the gap
-    // between batches.
+    // Custody hand-off: snapshot the (never-resized) ring, shard, ticket
+    // and error tables under the lock, then classify through the
+    // snapshots outside it. The claimed slots are exclusively ours until
+    // marked kDone, so reading frames and writing labels/errors unlocked
+    // is race-free (the producer's frame writes happened-before its
+    // kQueued transition), and shards_ is stable while dispatching_ is
+    // true: swap_shard waits for the gap between batches.
     Slot* const ring = ring_.data();
     const std::size_t cap = ring_.size();
     const EngineBackend* const shards = shards_.data();
+    const EngineBackend* const fallback = &fallback_;
+    const Ticket* const tickets = batch_tickets_.data();
+    std::exception_ptr* const errors = batch_errors_.data();
     lock.unlock();
 
     // A throwing backend must not escape this jthread (std::terminate,
-    // stuck kInFlight slots, hung waiters) — the failure is captured and
-    // delivered through the affected tickets instead, and the dispatcher
-    // lives on. The thread-pool fan-out propagates the first worker
-    // exception and remains reusable, so a partial batch failure poisons
-    // only this micro-batch.
+    // stuck kInFlight slots, hung waiters). EngineCore captures per-shot
+    // exceptions into `errors`, so one bad shot poisons exactly one
+    // ticket; the catch below covers infrastructure failures outside the
+    // per-shot path (scratch growth, pool internals) by failing the whole
+    // batch rather than killing the engine.
     std::exception_ptr batch_error;
     try {
       core_.classify(
-          m,
-          [ring, cap, t0](std::size_t s) -> const IqTrace& {
-            return ring[(t0 + s) % cap].frame;
+          b,
+          [ring, cap, tickets](std::size_t s) -> const IqTrace& {
+            return ring[tickets[s] % cap].frame;
           },
-          [ring, cap, shards, t0](std::size_t s) -> const EngineBackend& {
-            return shards[ring[(t0 + s) % cap].shard];
+          [ring, cap, shards, fallback,
+           tickets](std::size_t s) -> const EngineBackend& {
+            const Slot& slot = ring[tickets[s] % cap];
+            return slot.served_by == kFallbackShard ? *fallback
+                                                    : shards[slot.served_by];
           },
-          [ring, cap, t0](std::size_t s) -> std::span<int> {
-            Slot& slot = ring[(t0 + s) % cap];
+          [ring, cap, tickets](std::size_t s) -> std::span<int> {
+            Slot& slot = ring[tickets[s] % cap];
             return {slot.labels.data(), slot.labels.size()};
           },
-          /*micros=*/nullptr);
+          /*micros=*/nullptr, errors);
     } catch (...) {
       batch_error = std::current_exception();
     }
 
     lock.lock();
     dispatching_ = false;
-    for (std::size_t i = 0; i < m; ++i) {
-      Slot& slot = slot_of(t0 + i);
+    const TimePoint done_now = Clock::now();
+    for (std::size_t s = 0; s < b; ++s) {
+      Slot& slot = slot_of(batch_tickets_[s]);
+      std::exception_ptr err = batch_errors_[s];
+      if (batch_error && !err) err = batch_error;
       slot.state = SlotState::kDone;
-      slot.error = batch_error;
+      if (err) {
+        slot.outcome = SlotOutcome::kFailed;
+        slot.error = err;
+        ++failed_total_;
+        ++failed_unconsumed_;
+        if (!first_error_) first_error_ = err;
+      } else {
+        slot.outcome = SlotOutcome::kOk;
+        slot.error = nullptr;
+      }
+      record_shot_result(slot, static_cast<bool>(err), done_now);
     }
-    if (batch_error) {
-      failed_unconsumed_ += m;
-      if (!first_error_) first_error_ = batch_error;
-    }
-    completed_ += m;
+    completed_ += b;
     ++batches_;
     done_cv_.notify_all();
     // Wake a swapper (or producers racing the swap gate) parked on
@@ -187,12 +342,27 @@ void StreamingEngine::dispatch_loop() {
   }
 }
 
-void StreamingEngine::wait(Ticket t, std::span<int> out) {
+ShotStatus StreamingEngine::wait_impl(Ticket t, std::span<int> out,
+                                      const TimePoint* deadline,
+                                      std::exception_ptr* error) {
   MLQR_CHECK_MSG(out.size() == n_qubits_,
                  "wait() output span has " << out.size() << " slots, engine "
                                            << n_qubits_ << " qubits");
   MutexLock lock(mutex_);
   MLQR_CHECK_MSG(t != kNoTicket, "wait on invalid ticket");
+  // A ticket a full ring ahead of the next unissued one cannot resolve
+  // until this caller's own waits free slots — blocking on it is the
+  // never-submitted-ticket foot-gun, so indefinite waits refuse it.
+  // Timed waits fall through: they have a guaranteed exit (kTimedOut) and
+  // legitimately poll tickets that may be issued later.
+  if (!deadline) {
+    MLQR_CHECK_MSG(
+        t < next_ticket_ + ring_.size(),
+        "wait on ticket " << t << " would block forever: only " << next_ticket_
+                          << " tickets have been issued and the ring holds "
+                          << ring_.size()
+                          << " — submit it first, or poll with wait_for()");
+  }
   Slot& slot = slot_of(t);
   // Like drain(): a consumer blocked on this ticket should not ride out
   // the micro-batch deadline while the classifier sits idle.
@@ -209,31 +379,62 @@ void StreamingEngine::wait(Ticket t, std::span<int> out) {
         slot.ticket == kNoTicket || slot.ticket < t ||
             (slot.ticket == t && slot.state != SlotState::kFree),
         "ticket " << t << " was already waited (each ticket is one-shot)");
-    done_cv_.wait(mutex_);
+    if (deadline) {
+      if (done_cv_.wait_until(mutex_, *deadline) == std::cv_status::timeout &&
+          !(slot.ticket == t && slot.state == SlotState::kDone))
+        return ShotStatus::kTimedOut;  // Not consumed: still waitable later.
+    } else {
+      done_cv_.wait(mutex_);
+    }
   }
-  if (slot.error) {
-    // The backend threw while classifying this ticket's batch: the labels
-    // are invalid. Consume the ticket (one-shot contract unchanged), free
-    // the slot, and deliver the failure to this waiter.
+  ShotStatus status = ShotStatus::kDone;
+  if (slot.outcome == SlotOutcome::kFailed) {
+    // The backend threw classifying this ticket: the labels are invalid.
+    // Consume the ticket (one-shot contract unchanged), free the slot, and
+    // hand the failure to this waiter.
+    status = ShotStatus::kFailed;
     std::exception_ptr err;
     std::swap(err, slot.error);
-    slot.state = SlotState::kFree;
     --failed_unconsumed_;
     if (failed_unconsumed_ == 0) first_error_ = nullptr;
-    lock.unlock();
-    space_cv_.notify_all();
-    std::rethrow_exception(err);
+    if (error) *error = std::move(err);
+  } else if (slot.outcome == SlotOutcome::kShed) {
+    status = ShotStatus::kShed;
+  } else {
+    std::copy(slot.labels.begin(), slot.labels.end(), out.begin());
   }
-  std::copy(slot.labels.begin(), slot.labels.end(), out.begin());
   slot.state = SlotState::kFree;  // ticket stays == t: marks "consumed".
   lock.unlock();
   space_cv_.notify_all();
+  return status;
+}
+
+void StreamingEngine::wait(Ticket t, std::span<int> out) {
+  std::exception_ptr err;
+  const ShotStatus status = wait_impl(t, out, /*deadline=*/nullptr, &err);
+  if (status == ShotStatus::kFailed) std::rethrow_exception(err);
+  if (status == ShotStatus::kShed)
+    throw Error("ticket " + std::to_string(t) +
+                " was shed by admission control (older than "
+                "StreamingConfig::shot_deadline_us at dispatch); consumers "
+                "that expect shedding should use wait_result()");
 }
 
 std::vector<int> StreamingEngine::wait(Ticket t) {
   std::vector<int> out(n_qubits_, 0);
   wait(t, out);
   return out;
+}
+
+ShotStatus StreamingEngine::wait_result(Ticket t, std::span<int> out) {
+  return wait_impl(t, out, /*deadline=*/nullptr, /*error=*/nullptr);
+}
+
+ShotStatus StreamingEngine::wait_for(Ticket t, std::span<int> out,
+                                     std::chrono::microseconds timeout) {
+  const TimePoint deadline =
+      timeout.count() > 0 ? Clock::now() + timeout : TimePoint{};
+  return wait_impl(t, out, &deadline, /*error=*/nullptr);
 }
 
 void StreamingEngine::drain() {
@@ -247,6 +448,7 @@ void StreamingEngine::drain() {
   // Surface classify failures to flush-and-check callers that never wait
   // individual tickets. The failed tickets stay retrievable: each wait()
   // still rethrows, and once all are consumed drain() goes quiet again.
+  // Shed tickets are a reported outcome, not a failure — no throw.
   if (failed_unconsumed_ > 0) std::rethrow_exception(first_error_);
 }
 
@@ -265,30 +467,43 @@ void StreamingEngine::swap_shard(std::size_t shard, EngineBackend backend) {
   ++swaps_pending_;
   while (dispatching_) done_cv_.wait(mutex_);
   shards_[shard] = std::move(backend);
+  // Fresh calibration means fresh health: a quarantined shard re-enters
+  // service immediately (no probe_in_flight can be pending here — probes
+  // only live while dispatching_ is true).
+  health_[shard] = ShardState{};
   ++swaps_;
   --swaps_pending_;
   lock.unlock();
   work_cv_.notify_all();  // Release the dispatcher's swap gate.
 }
 
-std::uint64_t StreamingEngine::shots_submitted() const {
+ShardHealth StreamingEngine::shard_health(std::size_t shard) const {
   MutexLock lock(mutex_);
-  return next_ticket_;
+  MLQR_CHECK_MSG(shard < health_.size(),
+                 "shard_health index " << shard << " out of range (engine has "
+                                       << health_.size() << " shards)");
+  const ShardState& st = health_[shard];
+  if (!st.quarantined) return ShardHealth::kHealthy;
+  return st.probe_in_flight > 0 ? ShardHealth::kProbing
+                                : ShardHealth::kQuarantined;
 }
 
-std::uint64_t StreamingEngine::shots_completed() const {
+StreamingStats StreamingEngine::stats() const {
   MutexLock lock(mutex_);
-  return completed_;
-}
-
-std::uint64_t StreamingEngine::batches_dispatched() const {
-  MutexLock lock(mutex_);
-  return batches_;
-}
-
-std::uint64_t StreamingEngine::shards_swapped() const {
-  MutexLock lock(mutex_);
-  return swaps_;
+  StreamingStats s;
+  s.submitted = next_ticket_;
+  s.completed = completed_;
+  s.failed = failed_total_;
+  s.shed = shed_;
+  s.batches = batches_;
+  s.swaps = swaps_;
+  s.rerouted = rerouted_;
+  s.quarantines = quarantines_;
+  s.probes = probes_;
+  s.recoveries = recoveries_;
+  for (const ShardState& st : health_)
+    if (st.quarantined) ++s.shards_quarantined;
+  return s;
 }
 
 }  // namespace mlqr

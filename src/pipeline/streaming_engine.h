@@ -1,11 +1,13 @@
-// Asynchronous, sharded streaming front door for the readout engine.
+// Asynchronous, sharded, fault-tolerant streaming front door for the
+// readout engine.
 //
 // ReadoutEngine::process_batch is strictly synchronous: the caller
 // assembles a batch, blocks while it classifies, and owns the fan-out
 // cadence. Real deployments look different — QEC cycles and multiplexed
 // feedlines deliver a steady trickle of single shots from several
-// producers, and throughput comes from overlapping ingest with
-// classification. StreamingEngine provides that shape:
+// producers, throughput comes from overlapping ingest with
+// classification, and the serving chain drifts and faults continuously.
+// StreamingEngine provides that shape:
 //
 //   * It owns N EngineBackend shards (e.g. one discriminator per
 //     feedline/chip). Shots route round-robin by default or by an explicit
@@ -13,7 +15,10 @@
 //     feedline's calibration on its own shard.
 //   * Producers call submit(frame) -> Ticket. Frames land in a bounded
 //     ring (StreamingConfig::queue_capacity); when the ring is full,
-//     submit blocks — backpressure, not unbounded memory.
+//     submit blocks — backpressure, not unbounded memory. try_submit()
+//     rejects instead of blocking and submit_for() blocks with a bound,
+//     so admission control can live in the caller when blocking is not
+//     an option (a QEC control loop cannot stall its cycle).
 //   * A resident dispatcher thread micro-batches ingest: it launches a
 //     classification batch once batch_max frames are pending or
 //     deadline_us has elapsed since the oldest pending frame arrived,
@@ -22,39 +27,58 @@
 //     InferenceScratch) as process_batch, so labels are bit-identical to
 //     the synchronous path for the same frames, regardless of shard count,
 //     thread count, or micro-batch boundaries.
+//   * Load shedding: with shot_deadline_us set, the dispatcher never
+//     wastes classifier time on a frame that is already too stale to
+//     matter (a QEC label after the cycle deadline is as useless as a
+//     wrong one). Stale tickets complete immediately with
+//     ShotStatus::kShed — reported, never silently dropped — and the
+//     backlog drains at shed speed instead of classify speed.
 //   * wait(ticket) blocks until that shot's labels are ready and releases
-//     its ring slot; drain() blocks until everything submitted so far has
-//     been classified. Tickets complete in arbitrary shard order but every
+//     its ring slot; wait_result(ticket) is the non-throwing variant that
+//     reports ShotStatus (done/failed/shed), wait_for(ticket, timeout)
+//     additionally bounds the block (kTimedOut leaves the ticket
+//     consumable later). drain() blocks until everything submitted so far
+//     has resolved. Tickets complete in arbitrary shard order but every
 //     ticket is individually awaitable (out-of-order completion is pinned
-//     by tests/test_streaming.cpp).
-//   * A backend that throws mid-batch does not kill the engine: the
-//     dispatcher catches the failure, marks that micro-batch's tickets
-//     failed (wait() rethrows the stored exception per ticket, drain()
-//     surfaces it while failed tickets remain unconsumed) and keeps
-//     serving subsequent batches.
+//     by tests/test_streaming.cpp). Every submitted ticket resolves to
+//     exactly one of done / failed / shed — none are ever lost.
+//   * A backend that throws does not kill the engine: per-shot failure
+//     capture marks exactly the throwing shots failed (wait() rethrows
+//     the stored exception per ticket, drain() surfaces it while failed
+//     tickets remain unconsumed) and the dispatcher keeps serving.
+//   * Shard health: with quarantine_after set, a shard that fails that
+//     many consecutive shots is quarantined — its traffic reroutes to the
+//     next healthy shard (or the optional fallback backend) within one
+//     micro-batch. After probe_backoff_us a half-open probe routes up to
+//     probe_shots live shots back; the first success re-admits the shard,
+//     a failure restarts the back-off. swap_shard on a quarantined shard
+//     resets it to healthy immediately (fresh calibration, fresh health —
+//     the hook a drift-recalibration loop needs).
 //   * swap_shard(shard, backend) hot-swaps one shard's calibration between
 //     micro-batches — the drift-recalibration path (typically fed by a
 //     pipeline/snapshot.h BackendSnapshot) — without dropping or
 //     rerouting tickets.
 //
 // Steady state allocates nothing: ring slots reuse their frame/label
-// capacity, scratch lives per worker slot, and the dispatcher loop holds
-// no per-batch heap state.
+// capacity, scratch lives per worker slot, and the dispatcher loop reuses
+// its per-batch ticket/error buffers.
 //
 // Locking contract (compile-time checked on Clang, see
 // common/annotations.h): every bookkeeping member — the ring vector, the
-// shard table, tickets, counters, and the dispatcher/swap gate flags — is
-// MLQR_GUARDED_BY(mutex_), and the dispatcher-side helpers carry
-// MLQR_REQUIRES(mutex_). The one thing the analysis cannot express is the
-// slot custody hand-off: a producer fills a kReserved slot's frame and
-// the dispatcher reads kInFlight slots' frames / writes their labels
-// outside the lock, via pointers snapshotted under it. That protocol is
-// documented on Slot below and stays covered by TSan.
+// shard and health tables, tickets, counters, and the dispatcher/swap gate
+// flags — is MLQR_GUARDED_BY(mutex_), and the dispatcher-side helpers
+// carry MLQR_REQUIRES(mutex_). The one thing the analysis cannot express
+// is the slot custody hand-off: a producer fills a kReserved slot's frame
+// and the dispatcher reads kInFlight slots' frames / writes their labels
+// and per-batch error slots outside the lock, via pointers snapshotted
+// under it. That protocol is documented on Slot below and stays covered
+// by TSan.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -75,22 +99,85 @@ struct StreamingConfig {
   /// the batch to fill. 0 dispatches whatever is queued immediately
   /// (lowest latency, smallest batches).
   std::size_t deadline_us = 200;
+  /// Per-shot service deadline, measured from submit(). When > 0, the
+  /// dispatcher sheds any frame older than this at claim time: the ticket
+  /// completes immediately with ShotStatus::kShed instead of occupying
+  /// classifier time it can no longer repay. Derive it from the real-time
+  /// budget the labels feed — for QEC decoding that is the cycle-time
+  /// analysis in bench/sec7b_qec_cycle_time (a label past the cycle
+  /// deadline is as useless as a wrong one). 0 disables shedding; shots
+  /// then wait as long as backpressure allows.
+  std::size_t shot_deadline_us = 0;
+  /// Circuit breaker: a shard that fails this many consecutive shots is
+  /// quarantined and its traffic reroutes (next healthy shard, else
+  /// `fallback`, else — last resort — the quarantined shard itself, so no
+  /// ticket is ever stranded). 0 disables the breaker entirely: every
+  /// shard always serves its own traffic and failures stay per-shot.
+  std::size_t quarantine_after = 0;
+  /// Half-open probe back-off: a quarantined shard receives no traffic
+  /// until this much time has passed since it was quarantined (or since
+  /// its last failed probe); then up to probe_shots live shots route back
+  /// to it as probes. The first probe success re-admits the shard.
+  std::size_t probe_backoff_us = 10000;
+  /// Maximum concurrently in-flight probe shots per quarantined shard.
+  std::size_t probe_shots = 1;
+  /// Optional last-resort backend serving traffic whose shard is
+  /// quarantined when no healthy shard remains (e.g. a conservative
+  /// boxcar/LDA discriminator that never needs recalibration). Must agree
+  /// on the qubit count when valid(); ignored while invalid.
+  EngineBackend fallback;
   /// Worker budget / scratch policy for the classification fan-out, shared
   /// with ReadoutEngine semantics (threads == 0 means MLQR_THREADS).
   EngineConfig engine;
 };
 
+/// Terminal status of one ticket, as reported by wait_result()/wait_for().
+enum class ShotStatus : std::uint8_t {
+  kDone,      ///< Labels valid and copied out.
+  kFailed,    ///< The backend threw classifying this shot; labels invalid.
+  kShed,      ///< Admission control dropped the shot before classification.
+  kTimedOut,  ///< wait_for() deadline passed; the ticket is still pending
+              ///< and remains consumable by a later wait.
+};
+
+/// Externally visible health of one shard (see shard_health()).
+enum class ShardHealth : std::uint8_t {
+  kHealthy,      ///< Serving its own traffic.
+  kProbing,      ///< Quarantined, with a half-open probe shot in flight.
+  kQuarantined,  ///< Not serving; traffic reroutes until a probe succeeds
+                 ///< or swap_shard installs a fresh backend.
+};
+
+/// One consistent snapshot of every engine counter, taken under a single
+/// lock acquisition (the per-counter getters are thin wrappers over this).
+struct StreamingStats {
+  std::uint64_t submitted = 0;  ///< Tickets issued.
+  std::uint64_t completed = 0;  ///< Resolved tickets: done + failed + shed.
+  std::uint64_t failed = 0;     ///< Tickets whose backend threw.
+  std::uint64_t shed = 0;       ///< Tickets dropped by admission control.
+  std::uint64_t batches = 0;    ///< Micro-batches classified (non-empty).
+  std::uint64_t swaps = 0;      ///< swap_shard calls completed.
+  std::uint64_t rerouted = 0;   ///< Shots served off their target shard.
+  std::uint64_t quarantines = 0;  ///< Healthy -> quarantined transitions.
+  std::uint64_t probes = 0;       ///< Half-open probe shots dispatched.
+  std::uint64_t recoveries = 0;   ///< Quarantined -> healthy via a probe.
+  std::size_t shards_quarantined = 0;  ///< Currently quarantined shards.
+};
+
 /// Asynchronous sharded engine: submit/wait/drain over a bounded MPSC
-/// ring, micro-batched dispatch through EngineCore. Producer-side calls
-/// (submit) are safe from multiple threads; wait/drain are safe from any
-/// thread. One dispatcher thread per engine.
+/// ring, micro-batched dispatch through EngineCore, deadline-aware
+/// shedding and per-shard circuit breakers. Producer-side calls
+/// (submit/try_submit/submit_for) are safe from multiple threads;
+/// wait*/drain/stats are safe from any thread. One dispatcher thread per
+/// engine.
 class StreamingEngine {
  public:
   /// Monotonic per-engine shot id; ticket t is the t-th submitted frame.
   using Ticket = std::uint64_t;
 
   /// Heterogeneous shards: one backend per feedline/chip. All shards must
-  /// be valid and report the same qubit count.
+  /// be valid and report the same qubit count (as must cfg.fallback when
+  /// set).
   explicit StreamingEngine(std::vector<EngineBackend> shards,
                            StreamingConfig cfg = {});
 
@@ -99,13 +186,15 @@ class StreamingEngine {
                   StreamingConfig cfg = {});
 
   /// Drains outstanding work and stops the dispatcher. No other thread may
-  /// still be calling submit/wait when destruction starts.
+  /// still be calling submit/wait when destruction starts. Unconsumed
+  /// tickets — including failed and shed ones — are released with their
+  /// stored state; nothing leaks and nothing blocks.
   ~StreamingEngine();
 
   StreamingEngine(const StreamingEngine&) = delete;
   StreamingEngine& operator=(const StreamingEngine&) = delete;
 
-  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_shards() const { return shards_count_; }
   std::size_t num_qubits() const { return n_qubits_; }
   const StreamingConfig& config() const { return cfg_; }
 
@@ -117,28 +206,67 @@ class StreamingEngine {
   Ticket submit(const IqTrace& frame, std::uint64_t channel_key)
       MLQR_EXCLUDES(mutex_);
 
-  /// Blocks until ticket `t` has been classified, copies its labels into
-  /// `out` (size num_qubits()) and releases the ring slot. Tickets are
+  /// Non-blocking admission: like submit, but a full ring rejects the
+  /// frame (nullopt) instead of blocking. The caller owns the overload
+  /// policy — drop, retry, or spill.
+  std::optional<Ticket> try_submit(const IqTrace& frame) MLQR_EXCLUDES(mutex_);
+  std::optional<Ticket> try_submit(const IqTrace& frame,
+                                   std::uint64_t channel_key)
+      MLQR_EXCLUDES(mutex_);
+
+  /// Bounded-blocking admission: waits up to `timeout` for a ring slot,
+  /// then rejects (nullopt). timeout <= 0 behaves like try_submit.
+  std::optional<Ticket> submit_for(const IqTrace& frame,
+                                   std::chrono::microseconds timeout)
+      MLQR_EXCLUDES(mutex_);
+  std::optional<Ticket> submit_for(const IqTrace& frame,
+                                   std::uint64_t channel_key,
+                                   std::chrono::microseconds timeout)
+      MLQR_EXCLUDES(mutex_);
+
+  /// Blocks until ticket `t` resolves, copies its labels into `out` (size
+  /// num_qubits()) and releases the ring slot. Each ticket can be waited
+  /// exactly once; waiting a released ticket throws Error. Tickets are
   /// issued sequentially from 0, so a pipelined consumer may wait a ticket
-  /// its producer has not submitted yet — the call blocks until it is
-  /// (and forever if it never is). Each ticket can be waited exactly once;
-  /// waiting a released ticket throws Error.
+  /// its producer has not submitted yet — the call blocks until it is.
+  /// A ticket at least ring-capacity ahead of the next unissued one
+  /// (t >= shots_submitted() + queue_capacity) cannot resolve before this
+  /// caller itself would deadlock waiting, so wait() throws Error for it
+  /// instead of blocking forever (the classic never-submitted-ticket
+  /// foot-gun); wait_for() is the non-throwing escape for genuinely
+  /// speculative waits.
   ///
-  /// If the backend threw while classifying this ticket's micro-batch, the
-  /// slot is released (ticket consumed) and the stored exception is
-  /// rethrown instead of copying labels — the dispatcher survives such
-  /// failures and keeps classifying later submissions.
+  /// If the backend threw while classifying this ticket, the slot is
+  /// released (ticket consumed) and the stored exception is rethrown
+  /// instead of copying labels. If admission control shed the ticket, the
+  /// slot is released and Error is thrown — wait() has no status channel;
+  /// consumers that expect shedding use wait_result() instead.
   void wait(Ticket t, std::span<int> out) MLQR_EXCLUDES(mutex_);
 
   /// Allocating convenience wrapper around wait(t, out).
   std::vector<int> wait(Ticket t) MLQR_EXCLUDES(mutex_);
 
-  /// Blocks until every ticket issued so far has been classified (results
-  /// stay retrievable via wait afterwards). If any completed-but-unwaited
-  /// ticket failed, rethrows the earliest such batch's exception (without
+  /// Status-reporting wait: blocks until ticket `t` resolves and consumes
+  /// it, returning kDone (labels copied into `out`), kFailed (backend
+  /// threw; the stored exception is discarded) or kShed. Never returns
+  /// kTimedOut. Throws Error only for contract violations (double wait,
+  /// wrong span size, unsatisfiable ticket — same rules as wait()).
+  ShotStatus wait_result(Ticket t, std::span<int> out) MLQR_EXCLUDES(mutex_);
+
+  /// Timed wait_result: additionally returns kTimedOut once `timeout` has
+  /// elapsed without the ticket resolving — the ticket is NOT consumed and
+  /// stays waitable (including tickets never submitted yet, which is why
+  /// this variant skips the unsatisfiable-ticket throw).
+  ShotStatus wait_for(Ticket t, std::span<int> out,
+                      std::chrono::microseconds timeout) MLQR_EXCLUDES(mutex_);
+
+  /// Blocks until every ticket issued so far has resolved (results stay
+  /// retrievable via wait afterwards). If any completed-but-unwaited
+  /// ticket failed, rethrows the earliest such shot's exception (without
   /// consuming the tickets — each failed ticket still rethrows from its
   /// own wait()); once every failed ticket has been waited, drain()
-  /// returns normally again.
+  /// returns normally again. Shed tickets never make drain() throw — they
+  /// are a reported outcome, not an engine failure.
   void drain() MLQR_EXCLUDES(mutex_);
 
   /// Atomically replaces one shard's backend between micro-batches: blocks
@@ -146,38 +274,57 @@ class StreamingEngine {
   /// next batch to a pending swap, so this is bounded by one micro-batch
   /// even under saturation), then installs the new backend under the
   /// engine lock. Queued and future tickets routed to `shard` classify on
-  /// the new backend; no ticket is dropped or rerouted. The backend must
-  /// be valid and agree on the qubit count (throws Error otherwise). Pass
-  /// an owning backend (e.g. BackendSnapshot::backend()) or keep the
-  /// wrapped discriminator alive for the engine's lifetime. Safe to call
-  /// concurrently with submit/wait/drain from any thread, but not while
-  /// the engine is being destroyed.
+  /// the new backend; no ticket is dropped or rerouted. A quarantined
+  /// shard is reset to healthy — fresh calibration means fresh health, so
+  /// a recalibration loop re-admits a drifted shard by swapping it. The
+  /// backend must be valid and agree on the qubit count (throws Error
+  /// otherwise). Pass an owning backend (e.g. BackendSnapshot::backend())
+  /// or keep the wrapped discriminator alive for the engine's lifetime.
+  /// Safe to call concurrently with submit/wait/drain from any thread, but
+  /// not while the engine is being destroyed.
   void swap_shard(std::size_t shard, EngineBackend backend)
       MLQR_EXCLUDES(mutex_);
 
-  /// Counters (each takes the engine lock briefly).
-  std::uint64_t shots_submitted() const MLQR_EXCLUDES(mutex_);
-  std::uint64_t shots_completed() const MLQR_EXCLUDES(mutex_);
-  std::uint64_t batches_dispatched() const MLQR_EXCLUDES(mutex_);
-  std::uint64_t shards_swapped() const MLQR_EXCLUDES(mutex_);
+  /// Current circuit-breaker state of one shard (kHealthy always when the
+  /// breaker is disabled).
+  ShardHealth shard_health(std::size_t shard) const MLQR_EXCLUDES(mutex_);
+
+  /// Every counter in one consistent snapshot (single lock acquisition).
+  StreamingStats stats() const MLQR_EXCLUDES(mutex_);
+
+  /// Legacy per-counter getters, now thin wrappers over stats().
+  std::uint64_t shots_submitted() const { return stats().submitted; }
+  std::uint64_t shots_completed() const { return stats().completed; }
+  std::uint64_t batches_dispatched() const { return stats().batches; }
+  std::uint64_t shards_swapped() const { return stats().swaps; }
 
  private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
   enum class SlotState : std::uint8_t {
     kFree,      ///< Reusable; ticket field holds the last consumed ticket.
     kReserved,  ///< A producer is copying its frame in (outside the lock).
     kQueued,    ///< Ready for the dispatcher.
     kInFlight,  ///< Claimed by the dispatcher; classification running.
-    kDone,      ///< Labels valid; waiting for wait() to consume.
+    kDone,      ///< Outcome valid; waiting for a wait to consume.
   };
+
+  /// How a kDone slot resolved (mirrors the consumable ShotStatus values).
+  enum class SlotOutcome : std::uint8_t { kOk, kFailed, kShed };
 
   /// Slot.ticket value before any shot has occupied the slot (a real
   /// ticket can never reach it).
   static constexpr Ticket kNoTicket = ~Ticket{0};
 
-  /// One ring entry. The state/ticket/shard/error fields transition only
-  /// under the engine mutex; frame, labels and arrival follow the custody
-  /// protocol instead (Clang TSA cannot express ownership hand-off, so
-  /// these accesses are deliberately outside the capability model):
+  /// Slot.served_by value for shots classified on cfg_.fallback rather
+  /// than a shard.
+  static constexpr std::size_t kFallbackShard = ~std::size_t{0};
+
+  /// One ring entry. The state/ticket/shard/outcome/error fields
+  /// transition only under the engine mutex; frame, labels and arrival
+  /// follow the custody protocol instead (Clang TSA cannot express
+  /// ownership hand-off, so these accesses are deliberately outside the
+  /// capability model):
   ///   * kReserved: the submitting producer exclusively fills frame and
   ///     arrival outside the lock; its kQueued transition (under the
   ///     lock) publishes the writes to the dispatcher.
@@ -189,28 +336,64 @@ class StreamingEngine {
     IqTrace frame;
     std::vector<int> labels;
     Ticket ticket = kNoTicket;
+    /// Target shard chosen at submit time (round-robin or channel key).
     std::size_t shard = 0;
+    /// Shard that actually classified the shot (claim-time routing may
+    /// divert quarantined traffic); kFallbackShard for the fallback.
+    std::size_t served_by = 0;
+    /// True when this shot was a half-open probe of a quarantined shard.
+    bool probe = false;
     SlotState state = SlotState::kFree;
+    SlotOutcome outcome = SlotOutcome::kOk;
     std::chrono::steady_clock::time_point arrival{};
-    /// Set when the backend threw while classifying this slot's batch; the
-    /// labels are invalid and wait() rethrows instead of copying.
+    /// Set when the backend threw classifying this shot (outcome kFailed);
+    /// the labels are invalid and wait() rethrows instead of copying.
     std::exception_ptr error;
   };
 
-  Ticket submit_routed(const IqTrace& frame, bool keyed, std::uint64_t key)
+  /// Circuit-breaker bookkeeping for one shard.
+  struct ShardState {
+    std::size_t consecutive_failures = 0;
+    std::size_t probe_in_flight = 0;
+    bool quarantined = false;
+    /// Earliest time a half-open probe may route traffic back.
+    TimePoint retry_at{};
+  };
+
+  std::optional<Ticket> submit_routed(const IqTrace& frame, bool keyed,
+                                      std::uint64_t key,
+                                      const TimePoint* deadline)
       MLQR_EXCLUDES(mutex_);
+  /// Shared wait machinery. deadline == nullptr blocks indefinitely (and
+  /// throws for provably unsatisfiable tickets); otherwise returns
+  /// kTimedOut once the deadline passes. On kFailed the stored exception
+  /// moves into *error when non-null (discarded otherwise).
+  ShotStatus wait_impl(Ticket t, std::span<int> out, const TimePoint* deadline,
+                       std::exception_ptr* error) MLQR_EXCLUDES(mutex_);
   void dispatch_loop();
   /// Dispatchable micro-batch size: the contiguous queued run from head_
   /// capped at batch_max. O(1) — queued_run_ is maintained incrementally.
   std::size_t ready_run() const MLQR_REQUIRES(mutex_);
   /// Extends queued_run_ past newly queued slots (amortized O(1)/shot).
   void extend_queued_run() MLQR_REQUIRES(mutex_);
+  /// Claim-time routing: where slot's shot should classify given current
+  /// shard health (identity when the breaker is disabled or the shard is
+  /// healthy). Marks probe shots and bumps reroute/probe counters.
+  std::size_t route_shot(Slot& slot, TimePoint now) MLQR_REQUIRES(mutex_);
+  /// Completion-time breaker bookkeeping for one classified shot: failure
+  /// counting, quarantine transitions, probe evaluation, recovery.
+  void record_shot_result(const Slot& slot, bool shot_failed, TimePoint now)
+      MLQR_REQUIRES(mutex_);
   Slot& slot_of(Ticket t) MLQR_REQUIRES(mutex_) {
     return ring_[t % ring_.size()];
   }
 
   StreamingConfig cfg_;
-  std::size_t n_qubits_ = 0;  ///< Immutable after construction.
+  std::size_t n_qubits_ = 0;      ///< Immutable after construction.
+  std::size_t shards_count_ = 0;  ///< Immutable after construction.
+  /// Immutable after construction; shots route here when their shard is
+  /// quarantined and no healthy shard remains. Invalid when unset.
+  EngineBackend fallback_;
   EngineCore core_;  ///< Dispatcher-thread only (scratch pool inside).
 
   mutable Mutex mutex_;
@@ -223,6 +406,16 @@ class StreamingEngine {
   /// Stable while dispatching_ is true: swap_shard waits for the gap
   /// between micro-batches before mutating an element.
   std::vector<EngineBackend> shards_ MLQR_GUARDED_BY(mutex_);
+  /// Parallel to shards_: per-shard circuit-breaker state.
+  std::vector<ShardState> health_ MLQR_GUARDED_BY(mutex_);
+  /// Tickets of the micro-batch being classified (shed slots excluded);
+  /// dispatcher-only, reused across batches, read outside the lock via a
+  /// pointer snapshotted under it (same custody as ring_).
+  std::vector<Ticket> batch_tickets_ MLQR_GUARDED_BY(mutex_);
+  /// Per-shot failure capture for the batch in flight, index-parallel to
+  /// batch_tickets_. Workers write disjoint slots outside the lock (same
+  /// custody as Slot::labels); the dispatcher reads them back under it.
+  std::vector<std::exception_ptr> batch_errors_ MLQR_GUARDED_BY(mutex_);
   Ticket next_ticket_ MLQR_GUARDED_BY(mutex_) = 0;  ///< Next ticket to issue.
   /// Oldest ticket not yet claimed for dispatch.
   Ticket head_ MLQR_GUARDED_BY(mutex_) = 0;
@@ -233,8 +426,14 @@ class StreamingEngine {
   std::uint64_t completed_ MLQR_GUARDED_BY(mutex_) = 0;
   std::uint64_t batches_ MLQR_GUARDED_BY(mutex_) = 0;
   std::uint64_t swaps_ MLQR_GUARDED_BY(mutex_) = 0;
-  /// kDone-with-error tickets not yet consumed by wait(), and the earliest
-  /// such batch's exception (what drain() rethrows while any remain).
+  std::uint64_t failed_total_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rerouted_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t quarantines_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t probes_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t recoveries_ MLQR_GUARDED_BY(mutex_) = 0;
+  /// kDone-with-error tickets not yet consumed by a wait, and the earliest
+  /// such shot's exception (what drain() rethrows while any remain).
   std::size_t failed_unconsumed_ MLQR_GUARDED_BY(mutex_) = 0;
   std::exception_ptr first_error_ MLQR_GUARDED_BY(mutex_);
   /// True while the dispatcher runs core_.classify outside the lock (it

@@ -8,6 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <semaphore>
 #include <thread>
 #include <vector>
 
@@ -283,9 +287,10 @@ TEST(Streaming, ThrowingBackendSurfacesFromWaitAndEngineSurvives) {
   EXPECT_EQ(eng.shots_completed(), 4u);
 }
 
-TEST(Streaming, BatchFailurePoisonsEveryTicketOfThatBatch) {
-  // Failure granularity is the micro-batch: the dispatcher cannot know
-  // which shot threw, so every ticket of the failed batch rethrows.
+TEST(Streaming, BackendFailureStaysPerShotWithinABatch) {
+  // Failure granularity is the shot, not the micro-batch: one poisoned
+  // frame in a 4-shot batch fails exactly its own ticket, and the other
+  // three tickets hand out valid labels.
   StreamingConfig cfg;
   cfg.batch_max = 4;
   cfg.deadline_us = 200000;  // Batch forms by count, not deadline.
@@ -293,10 +298,17 @@ TEST(Streaming, BatchFailurePoisonsEveryTicketOfThatBatch) {
   std::vector<StreamingEngine::Ticket> tickets;
   for (int s = 0; s < 4; ++s)
     tickets.push_back(eng.submit(s == 2 ? poison_frame() : plain_frame()));
-  for (const auto t : tickets) EXPECT_THROW(eng.wait(t), Error);
+  for (std::size_t s = 0; s < tickets.size(); ++s) {
+    if (s == 2) {
+      EXPECT_THROW(eng.wait(tickets[s]), Error);
+    } else {
+      EXPECT_EQ(eng.wait(tickets[s]), (std::vector<int>{0, 0})) << "shot " << s;
+    }
+  }
   // The next (clean) batch classifies normally.
   EXPECT_EQ(eng.wait(eng.submit(plain_frame())), (std::vector<int>{0, 0}));
   EXPECT_EQ(eng.batches_dispatched(), 2u);
+  EXPECT_EQ(eng.stats().failed, 1u);
 }
 
 TEST(Streaming, DrainSurfacesFailuresUntilTicketsAreConsumed) {
@@ -350,6 +362,341 @@ TEST(Streaming, DestructorDrainsOutstandingWork) {
   cfg.deadline_us = 100000;  // Nor hit the deadline within the test.
   StreamingEngine eng(make_backend(fx.proposed), 2, cfg);
   for (std::size_t s = 0; s < 20; ++s) eng.submit(fx.ds.shots.traces[s]);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control, shedding, and shard-health machinery.
+
+/// Two-semaphore gate: `started` reports that a classify call reached the
+/// backend, `go` releases it. Lets tests hold the dispatcher mid-batch at a
+/// deterministic point.
+struct Gate {
+  std::binary_semaphore started{0};
+  std::binary_semaphore go{0};
+};
+
+/// Backend whose every classify call signals `started`, blocks on `go`,
+/// then writes zeros. Two qubits.
+EngineBackend gated_backend(std::shared_ptr<Gate> gate) {
+  return EngineBackend(
+      "gated", 2,
+      [gate](const IqTrace&, InferenceScratch&, std::span<int> out) {
+        gate->started.release();
+        gate->go.acquire();
+        std::fill(out.begin(), out.end(), 0);
+      });
+}
+
+/// Backend that classifies every shot to the same label. Two qubits.
+EngineBackend const_backend(std::string name, int label) {
+  return EngineBackend(
+      std::move(name), 2,
+      [label](const IqTrace&, InferenceScratch&, std::span<int> out) {
+        std::fill(out.begin(), out.end(), label);
+      });
+}
+
+/// Backend that always throws — the shard-went-bad case.
+EngineBackend always_throw_backend() {
+  return EngineBackend(
+      "bad", 2, [](const IqTrace&, InferenceScratch&, std::span<int>) {
+        throw Error("always fails");
+      });
+}
+
+/// Backend that throws while *fail is set, classifies to `label` otherwise.
+EngineBackend controllable_backend(std::shared_ptr<std::atomic<bool>> fail,
+                                   int label) {
+  return EngineBackend(
+      "controllable", 2,
+      [fail, label](const IqTrace&, InferenceScratch&, std::span<int> out) {
+        if (fail->load()) throw Error("controlled failure");
+        std::fill(out.begin(), out.end(), label);
+      });
+}
+
+TEST(Streaming, TrySubmitAndSubmitForRejectWhileRingStaysFull) {
+  StreamingConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.batch_max = 2;
+  cfg.deadline_us = 0;
+  StreamingEngine eng(flaky_backend(), 1, cfg);
+  const auto t0 = eng.submit(plain_frame());
+  const auto t1 = eng.submit(plain_frame());
+  // Both slots stay occupied (queued / in-flight / done) until a wait
+  // consumes one — admission must reject, not block.
+  EXPECT_FALSE(eng.try_submit(plain_frame()).has_value());
+  EXPECT_FALSE(
+      eng.submit_for(plain_frame(), std::chrono::microseconds(2000))
+          .has_value());
+  std::vector<int> out(eng.num_qubits());
+  eng.wait(t0, out);
+  const auto t2 = eng.try_submit(plain_frame());
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(*t2, t1 + 1);
+  eng.wait(t1, out);
+  eng.wait(*t2, out);
+  const StreamingStats st = eng.stats();
+  EXPECT_EQ(st.submitted, 3u);
+  EXPECT_EQ(st.completed, 3u);
+}
+
+TEST(Streaming, WaitOnProvablyUnsatisfiableTicketThrows) {
+  // A ticket >= shots_submitted() + capacity cannot resolve before the
+  // caller itself deadlocks, so plain wait() refuses it up front; timed
+  // wait_for() is the sanctioned way to poll a speculative ticket.
+  StreamingConfig cfg;
+  cfg.queue_capacity = 4;
+  StreamingEngine eng(flaky_backend(), 1, cfg);
+  std::vector<int> out(eng.num_qubits());
+  EXPECT_THROW(eng.wait(4, out), Error);
+  EXPECT_EQ(eng.wait_for(4, out, std::chrono::microseconds(1000)),
+            ShotStatus::kTimedOut);
+  const auto t0 = eng.submit(plain_frame());  // Frontier moves with submits.
+  EXPECT_THROW(eng.wait(5, out), Error);
+  eng.wait(t0, out);
+}
+
+TEST(Streaming, WaitForTimesOutWithoutConsumingTheTicket) {
+  auto gate = std::make_shared<Gate>();
+  StreamingConfig cfg;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  StreamingEngine eng(gated_backend(gate), 1, cfg);
+  const auto t0 = eng.submit(plain_frame());
+  std::vector<int> out(eng.num_qubits());
+  EXPECT_EQ(eng.wait_for(t0, out, std::chrono::microseconds(1000)),
+            ShotStatus::kTimedOut);
+  gate->started.acquire();
+  gate->go.release();
+  // Timed out above without consuming: the same ticket still resolves.
+  EXPECT_EQ(eng.wait_for(t0, out, std::chrono::microseconds(2000000)),
+            ShotStatus::kDone);
+  EXPECT_EQ(out, (std::vector<int>{0, 0}));
+  EXPECT_THROW(eng.wait(t0), Error);  // Now consumed: one-shot contract.
+}
+
+TEST(Streaming, StaleFramesShedAndReportViaWaitResult) {
+  auto gate = std::make_shared<Gate>();
+  StreamingConfig cfg;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  cfg.shot_deadline_us = 1000;
+  StreamingEngine eng(gated_backend(gate), 1, cfg);
+  const auto t0 = eng.submit(plain_frame());
+  gate->started.acquire();  // t0 claimed fresh; its batch now sits blocked.
+  const auto t1 = eng.submit(plain_frame());
+  const auto t2 = eng.submit(plain_frame());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // t1/t2 stale.
+  gate->go.release();
+  std::vector<int> out(eng.num_qubits());
+  EXPECT_EQ(eng.wait_result(t0, out), ShotStatus::kDone);
+  EXPECT_EQ(out, (std::vector<int>{0, 0}));
+  EXPECT_EQ(eng.wait_result(t1, out), ShotStatus::kShed);
+  EXPECT_THROW(eng.wait(t2, out), Error);  // Plain wait has no shed channel.
+  const StreamingStats st = eng.stats();
+  EXPECT_EQ(st.shed, 2u);
+  EXPECT_EQ(st.completed, 3u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_NO_THROW(eng.drain());  // Shedding is not an engine failure.
+}
+
+TEST(Streaming, CircuitBreakerQuarantinesReroutesAndSwapResets) {
+  StreamingConfig cfg;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  cfg.quarantine_after = 2;
+  cfg.probe_backoff_us = 3600000000ULL;  // ~1 h: no probes during the test.
+  std::vector<EngineBackend> shards{always_throw_backend(),
+                                    const_backend("one", 1)};
+  StreamingEngine eng(std::move(shards), cfg);
+  std::vector<int> out(eng.num_qubits());
+  // Two consecutive failures trip shard 0's breaker.
+  EXPECT_THROW(eng.wait(eng.submit(plain_frame(), /*channel_key=*/0), out),
+               Error);
+  EXPECT_EQ(eng.shard_health(0), ShardHealth::kHealthy);
+  EXPECT_THROW(eng.wait(eng.submit(plain_frame(), 0), out), Error);
+  EXPECT_EQ(eng.shard_health(0), ShardHealth::kQuarantined);
+  EXPECT_EQ(eng.shard_health(1), ShardHealth::kHealthy);
+  // The very next shard-0 shot serves on shard 1 (within one micro-batch).
+  eng.wait(eng.submit(plain_frame(), 0), out);
+  EXPECT_EQ(out, (std::vector<int>{1, 1}));
+  const StreamingStats mid = eng.stats();
+  EXPECT_EQ(mid.failed, 2u);
+  EXPECT_EQ(mid.quarantines, 1u);
+  EXPECT_EQ(mid.rerouted, 1u);
+  EXPECT_EQ(mid.shards_quarantined, 1u);
+  // swap_shard installs a fresh calibration and resets the breaker.
+  eng.swap_shard(0, const_backend("two", 2));
+  EXPECT_EQ(eng.shard_health(0), ShardHealth::kHealthy);
+  eng.wait(eng.submit(plain_frame(), 0), out);
+  EXPECT_EQ(out, (std::vector<int>{2, 2}));
+  EXPECT_EQ(eng.stats().rerouted, 1u);  // No further diversions.
+}
+
+TEST(Streaming, HalfOpenProbeReadmitsRecoveredShard) {
+  auto fail = std::make_shared<std::atomic<bool>>(true);
+  StreamingConfig cfg;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  cfg.quarantine_after = 1;
+  cfg.probe_backoff_us = 0;  // Probe eligible at the very next claim.
+  std::vector<EngineBackend> shards{controllable_backend(fail, 0),
+                                    const_backend("one", 1)};
+  StreamingEngine eng(std::move(shards), cfg);
+  std::vector<int> out(eng.num_qubits());
+  EXPECT_THROW(eng.wait(eng.submit(plain_frame(), 0), out), Error);
+  EXPECT_EQ(eng.shard_health(0), ShardHealth::kQuarantined);
+  fail->store(false);
+  // The next shard-0 shot routes back as a half-open probe; its success
+  // re-admits the shard.
+  eng.wait(eng.submit(plain_frame(), 0), out);
+  EXPECT_EQ(out, (std::vector<int>{0, 0}));
+  EXPECT_EQ(eng.shard_health(0), ShardHealth::kHealthy);
+  const StreamingStats st = eng.stats();
+  EXPECT_GE(st.probes, 1u);
+  EXPECT_EQ(st.recoveries, 1u);
+  EXPECT_EQ(st.shards_quarantined, 0u);
+}
+
+TEST(Streaming, FallbackBackendServesWhenNoHealthyShardRemains) {
+  StreamingConfig cfg;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  cfg.quarantine_after = 1;
+  cfg.probe_backoff_us = 3600000000ULL;
+  cfg.fallback = const_backend("fallback", 3);
+  StreamingEngine eng(always_throw_backend(), 1, cfg);
+  std::vector<int> out(eng.num_qubits());
+  EXPECT_THROW(eng.wait(eng.submit(plain_frame()), out), Error);
+  EXPECT_EQ(eng.shard_health(0), ShardHealth::kQuarantined);
+  eng.wait(eng.submit(plain_frame()), out);
+  EXPECT_EQ(out, (std::vector<int>{3, 3}));
+  // Fallback service neither fails nor recovers the quarantined shard.
+  EXPECT_EQ(eng.shard_health(0), ShardHealth::kQuarantined);
+  const StreamingStats st = eng.stats();
+  EXPECT_EQ(st.rerouted, 1u);
+  EXPECT_EQ(st.recoveries, 0u);
+}
+
+TEST(Streaming, AllQuarantinedWithoutFallbackStillResolvesEveryTicket) {
+  auto fail = std::make_shared<std::atomic<bool>>(true);
+  StreamingConfig cfg;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  cfg.quarantine_after = 1;
+  cfg.probe_backoff_us = 3600000000ULL;  // No probes: last-resort path only.
+  StreamingEngine eng(controllable_backend(fail, 7), 1, cfg);
+  std::vector<int> out(eng.num_qubits());
+  EXPECT_THROW(eng.wait(eng.submit(plain_frame()), out), Error);
+  EXPECT_EQ(eng.shard_health(0), ShardHealth::kQuarantined);
+  // Still failing: the last-resort shot fails too, but the ticket resolves.
+  EXPECT_THROW(eng.wait(eng.submit(plain_frame()), out), Error);
+  // Recovered: any success on a quarantined shard re-admits it.
+  fail->store(false);
+  eng.wait(eng.submit(plain_frame()), out);
+  EXPECT_EQ(out, (std::vector<int>{7, 7}));
+  EXPECT_EQ(eng.shard_health(0), ShardHealth::kHealthy);
+  EXPECT_EQ(eng.stats().recoveries, 1u);
+}
+
+TEST(Streaming, ResilienceKnobsOnNoFaultsStaysBitIdentical) {
+  // Shedding + breaker + fallback all enabled, but nothing faults and
+  // nothing goes stale: labels must stay bit-identical to the synchronous
+  // path and every resilience counter must stay zero.
+  const Fixture& fx = Fixture::get();
+  StreamingConfig cfg;
+  cfg.queue_capacity = fx.ds.shots.size();
+  cfg.batch_max = 32;
+  cfg.shot_deadline_us = 3600000000ULL;  // ~1 h: never sheds in practice.
+  cfg.quarantine_after = 3;
+  cfg.probe_backoff_us = 1000;
+  cfg.fallback = make_backend(fx.proposed);
+  StreamingEngine eng(make_backend(fx.proposed), 2, cfg);
+  EXPECT_EQ(stream_all(eng, fx.ds.shots.traces), fx.sync_labels);
+  const StreamingStats st = eng.stats();
+  EXPECT_EQ(st.shed, 0u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.rerouted, 0u);
+  EXPECT_EQ(st.quarantines, 0u);
+  EXPECT_EQ(st.probes, 0u);
+  EXPECT_EQ(st.submitted, st.completed);
+}
+
+TEST(Streaming, DestructorReleasesUnconsumedFailedTickets) {
+  // Destroying the engine with kDone-with-error slots never consumed must
+  // not hang, leak the stored exceptions, or double-release (ASan leg).
+  StreamingConfig cfg;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  StreamingEngine eng(flaky_backend(), 2, cfg);
+  for (int s = 0; s < 6; ++s)
+    eng.submit(s % 2 ? poison_frame() : plain_frame());
+}
+
+TEST(Streaming, DestructorReleasesUnconsumedShedTickets) {
+  auto gate = std::make_shared<Gate>();
+  StreamingConfig cfg;
+  cfg.batch_max = 1;
+  cfg.deadline_us = 0;
+  cfg.shot_deadline_us = 1000;
+  StreamingEngine eng(gated_backend(gate), 1, cfg);
+  eng.submit(plain_frame());
+  gate->started.acquire();
+  eng.submit(plain_frame());
+  eng.submit(plain_frame());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  gate->go.release();
+  // Two tickets shed at destructor-drain time, none ever waited.
+}
+
+TEST(Streaming, DrainConcurrentWithQuarantineTransitions) {
+  // drain() hammered while breakers trip and reroute underneath it: no
+  // deadlock, and afterwards every ticket resolves exactly once.
+  StreamingConfig cfg;
+  cfg.queue_capacity = 256;
+  cfg.batch_max = 4;
+  cfg.deadline_us = 0;
+  cfg.quarantine_after = 2;
+  cfg.probe_backoff_us = 100;
+  std::vector<EngineBackend> shards{flaky_backend(), flaky_backend()};
+  StreamingEngine eng(std::move(shards), cfg);
+  constexpr std::size_t kShots = 96;
+  std::jthread producer([&] {
+    // Even tickets are poisoned and round-robin onto shard 0: its breaker
+    // trips, traffic reroutes, probes fail and retry — sustained churn.
+    for (std::size_t s = 0; s < kShots; ++s)
+      eng.submit(s % 2 == 0 ? poison_frame() : plain_frame());
+  });
+  for (int i = 0; i < 50; ++i) {
+    try {
+      eng.drain();
+    } catch (const Error&) {
+      // Unconsumed failures surface through drain by contract.
+    }
+  }
+  producer.join();
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::vector<int> out(eng.num_qubits());
+  for (std::size_t s = 0; s < kShots; ++s) {
+    switch (eng.wait_result(s, out)) {
+      case ShotStatus::kDone:
+        ++done;
+        break;
+      case ShotStatus::kFailed:
+        ++failed;
+        break;
+      default:
+        FAIL() << "unexpected status for ticket " << s;
+    }
+  }
+  EXPECT_EQ(done, kShots / 2);
+  EXPECT_EQ(failed, kShots / 2);  // Exactly the poisoned frames, wherever
+                                  // routing sent them.
+  EXPECT_EQ(eng.stats().completed, kShots);
+  EXPECT_GE(eng.stats().quarantines, 1u);
+  EXPECT_NO_THROW(eng.drain());
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-invariant lints that neither the compiler nor clang-tidy can express.
 
-Two checks, both cheap enough for every CI run and every pre-commit:
+Three checks, all cheap enough for every CI run and every pre-commit:
 
   1. snapshot-kinds: the SnapshotKind enum in src/pipeline/snapshot.h is an
      on-disk format registry. Its wire values are pinned in
@@ -14,6 +14,13 @@ Two checks, both cheap enough for every CI run and every pre-commit:
      std::random_device, wall-clock time sources (time(), gettimeofday,
      system_clock) are banned outside src/common/timer.h (which owns the
      steady-clock wrappers). Seeded mlqr RNGs and steady_clock are fine.
+
+  3. pipeline-rng: the serving path (src/pipeline/) must classify
+     deterministically — even the seeded mlqr Rng is off-limits there,
+     except in fault_injection.{h,cpp}, which is the one sanctioned
+     seeded-randomness site (its fault schedules are pure functions of
+     (seed, call index)). The wall-clock/random_device ban from check 2
+     still applies to those files.
 
 Exit status: 0 = all invariants hold, 1 = violation (details on stderr),
 2 = usage / environment error. `--self-test` proves the checks can fail by
@@ -182,12 +189,50 @@ def check_nondeterminism(root: pathlib.Path) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# Check 3: no RNG on the serving path outside the fault-injection harness.
+# ---------------------------------------------------------------------------
+
+# The one place under src/pipeline/ allowed to draw (seeded) random numbers.
+PIPELINE_RNG_EXEMPT = {
+    pathlib.Path("src/pipeline/fault_injection.h"),
+    pathlib.Path("src/pipeline/fault_injection.cpp"),
+}
+
+# Rng as a token; include directives are quoted strings, already blanked by
+# strip_comments, so this fires on actual uses, not on `#include`.
+PIPELINE_RNG_RE = re.compile(r"\bRng\b")
+
+
+def check_pipeline_rng(root: pathlib.Path) -> list[str]:
+    errors = []
+    for path in sorted((root / "src" / "pipeline").rglob("*")):
+        if path.suffix not in {".h", ".cpp"}:
+            continue
+        rel = path.relative_to(root)
+        if rel in PIPELINE_RNG_EXEMPT:
+            continue
+        code = strip_comments(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if PIPELINE_RNG_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: Rng on the serving path — "
+                    f"src/pipeline/ must classify deterministically; only "
+                    f"fault_injection.{{h,cpp}} may draw seeded randomness"
+                )
+    return errors
+
+
+# ---------------------------------------------------------------------------
 # Driver + self-test.
 # ---------------------------------------------------------------------------
 
 
 def run_checks(root: pathlib.Path) -> int:
-    errors = check_snapshot_kinds(root) + check_nondeterminism(root)
+    errors = (
+        check_snapshot_kinds(root)
+        + check_nondeterminism(root)
+        + check_pipeline_rng(root)
+    )
     for e in errors:
         print(f"lint_invariants: {e}", file=sys.stderr)
     if not errors:
@@ -254,14 +299,45 @@ def self_test() -> int:
         )
         if check_nondeterminism(root):
             failures.append("timer.h exemption not honoured")
+        (src_common / "timer.h").unlink()
+
+        # Check 3: Rng anywhere else under src/pipeline/ must be caught...
+        pipeline_probe = root / "src" / "pipeline" / "selftest_probe.cpp"
+        pipeline_probe.write_text(
+            "#include \"common/rng.h\"\nmlqr::Rng rng(42);\n",
+            encoding="utf-8",
+        )
+        if not check_pipeline_rng(root):
+            failures.append("pipeline Rng use not caught")
+        # ...while comments, the include string itself, and identifiers that
+        # merely contain the letters must not fire...
+        pipeline_probe.write_text(
+            "#include \"common/rng.h\"\n"
+            "// Rng is banned here\n"
+            "int seeded_RngLike_count = 0;\n",
+            encoding="utf-8",
+        )
+        if check_pipeline_rng(root):
+            failures.append("false positive: comment/include/substring Rng")
+        pipeline_probe.unlink()
+        # ...and fault_injection.{h,cpp} stay the sanctioned site.
+        for name in ("fault_injection.h", "fault_injection.cpp"):
+            (root / "src" / "pipeline" / name).write_text(
+                "mlqr::Rng rng(42);\n", encoding="utf-8"
+            )
+        if check_pipeline_rng(root):
+            failures.append("fault_injection exemption not honoured")
+        for name in ("fault_injection.h", "fault_injection.cpp"):
+            (root / "src" / "pipeline" / name).unlink()
 
     for f in failures:
         print(f"lint_invariants --self-test: FAIL: {f}", file=sys.stderr)
     if not failures:
         print(
             f"lint_invariants --self-test: ok "
-            f"({len(mutations)} registry mutations and "
-            f"{len(nondet_snippets)} nondeterminism probes all caught)"
+            f"({len(mutations)} registry mutations, "
+            f"{len(nondet_snippets)} nondeterminism probes, and the "
+            f"pipeline-rng probes all caught)"
         )
     return 1 if failures else 0
 
