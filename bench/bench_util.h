@@ -139,23 +139,28 @@ struct ServingBackends {
   /// canonical owners either way (trained results are wrapped in one).
   EngineBackend float_backend;
   EngineBackend int16_backend;  ///< Only when requested.
+  EngineBackend int8_backend;   ///< Only when requested.
   BackendSnapshot float_snap;
   BackendSnapshot int16_snap;
+  BackendSnapshot int8_snap;
 };
 
 inline ServingBackends make_serving_backends(const ReadoutDataset& ds,
                                              const ProposedConfig& pcfg,
                                              bool want_int16,
-                                             const char* tag) {
+                                             const char* tag,
+                                             bool want_int8 = false) {
   ServingBackends sb;
   const char* prefix = std::getenv("MLQR_SNAPSHOT");
   const bool use_snapshots = prefix && *prefix;
-  std::string float_path, int16_path;
+  std::string float_path, int16_path, int8_path;
   if (use_snapshots) {
     float_path = prefix;
     float_path += ".float.snap";
     int16_path = prefix;
     int16_path += ".int16.snap";
+    int8_path = prefix;
+    int8_path += ".int8.snap";
   }
   const auto exists = [](const std::string& p) {
     return !p.empty() && std::ifstream(p, std::ios::binary).good();
@@ -173,7 +178,8 @@ inline ServingBackends make_serving_backends(const ReadoutDataset& ds,
   };
 
   if (use_snapshots && exists(float_path) &&
-      (!want_int16 || exists(int16_path))) {
+      (!want_int16 || exists(int16_path)) &&
+      (!want_int8 || exists(int8_path))) {
     std::cout << '[' << tag << "] MLQR_SNAPSHOT=" << prefix
               << ": loading calibration instead of retraining...\n";
     sb.float_snap = load_backend_file(float_path);
@@ -183,6 +189,11 @@ inline ServingBackends make_serving_backends(const ReadoutDataset& ds,
       sb.int16_snap = load_backend_file(int16_path);
       check_loaded(sb.int16_snap, int16_path, SnapshotKind::kInt16);
       sb.int16_backend = sb.int16_snap.backend();
+    }
+    if (want_int8) {
+      sb.int8_snap = load_backend_file(int8_path);
+      check_loaded(sb.int8_snap, int8_path, SnapshotKind::kInt8);
+      sb.int8_backend = sb.int8_snap.backend();
     }
     return sb;
   }
@@ -199,9 +210,18 @@ inline ServingBackends make_serving_backends(const ReadoutDataset& ds,
             ds.train_idx));
     sb.int16_backend = sb.int16_snap.backend();
   }
+  if (want_int8) {
+    std::cout << '[' << tag << "] calibrating int8 backend...\n";
+    sb.int8_snap =
+        BackendSnapshot::wrap(Quantized8ProposedDiscriminator::quantize(
+            *sb.float_snap.as<ProposedDiscriminator>(), ds.shots,
+            ds.train_idx));
+    sb.int8_backend = sb.int8_snap.backend();
+  }
   if (use_snapshots) {
     save_backend_file(float_path, sb.float_snap);
     if (want_int16) save_backend_file(int16_path, sb.int16_snap);
+    if (want_int8) save_backend_file(int8_path, sb.int8_snap);
     std::cout << '[' << tag << "] saved calibration snapshot(s) under prefix "
               << prefix << " (next run loads instead of training)\n";
   }

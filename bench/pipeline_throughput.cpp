@@ -1,24 +1,29 @@
 // Streaming-engine throughput: shots/sec and per-shot latency percentiles
 // for the proposed discriminator behind ReadoutEngine::process_batch, swept
-// over backend {float, int16} x batch size {1, 4, 16, 64, 1024} x worker
-// count {1, N_hw}. Batch 1 with one worker is the old one-shot-at-a-time
-// glue; batch 1024 with all workers is the deployment shape; the small
-// batches (1..64) are the steady QEC-cycle serving shape where the
-// persistent common/thread_pool executor earns its keep — per-call jthread
-// spawn used to cost more than classifying the batch. Both backends run
-// fused one-pass SIMD front-ends (common/simd.h — the compiled tier is
-// printed and recorded), so the float rows are no longer handicapped by
-// the per-qubit demod pass; the int16 rows model the FPGA datapath bit
-// for bit rather than chase the float rows on throughput.
+// over backend {float, int16, int8} x batch size {1, 4, 16, 64, 1024} x
+// worker count {1, N_hw} x serving mode {per-shot, batched}. Batch 1 with
+// one worker is the old one-shot-at-a-time glue; batch 1024 with all
+// workers is the deployment shape; the small batches (1..64) are the
+// steady QEC-cycle serving shape where the persistent common/thread_pool
+// executor earns its keep. The mode dimension isolates the batched-GEMM
+// datapath (EngineConfig::batched_inference): per-shot rows run one GEMV
+// per shot per layer, batched rows gather each worker's shots into a tile
+// and run one GEMM per layer — same labels bit for bit, different
+// schedule. All backends run fused one-pass SIMD front-ends
+// (common/simd.h — the compiled tier is printed and recorded); the int16
+// and int8 rows model the FPGA datapath bit for bit rather than chase the
+// float rows on throughput.
 //
 // Besides the table and pipeline_throughput.csv, the sweep lands in
-// BENCH_pipeline_throughput.json (context: git sha, SIMD tier, knobs;
-// rows: the full backend x batch x workers grid) — the machine-readable
-// perf trajectory CI archives per commit.
+// BENCH_pipeline_throughput.json (context: git sha, SIMD tier, affinity,
+// knobs; rows: the full backend x batch x workers x mode grid) — the
+// machine-readable perf trajectory CI archives per commit and
+// tools/check_perf_regression.py gates against per tier.
 //
 //   MLQR_THREADS caps N_hw; MLQR_SHOTS sizes the calibration dataset;
-//   MLQR_SNAPSHOT=<prefix> loads <prefix>.{float,int16}.snap calibration
-//   snapshots instead of retraining (first run trains and writes them);
+//   MLQR_SNAPSHOT=<prefix> loads <prefix>.{float,int16,int8}.snap
+//   calibration snapshots instead of retraining (first run trains and
+//   writes them); MLQR_AFFINITY=1 pins pool workers to cores;
 //   MLQR_FAST=1 shrinks everything to CI scale.
 #include <algorithm>
 #include <iostream>
@@ -42,14 +47,17 @@ struct ConfigResult {
 /// Streams `total` shots through the engine in `batch_size` chunks (frames
 /// reused round-robin) and reports sustained throughput; a second, smaller
 /// pass samples per-shot latency so timer reads don't tax the throughput
-/// number.
+/// number. In batched mode the latency pass records batch-amortized
+/// per-shot latency (batch wall clock / shots) — a batch has no individual
+/// shot wall clock, and record_shot_latency would force the per-shot path.
 ConfigResult run_config(const EngineBackend& backend,
                         const std::vector<IqTrace>& frames,
                         std::size_t batch_size, std::size_t threads,
-                        std::size_t total) {
+                        std::size_t total, bool batched) {
   ConfigResult result;
   EngineConfig cfg;
   cfg.threads = threads;
+  cfg.batched_inference = batched;
   // Throughput pass.
   {
     ReadoutEngine engine(backend, cfg);
@@ -66,7 +74,7 @@ ConfigResult run_config(const EngineBackend& backend,
   }
   // Latency pass.
   {
-    cfg.record_shot_latency = true;
+    cfg.record_shot_latency = !batched;
     ReadoutEngine engine(backend, cfg);
     std::vector<double> micros;
     std::size_t done = 0, offset = 0;
@@ -74,9 +82,16 @@ ConfigResult run_config(const EngineBackend& backend,
     while (done < lat_total) {
       const std::size_t n =
           std::min({batch_size, lat_total - done, frames.size() - offset});
-      EngineBatch batch = engine.process_batch({frames.data() + offset, n});
-      micros.insert(micros.end(), batch.shot_micros.begin(),
-                    batch.shot_micros.end());
+      if (batched) {
+        Timer batch_wall;
+        engine.process_batch({frames.data() + offset, n});
+        micros.insert(micros.end(), n,
+                      batch_wall.seconds() * 1e6 / static_cast<double>(n));
+      } else {
+        EngineBatch batch = engine.process_batch({frames.data() + offset, n});
+        micros.insert(micros.end(), batch.shot_micros.begin(),
+                      batch.shot_micros.end());
+      }
       done += n;
       offset = (offset + n) % frames.size();
     }
@@ -101,12 +116,14 @@ int main() {
 
   ProposedConfig pcfg;
   pcfg.trainer.epochs = fast_mode() ? 8 : 20;
-  // MLQR_SNAPSHOT=<prefix> serves from <prefix>.{float,int16}.snap instead
-  // of retraining (the first run trains and writes them).
-  const ServingBackends serving = make_serving_backends(
-      ds, pcfg, /*want_int16=*/true, "pipeline_throughput");
+  // MLQR_SNAPSHOT=<prefix> serves from <prefix>.{float,int16,int8}.snap
+  // instead of retraining (the first run trains and writes them).
+  const ServingBackends serving =
+      make_serving_backends(ds, pcfg, /*want_int16=*/true,
+                            "pipeline_throughput", /*want_int8=*/true);
   const EngineBackend backends[] = {serving.float_backend,
-                                    serving.int16_backend};
+                                    serving.int16_backend,
+                                    serving.int8_backend};
 
   // Frame pool: the test split, padded by repetition to cover the largest
   // batch (classification cost does not depend on trace content).
@@ -121,59 +138,67 @@ int main() {
 
   Table table("Streaming engine throughput (proposed design, " +
               std::to_string(frames.size()) + "-frame pool)");
-  table.set_header({"Backend", "Batch", "Workers", "shots/s", "p50 (us)",
-                    "p99 (us)", "vs float batch1 x1"});
+  table.set_header({"Backend", "Mode", "Batch", "Workers", "shots/s",
+                    "p50 (us)", "p99 (us)", "vs float batch1 x1"});
   CsvWriter csv("pipeline_throughput.csv");
-  csv.write_row(std::vector<std::string>{"backend", "batch", "workers",
+  csv.write_row(std::vector<std::string>{"backend", "mode", "batch", "workers",
                                          "shots_per_sec", "p50_us", "p99_us"});
   BenchReport report("pipeline_throughput");
   report.context("threads_max", static_cast<std::int64_t>(n_hw));
   report.context("bench_shots", static_cast<std::int64_t>(total));
   report.context("shots_per_basis_state",
                  static_cast<std::int64_t>(dcfg.shots_per_basis_state));
+  report.context("affinity", env_int("MLQR_AFFINITY", 0) == 1);
 
   double baseline = 0.0;
-  double best_float = 0.0, best_int = 0.0;
+  double best_batched = 0.0, best_per_shot = 0.0;
   const std::size_t batch_sizes[] = {1, 4, 16, 64, 1024};
   std::vector<std::size_t> worker_counts{1};
   if (n_hw > 1) worker_counts.push_back(n_hw);
   for (const EngineBackend& backend : backends) {
-    const bool is_int = &backend == &backends[1];
     for (std::size_t batch : batch_sizes) {
       for (std::size_t workers : worker_counts) {
-        const ConfigResult r =
-            run_config(backend, frames, batch, workers, total);
-        if (!is_int && batch == 1 && workers == 1) baseline = r.shots_per_sec;
-        (is_int ? best_int : best_float) =
-            std::max(is_int ? best_int : best_float, r.shots_per_sec);
-        table.add_row({backend.name(), std::to_string(batch),
-                       std::to_string(workers), Table::num(r.shots_per_sec, 0),
-                       Table::num(r.lat.p50_us, 1),
-                       Table::num(r.lat.p99_us, 1),
-                       baseline > 0.0
-                           ? Table::num(r.shots_per_sec / baseline, 2) + "x"
-                           : "-"});
-        csv.write_row(std::vector<std::string>{
-            backend.name(), std::to_string(batch), std::to_string(workers),
-            Table::num(r.shots_per_sec, 1), Table::num(r.lat.p50_us, 2),
-            Table::num(r.lat.p99_us, 2)});
-        report.add_row({{"backend", backend.name()},
-                        {"batch", static_cast<std::int64_t>(batch)},
-                        {"workers", static_cast<std::int64_t>(workers)},
-                        {"shots_per_sec", r.shots_per_sec},
-                        {"p50_us", r.lat.p50_us},
-                        {"p99_us", r.lat.p99_us}});
+        for (const bool batched : {false, true}) {
+          const ConfigResult r =
+              run_config(backend, frames, batch, workers, total, batched);
+          const char* mode = batched ? "batched" : "per-shot";
+          if (&backend == &backends[0] && batch == 1 && workers == 1 &&
+              !batched)
+            baseline = r.shots_per_sec;
+          if (batch >= 64) {
+            double& best = batched ? best_batched : best_per_shot;
+            best = std::max(best, r.shots_per_sec);
+          }
+          table.add_row({backend.name(), mode, std::to_string(batch),
+                         std::to_string(workers),
+                         Table::num(r.shots_per_sec, 0),
+                         Table::num(r.lat.p50_us, 1),
+                         Table::num(r.lat.p99_us, 1),
+                         baseline > 0.0
+                             ? Table::num(r.shots_per_sec / baseline, 2) + "x"
+                             : "-"});
+          csv.write_row(std::vector<std::string>{
+              backend.name(), mode, std::to_string(batch),
+              std::to_string(workers), Table::num(r.shots_per_sec, 1),
+              Table::num(r.lat.p50_us, 2), Table::num(r.lat.p99_us, 2)});
+          report.add_row({{"backend", backend.name()},
+                          {"mode", std::string(mode)},
+                          {"batch", static_cast<std::int64_t>(batch)},
+                          {"workers", static_cast<std::int64_t>(workers)},
+                          {"shots_per_sec", r.shots_per_sec},
+                          {"p50_us", r.lat.p50_us},
+                          {"p99_us", r.lat.p99_us}});
+        }
       }
     }
   }
   table.print();
   const std::string json_path = report.save();
-  std::cout << "\nPeak float " << Table::num(best_float, 0) << " shots/s = "
-            << Table::num(best_float / baseline, 2)
-            << "x the one-shot single-worker glue path; peak int16 "
-            << Table::num(best_int, 0) << " shots/s = "
-            << Table::num(best_int / best_float, 2)
-            << "x the float peak (N_hw = " << n_hw
+  std::cout << "\nPeak batched " << Table::num(best_batched, 0)
+            << " shots/s = " << Table::num(best_batched / best_per_shot, 2)
+            << "x the per-shot peak at batch >= 64 ("
+            << Table::num(best_batched / baseline, 2)
+            << "x the one-shot single-worker glue path; N_hw = " << n_hw
             << "; raise with MLQR_THREADS on bigger machines, cap "
             << kMaxWorkerThreads << "; SIMD tier " << simd::tier()
             << ").\nSeries written to pipeline_throughput.csv and "

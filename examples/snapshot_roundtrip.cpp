@@ -1,12 +1,12 @@
 // Calibration snapshot round trip: train the proposed discriminator,
-// quantize its int16 twin, persist both with save_backend, reload them
-// with load_backend, verify bit-identical serving, then hot-swap the
-// reloaded calibration onto a live StreamingEngine without stopping
-// traffic — the full drift-recalibration deployment loop.
+// quantize its int16 and int8 twins, persist all three with save_backend,
+// reload them with load_backend, verify bit-identical serving, then
+// hot-swap the reloaded calibrations onto a live StreamingEngine without
+// stopping traffic — the full drift-recalibration deployment loop.
 //
 //   ./snapshot_roundtrip [shots_per_basis_state]
 //
-// Writes calibration.float.snap / calibration.int16.snap in the working
+// Writes calibration.{float,int16,int8}.snap in the working
 // directory. Point MLQR_SNAPSHOT=calibration at them to make
 // bench/pipeline_throughput and bench/streaming_throughput serve from the
 // saved calibration instead of retraining. MLQR_FAST=1 shrinks the run to
@@ -55,6 +55,8 @@ int write_corpus(const std::string& dir) {
       ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
   emit("float", proposed);
   emit("int16", QuantizedProposedDiscriminator::quantize(proposed, ds.shots,
+                                                         ds.train_idx));
+  emit("int8", Quantized8ProposedDiscriminator::quantize(proposed, ds.shots,
                                                          ds.train_idx));
 
   FnnConfig fcfg;
@@ -107,18 +109,25 @@ int main(int argc, char** argv) {
   const QuantizedProposedDiscriminator quantized =
       QuantizedProposedDiscriminator::quantize(proposed, ds.shots,
                                                ds.train_idx);
+  std::cout << "[snapshot] calibrating int8 twin...\n";
+  const Quantized8ProposedDiscriminator quantized8 =
+      Quantized8ProposedDiscriminator::quantize(proposed, ds.shots,
+                                                ds.train_idx);
 
   // ---- save -------------------------------------------------------------
   const std::string float_path = "calibration.float.snap";
   const std::string int16_path = "calibration.int16.snap";
+  const std::string int8_path = "calibration.int8.snap";
   save_backend_file(float_path, proposed);
   save_backend_file(int16_path, quantized);
-  std::cout << "[snapshot] wrote " << float_path << " and " << int16_path
-            << '\n';
+  save_backend_file(int8_path, quantized8);
+  std::cout << "[snapshot] wrote " << float_path << ", " << int16_path
+            << " and " << int8_path << '\n';
 
   // ---- load + serve: must be bit-identical to the originals -------------
   const BackendSnapshot float_snap = load_backend_file(float_path);
   const BackendSnapshot int16_snap = load_backend_file(int16_path);
+  const BackendSnapshot int8_snap = load_backend_file(int8_path);
 
   auto count_mismatches = [&](const EngineBackend& a, const EngineBackend& b) {
     ReadoutEngine ea(a), eb(b);
@@ -132,21 +141,25 @@ int main(int argc, char** argv) {
       count_mismatches(make_backend(proposed), float_snap.backend());
   const std::size_t int16_bad =
       count_mismatches(make_backend(quantized), int16_snap.backend());
+  const std::size_t int8_bad =
+      count_mismatches(make_backend(quantized8), int8_snap.backend());
 
   Table table("Snapshot round trip (" + std::to_string(ds.shots.size()) +
               " frames)");
   table.set_header({"Backend", "Saved as", "Label mismatches vs original"});
   table.add_row({float_snap.name(), float_path, std::to_string(float_bad)});
   table.add_row({int16_snap.name(), int16_path, std::to_string(int16_bad)});
+  table.add_row({int8_snap.name(), int8_path, std::to_string(int8_bad)});
   table.print();
-  if (float_bad + int16_bad != 0) {
+  if (float_bad + int16_bad + int8_bad != 0) {
     std::cerr << "snapshot round trip is NOT bit-identical\n";
     return 1;
   }
 
   // ---- hot recalibration on a live engine -------------------------------
-  // Serve the first half on the trained float backend, swap every shard to
-  // the reloaded int16 calibration between micro-batches, serve the rest.
+  // Serve the first half on the trained float backend, swap the shards to
+  // the reloaded integer calibrations (one int16, one int8) between
+  // micro-batches, serve the rest.
   StreamingConfig scfg;
   scfg.queue_capacity = ds.shots.size();
   StreamingEngine engine(make_backend(proposed), 2, scfg);
@@ -156,7 +169,7 @@ int main(int argc, char** argv) {
     tickets.push_back(engine.submit(ds.shots.traces[s]));
   engine.drain();
   engine.swap_shard(0, int16_snap.backend());
-  engine.swap_shard(1, int16_snap.backend());
+  engine.swap_shard(1, int8_snap.backend());
   for (std::size_t s = half; s < ds.shots.size(); ++s)
     tickets.push_back(engine.submit(ds.shots.traces[s]));
   engine.drain();

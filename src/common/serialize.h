@@ -213,9 +213,19 @@ inline void write_vec_f64(std::ostream& os, std::span<const double> v) {
   for (double x : v) write_f64(os, x);
 }
 
+inline void write_vec_i8(std::ostream& os, std::span<const std::int8_t> v) {
+  write_u64(os, v.size());
+  for (std::int8_t x : v) write_u8(os, static_cast<std::uint8_t>(x));
+}
+
 inline void write_vec_i16(std::ostream& os, std::span<const std::int16_t> v) {
   write_u64(os, v.size());
   for (std::int16_t x : v) write_i16(os, x);
+}
+
+inline void write_vec_i32(std::ostream& os, std::span<const std::int32_t> v) {
+  write_u64(os, v.size());
+  for (std::int32_t x : v) write_i32(os, x);
 }
 
 inline void write_vec_i64(std::ostream& os, std::span<const std::int64_t> v) {
@@ -249,10 +259,23 @@ inline std::vector<double> read_vec_f64(std::istream& is) {
   return v;
 }
 
+inline std::vector<std::int8_t> read_vec_i8(std::istream& is) {
+  std::vector<std::int8_t> v(read_count(is, kMaxSerializedCount, 1));
+  for (std::int8_t& x : v) x = static_cast<std::int8_t>(read_u8(is));
+  return v;
+}
+
 inline std::vector<std::int16_t> read_vec_i16(std::istream& is) {
   std::vector<std::int16_t> v(
       read_count(is, kMaxSerializedCount, sizeof(std::int16_t)));
   for (std::int16_t& x : v) x = read_i16(is);
+  return v;
+}
+
+inline std::vector<std::int32_t> read_vec_i32(std::istream& is) {
+  std::vector<std::int32_t> v(
+      read_count(is, kMaxSerializedCount, sizeof(std::int32_t)));
+  for (std::int32_t& x : v) x = read_i32(is);
   return v;
 }
 

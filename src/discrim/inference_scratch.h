@@ -9,11 +9,21 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "sim/iq.h"
 
 namespace mlqr {
+
+/// Accessors the batched classify paths use to reach shot `s`'s input
+/// frame and per-qubit label slots without knowing the caller's container
+/// (micro-batch spans, streaming ring slots — anything indexable). Defined
+/// here rather than in the pipeline layer because the discriminators'
+/// classify_batch_into methods take them directly.
+using ShotFrameAt = std::function<const IqTrace&(std::size_t)>;
+using ShotLabelsAt = std::function<std::span<int>(std::size_t)>;
 
 /// Scratch space shared by every discriminator's classify_into path. A
 /// single instance may be reused across *different* discriminators (the
@@ -41,6 +51,36 @@ struct InferenceScratch {
   std::vector<std::int64_t> int_logits;
   std::vector<std::int16_t> int_act_a;
   std::vector<std::int16_t> int_act_b;
+
+  /// Int8-path per-shot buffers (Quantized8ProposedDiscriminator): biased
+  /// uint8 activation ping-pong pair and int32 logit accumulators. Feature
+  /// extraction reuses int_features.
+  std::vector<std::uint8_t> u8_act_a;
+  std::vector<std::uint8_t> u8_act_b;
+  std::vector<std::int32_t> i32_logits;
+
+  /// Batched-GEMM buffers (classify_batch_into): row-major tile matrices
+  /// gathering per-shot feature vectors so the MLP stage runs as one GEMM
+  /// (or weight-row-outer integer sweep) per layer instead of one GEMV per
+  /// shot. Labels are staged in batch_labels (tile x n_qubits) and then
+  /// scattered to the caller's slots, which need not be contiguous.
+  std::vector<float> batch_features;      ///< tile x feat_dim (float path).
+  std::vector<float> batch_act_a;         ///< GEMM activation ping-pong.
+  std::vector<float> batch_act_b;
+  std::vector<std::int32_t> batch_int_features;  ///< tile x feat_dim codes.
+  std::vector<std::int16_t> batch_i16_act_a;     ///< int16 batch ping-pong.
+  std::vector<std::int16_t> batch_i16_act_b;
+  std::vector<std::int64_t> batch_i64_logits;    ///< int16-path logits.
+  std::vector<std::uint8_t> batch_u8_act_a;      ///< int8 batch ping-pong.
+  std::vector<std::uint8_t> batch_u8_act_b;
+  std::vector<std::int32_t> batch_i32_logits;    ///< int8-path logits.
+  std::vector<int> batch_labels;                 ///< tile x n_qubits stage.
+
+  /// Blocked front-end staging (QuantizedFrontend::features_block_into):
+  /// the quantized I/Q codes of one small shot block, kept L1-resident
+  /// while the kernel code table streams across the block.
+  std::vector<std::int16_t> block_trace_i;  ///< shot-block x n_samples.
+  std::vector<std::int16_t> block_trace_q;
 };
 
 }  // namespace mlqr

@@ -1,5 +1,6 @@
 #include "discrim/proposed.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -206,6 +207,36 @@ void ProposedDiscriminator::classify_into(const IqTrace& trace,
   for (std::size_t q = 0; q < models_.size(); ++q)
     out[q] = models_[q].predict_reusing(scratch.features, scratch.logits,
                                         scratch.activations);
+}
+
+void ProposedDiscriminator::classify_batch_into(
+    std::size_t lo, std::size_t hi, const ShotFrameAt& frame_at,
+    InferenceScratch& scratch, const ShotLabelsAt& labels_at) const {
+  const std::size_t n_qubits = models_.size();
+  const std::size_t feat_dim = feature_dim();
+  // Tile so the activation matrices stay cache-resident: 128 rows of 45
+  // features is ~23 KiB, comfortably inside L2 next to the weights.
+  constexpr std::size_t kBatchTile = 128;
+  for (std::size_t base = lo; base < hi; base += kBatchTile) {
+    const std::size_t tile = std::min(kBatchTile, hi - base);
+    scratch.batch_features.resize(tile * feat_dim);
+    const IqTrace* frames[kBatchTile];
+    for (std::size_t s = 0; s < tile; ++s) frames[s] = &frame_at(base + s);
+    fused_.features_block_into(tile, frames, scratch.batch_features.data(),
+                               feat_dim);
+    scratch.batch_labels.resize(tile * n_qubits);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+      models_[q].classify_batch_into(tile, scratch.batch_features.data(),
+                                     scratch.batch_act_a, scratch.batch_act_b,
+                                     scratch.batch_labels.data() + q,
+                                     n_qubits);
+    for (std::size_t s = 0; s < tile; ++s) {
+      const std::span<int> out = labels_at(base + s);
+      MLQR_CHECK(out.size() == n_qubits);
+      std::copy_n(scratch.batch_labels.data() + s * n_qubits, n_qubits,
+                  out.begin());
+    }
+  }
 }
 
 }  // namespace mlqr

@@ -1,0 +1,116 @@
+#include "discrim/quantized8_proposed.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace mlqr {
+
+Quantized8ProposedDiscriminator Quantized8ProposedDiscriminator::quantize(
+    const ProposedDiscriminator& d, const ShotSet& calib,
+    std::span<const std::size_t> calib_idx, const QuantizationConfig& cfg) {
+  // Run the int16 twin's calibration at the narrow widths — identical
+  // range sweep, identical code minting — then narrow the heads' storage.
+  // The front-end carries over unchanged: its kernel and trace grids are
+  // calibrated independently of the head width.
+  const QuantizedProposedDiscriminator q16 =
+      QuantizedProposedDiscriminator::quantize(d, calib, calib_idx, cfg);
+  Quantized8ProposedDiscriminator q;
+  q.cfg_ = cfg;
+  q.frontend_ = q16.frontend();
+  q.heads_.reserve(q16.num_qubits());
+  for (std::size_t qubit = 0; qubit < q16.num_qubits(); ++qubit)
+    q.heads_.push_back(Quantized8Mlp::from_quantized(q16.head(qubit)));
+  return q;
+}
+
+std::vector<int> Quantized8ProposedDiscriminator::classify(
+    const IqTrace& trace) const {
+  InferenceScratch scratch;
+  std::vector<int> out(heads_.size());
+  classify_into(trace, scratch, out);
+  return out;
+}
+
+void Quantized8ProposedDiscriminator::classify_into(
+    const IqTrace& trace, InferenceScratch& scratch, std::span<int> out) const {
+  MLQR_CHECK(out.size() == heads_.size());
+  frontend_.features_into(trace, scratch);
+  for (std::size_t q = 0; q < heads_.size(); ++q)
+    out[q] = heads_[q].predict(scratch.int_features, scratch.i32_logits,
+                               scratch.u8_act_a, scratch.u8_act_b);
+}
+
+void Quantized8ProposedDiscriminator::classify_batch_into(
+    std::size_t lo, std::size_t hi, const ShotFrameAt& frame_at,
+    InferenceScratch& scratch, const ShotLabelsAt& labels_at) const {
+  const std::size_t n_qubits = heads_.size();
+  const std::size_t feat_dim = frontend_.n_filters();
+  constexpr std::size_t kBatchTile = 128;
+  for (std::size_t base = lo; base < hi; base += kBatchTile) {
+    const std::size_t tile = std::min(kBatchTile, hi - base);
+    scratch.batch_int_features.resize(tile * feat_dim);
+    const IqTrace* frames[kBatchTile];
+    for (std::size_t s = 0; s < tile; ++s) frames[s] = &frame_at(base + s);
+    frontend_.features_block_into(tile, frames, scratch,
+                                  scratch.batch_int_features.data(), feat_dim);
+    scratch.batch_labels.resize(tile * n_qubits);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+      heads_[q].classify_batch_into(
+          tile, scratch.batch_int_features.data(), scratch.batch_u8_act_a,
+          scratch.batch_u8_act_b, scratch.batch_i32_logits,
+          scratch.batch_labels.data() + q, n_qubits);
+    for (std::size_t s = 0; s < tile; ++s) {
+      const std::span<int> out = labels_at(base + s);
+      MLQR_CHECK(out.size() == n_qubits);
+      std::copy_n(scratch.batch_labels.data() + s * n_qubits, n_qubits,
+                  out.begin());
+    }
+  }
+}
+
+void Quantized8ProposedDiscriminator::save(std::ostream& os) const {
+  MLQR_CHECK_MSG(!heads_.empty(), "cannot save an uncalibrated discriminator");
+  save_quantization_config(os, cfg_);
+  frontend_.save(os);
+  io::write_u64(os, heads_.size());
+  for (const Quantized8Mlp& h : heads_) h.save(os);
+}
+
+Quantized8ProposedDiscriminator Quantized8ProposedDiscriminator::load(
+    std::istream& is) {
+  Quantized8ProposedDiscriminator q;
+  q.cfg_ = load_quantization_config(is);
+  q.frontend_ = QuantizedFrontend::load(is);
+  const std::size_t n_heads = io::read_count(is, 4096);
+  q.heads_.reserve(n_heads);
+  for (std::size_t h = 0; h < n_heads; ++h)
+    q.heads_.push_back(Quantized8Mlp::load(is));
+
+  MLQR_CHECK_MSG(n_heads == q.frontend_.num_qubits(),
+                 "snapshot has " << n_heads << " int8 heads for "
+                                 << q.frontend_.num_qubits() << " qubits");
+  for (const Quantized8Mlp& h : q.heads_) {
+    MLQR_CHECK_MSG(h.input_size() == q.frontend_.n_filters(),
+                   "snapshot int8 head reads " << h.input_size()
+                       << " features, front-end emits "
+                       << q.frontend_.n_filters());
+    MLQR_CHECK_MSG(h.output_size() == static_cast<std::size_t>(kNumLevels),
+                   "snapshot int8 head emits " << h.output_size()
+                                               << " levels");
+    // The front-end writes feature codes on feature_format(); the first
+    // layer must consume exactly that grid or the requant chain shifts by
+    // the wrong amount — a silent misclassification, so check it hard.
+    const FixedPointFormat& in = h.layers().front().in_fmt;
+    MLQR_CHECK_MSG(in.total_bits == q.frontend_.feature_format().total_bits &&
+                       in.frac_bits == q.frontend_.feature_format().frac_bits,
+                   "snapshot head input grid <" << in.total_bits << ','
+                       << in.frac_bits << "> != front-end feature grid <"
+                       << q.frontend_.feature_format().total_bits << ','
+                       << q.frontend_.feature_format().frac_bits << '>');
+  }
+  return q;
+}
+
+}  // namespace mlqr

@@ -85,6 +85,34 @@ void QuantizedProposedDiscriminator::classify_into(const IqTrace& trace,
                                scratch.int_act_a, scratch.int_act_b);
 }
 
+void QuantizedProposedDiscriminator::classify_batch_into(
+    std::size_t lo, std::size_t hi, const ShotFrameAt& frame_at,
+    InferenceScratch& scratch, const ShotLabelsAt& labels_at) const {
+  const std::size_t n_qubits = heads_.size();
+  const std::size_t feat_dim = frontend_.n_filters();
+  constexpr std::size_t kBatchTile = 128;
+  for (std::size_t base = lo; base < hi; base += kBatchTile) {
+    const std::size_t tile = std::min(kBatchTile, hi - base);
+    scratch.batch_int_features.resize(tile * feat_dim);
+    const IqTrace* frames[kBatchTile];
+    for (std::size_t s = 0; s < tile; ++s) frames[s] = &frame_at(base + s);
+    frontend_.features_block_into(tile, frames, scratch,
+                                  scratch.batch_int_features.data(), feat_dim);
+    scratch.batch_labels.resize(tile * n_qubits);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+      heads_[q].classify_batch_into(
+          tile, scratch.batch_int_features.data(), scratch.batch_i16_act_a,
+          scratch.batch_i16_act_b, scratch.batch_i64_logits,
+          scratch.batch_labels.data() + q, n_qubits);
+    for (std::size_t s = 0; s < tile; ++s) {
+      const std::span<int> out = labels_at(base + s);
+      MLQR_CHECK(out.size() == n_qubits);
+      std::copy_n(scratch.batch_labels.data() + s * n_qubits, n_qubits,
+                  out.begin());
+    }
+  }
+}
+
 void QuantizedProposedDiscriminator::save(std::ostream& os) const {
   MLQR_CHECK_MSG(!heads_.empty(), "cannot save an uncalibrated discriminator");
   save_quantization_config(os, cfg_);

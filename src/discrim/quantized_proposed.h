@@ -62,6 +62,16 @@ class QuantizedProposedDiscriminator {
   void classify_into(const IqTrace& trace, InferenceScratch& scratch,
                      std::span<int> out) const;
 
+  /// Batched classify over shots [lo, hi): feature codes gathered into a
+  /// row-major tile, each integer head swept weight-row-outer over the
+  /// whole tile (QuantizedMlp::classify_batch_into), labels scattered back
+  /// through `labels_at(s)`. Integer arithmetic is exact, so labels are
+  /// bit-identical to classify_into. Thread-safe for distinct scratches.
+  void classify_batch_into(std::size_t lo, std::size_t hi,
+                           const ShotFrameAt& frame_at,
+                           InferenceScratch& scratch,
+                           const ShotLabelsAt& labels_at) const;
+
   std::string name() const {
     return "OURS-INT" + std::to_string(cfg_.weight_bits);
   }

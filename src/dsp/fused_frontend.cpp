@@ -94,4 +94,40 @@ void FusedFrontend::features_into(const IqTrace& trace,
   }
 }
 
+void FusedFrontend::features_block_into(std::size_t block,
+                                        const IqTrace* const* traces,
+                                        float* out,
+                                        std::size_t out_stride) const {
+  MLQR_CHECK(valid());
+  // Small shot blocks keep the traces hot while one kernel row pair
+  // (2 x n_samples floats) streams across them; the full table then
+  // loads once per block of shots instead of once per shot. Four shots
+  // of float I/Q (4 x 2 x n_samples x 4 B = 16 KiB at the paper's 500
+  // samples) leave half of a 32 KiB L1 for the streaming row pair;
+  // larger blocks evict the traces and re-stream them per filter, which
+  // merely trades table traffic for trace traffic.
+  constexpr std::size_t kShotBlock = 4;
+  for (std::size_t b0 = 0; b0 < block; b0 += kShotBlock) {
+    const std::size_t nb = std::min(kShotBlock, block - b0);
+    for (std::size_t s = 0; s < nb; ++s) {
+      const IqTrace& trace = *traces[b0 + s];
+      trace.check_consistent();
+      MLQR_CHECK_MSG(trace.size() >= n_samples_,
+                     "trace shorter than front-end window: "
+                         << trace.size() << " < " << n_samples_);
+    }
+    for (std::size_t f = 0; f < n_filters(); ++f) {
+      for (std::size_t s = 0; s < nb; ++s) {
+        const IqTrace& trace = *traces[b0 + s];
+        // Identical per-(filter, shot) chain to features_into.
+        const float acc =
+            table_.accumulate(f, trace.i.data(), trace.q.data());
+        const float z = acc * scale_[f] + offset_[f];
+        out[(b0 + s) * out_stride + f] =
+            std::clamp(z, -kMaxAbsFeatureZ, kMaxAbsFeatureZ);
+      }
+    }
+  }
+}
+
 }  // namespace mlqr

@@ -54,6 +54,15 @@ class FusedFrontend {
   /// for distinct scratch instances.
   void features_into(const IqTrace& trace, InferenceScratch& scratch) const;
 
+  /// Feature extraction for `block` traces at once, writing shot s's
+  /// features to out[s * out_stride + f]. Per (filter, shot) this runs
+  /// the identical accumulate + affine chain of features_into — only the
+  /// loop order differs — so the values are bit-identical. The win is
+  /// cache reuse: the pre-rotated kernel table (n_filters x n_samples x 2
+  /// rows) streams once per small shot block instead of once per shot.
+  void features_block_into(std::size_t block, const IqTrace* const* traces,
+                           float* out, std::size_t out_stride) const;
+
   /// False until build() has run (a default-constructed instance).
   bool valid() const { return n_samples_ > 0; }
 

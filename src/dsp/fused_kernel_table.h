@@ -14,6 +14,7 @@
 // the on-disk byte layout is unchanged.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
@@ -34,8 +35,14 @@ struct FusedSampleTraits<float> {
   using Accum = float;
 
   static Accum fused_dot(const float* kr, const float* ki, const float* xi,
-                         const float* xq, std::size_t n) {
+                         const float* xq, std::size_t n,
+                         std::size_t /*strip*/) {
     return simd::fused_dot_f32(kr, ki, xi, xq, n);
+  }
+  /// Float accumulation has no overflow notion; strip is unused.
+  static std::size_t compute_strip(const std::vector<float>&,
+                                   const std::vector<float>&) {
+    return 1;
   }
   static void write_rows(std::ostream& os, const std::vector<float>& rows) {
     io::write_vec_f32(os, rows);
@@ -54,8 +61,34 @@ struct FusedSampleTraits<std::int16_t> {
 
   static Accum fused_dot(const std::int16_t* kr, const std::int16_t* ki,
                          const std::int16_t* xi, const std::int16_t* xq,
-                         std::size_t n) {
-    return simd::fused_dot_i16(kr, ki, xi, xq, n);
+                         std::size_t n, std::size_t strip) {
+    return simd::fused_dot_i16_strip(kr, ki, xi, xq, n, strip);
+  }
+  static void fused_dot_x4(const std::int16_t* kr, const std::int16_t* ki,
+                           const std::int16_t* const* xi,
+                           const std::int16_t* const* xq, std::size_t n,
+                           std::size_t strip, Accum* out) {
+    simd::fused_dot_i16_strip_x4(kr, ki, xi, xq, n, strip, out);
+  }
+  /// Largest strip (madd blocks accumulated per int32 lane before the
+  /// int64 flush) the kernel-code magnitudes provably cannot overflow:
+  /// strip * 2 * max|code| * 2^15 <= 2^31 - 1, trace codes assumed
+  /// full-range. Narrow kernel grids (12-bit codes -> strip 16) amortize
+  /// the widening; worst-case codes collapse to 1 (plain fused_dot_i16).
+  static std::size_t compute_strip(const std::vector<std::int16_t>& kr,
+                                   const std::vector<std::int16_t>& ki) {
+    std::int64_t max_abs = 1;
+    for (std::int16_t c : kr) {
+      const std::int64_t a = c < 0 ? -std::int64_t{c} : std::int64_t{c};
+      max_abs = std::max(max_abs, a);
+    }
+    for (std::int16_t c : ki) {
+      const std::int64_t a = c < 0 ? -std::int64_t{c} : std::int64_t{c};
+      max_abs = std::max(max_abs, a);
+    }
+    const std::int64_t per_block = 2 * max_abs * 32768;
+    return static_cast<std::size_t>(
+        std::max<std::int64_t>(1, ((std::int64_t{1} << 31) - 1) / per_block));
   }
   static void write_rows(std::ostream& os,
                          const std::vector<std::int16_t>& rows) {
@@ -106,8 +139,23 @@ class FusedKernelTable {
   /// Filter f's fused score over the raw sample streams:
   /// sum_t [ Re R(t) * xi(t) - Im R(t) * xq(t) ], SIMD per sample type.
   Accum accumulate(std::size_t f, const Sample* xi, const Sample* xq) const {
-    return Traits::fused_dot(row_r(f), row_i(f), xi, xq, n_samples_);
+    return Traits::fused_dot(row_r(f), row_i(f), xi, xq, n_samples_, strip_);
   }
+
+  /// Four-stream accumulate for the blocked front-end: filter f's fused
+  /// score for four sample streams sharing one kernel-row pass. Integer
+  /// exactness makes it bit-identical to four accumulate() calls; only
+  /// instantiated for sample types whose traits provide fused_dot_x4.
+  void accumulate4(std::size_t f, const Sample* const* xi,
+                   const Sample* const* xq, Accum* out) const {
+    Traits::fused_dot_x4(row_r(f), row_i(f), xi, xq, n_samples_, strip_, out);
+  }
+
+  /// Recomputes the overflow-safe widening strip from the current codes.
+  /// Builders call this once after minting rows through row_r()/row_i();
+  /// load_rows() re-derives it itself. Until called, strip_ = 1 (always
+  /// safe, just slower).
+  void finalize_strip() { strip_ = Traits::compute_strip(kr_, ki_); }
 
   /// Real rows then imaginary rows, each as one length-prefixed vector —
   /// byte-identical to the layout the front-ends wrote before the table
@@ -133,10 +181,12 @@ class FusedKernelTable {
                        << n_samples_ << " samples per row)");
     Traits::check_codes(kr_);
     Traits::check_codes(ki_);
+    finalize_strip();
   }
 
  private:
   std::size_t n_samples_ = 0;
+  std::size_t strip_ = 1;   ///< Widening strip; see finalize_strip().
   std::vector<Sample> kr_;  ///< Re R, n_filters x n_samples, filter-major.
   std::vector<Sample> ki_;  ///< Im R, same layout.
 };

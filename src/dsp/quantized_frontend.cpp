@@ -94,6 +94,7 @@ QuantizedFrontend QuantizedFrontend::build(const Demodulator& demod,
           -(mf.bias() + static_cast<double>(norm.mean()[j])) / std_dev);
     }
   }
+  fe.table_.finalize_strip();
   return fe;
 }
 
@@ -185,6 +186,64 @@ void QuantizedFrontend::features_into(const IqTrace& trace,
                    static_cast<double>(kMaxAbsFeatureZ));
     scratch.int_features[f] =
         static_cast<std::int32_t>(to_code(z, feature_fmt_));
+  }
+}
+
+void QuantizedFrontend::features_block_into(std::size_t block,
+                                            const IqTrace* const* traces,
+                                            InferenceScratch& scratch,
+                                            std::int32_t* out,
+                                            std::size_t out_stride) const {
+  MLQR_CHECK(n_samples_ > 0);
+  const std::size_t n = n_samples_;
+  // Small shot blocks keep the quantized codes (2 x n int16 per shot) L1
+  // resident while one kernel row pair streams across them; the full code
+  // table then loads once per block of shots instead of once per shot.
+  constexpr std::size_t kShotBlock = 8;
+  scratch.block_trace_i.resize(kShotBlock * n);
+  scratch.block_trace_q.resize(kShotBlock * n);
+  const double code_scale = std::ldexp(1.0, trace_fmt_.frac_bits);
+  const auto lo_code = static_cast<std::int32_t>(trace_fmt_.min_code());
+  const auto hi_code = static_cast<std::int32_t>(trace_fmt_.max_code());
+  const auto quantize_codes = std::fegetround() == FE_TONEAREST
+                                  ? simd::quantize_codes_i16
+                                  : simd::quantize_codes_i16_scalar;
+  for (std::size_t b0 = 0; b0 < block; b0 += kShotBlock) {
+    const std::size_t nb = std::min(kShotBlock, block - b0);
+    for (std::size_t s = 0; s < nb; ++s) {
+      const IqTrace& trace = *traces[b0 + s];
+      trace.check_consistent();
+      MLQR_CHECK_MSG(trace.size() >= n,
+                     "trace shorter than front-end window: " << trace.size()
+                                                             << " < " << n);
+      quantize_codes(trace.i.data(), n, code_scale, lo_code, hi_code,
+                     scratch.block_trace_i.data() + s * n);
+      quantize_codes(trace.q.data(), n, code_scale, lo_code, hi_code,
+                     scratch.block_trace_q.data() + s * n);
+    }
+    const std::int16_t* xi_ptr[kShotBlock];
+    const std::int16_t* xq_ptr[kShotBlock];
+    for (std::size_t s = 0; s < nb; ++s) {
+      xi_ptr[s] = scratch.block_trace_i.data() + s * n;
+      xq_ptr[s] = scratch.block_trace_q.data() + s * n;
+    }
+    for (std::size_t f = 0; f < n_filters(); ++f) {
+      // One kernel-row pass scores four shots at a time (accumulate4);
+      // the int64 sums are exact, so every score — and the double requant
+      // below — is identical to the per-shot features_into chain.
+      std::int64_t accs[kShotBlock];
+      std::size_t s = 0;
+      for (; s + 4 <= nb; s += 4)
+        table_.accumulate4(f, xi_ptr + s, xq_ptr + s, accs + s);
+      for (; s < nb; ++s) accs[s] = table_.accumulate(f, xi_ptr[s], xq_ptr[s]);
+      for (s = 0; s < nb; ++s) {
+        double z = static_cast<double>(accs[s]) * scale_[f] + offset_[f];
+        z = std::clamp(z, -static_cast<double>(kMaxAbsFeatureZ),
+                       static_cast<double>(kMaxAbsFeatureZ));
+        out[(b0 + s) * out_stride + f] =
+            static_cast<std::int32_t>(to_code(z, feature_fmt_));
+      }
+    }
   }
 }
 

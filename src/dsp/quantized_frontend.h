@@ -62,6 +62,17 @@ class QuantizedFrontend {
   /// distinct scratch instances.
   void features_into(const IqTrace& trace, InferenceScratch& scratch) const;
 
+  /// Feature extraction for `block` traces at once, writing shot s's
+  /// feature codes to out[s * out_stride + f]. Bit-identical to
+  /// features_into per shot (same quantize kernels, same per-(filter,
+  /// shot) accumulate + requant chain — only the loop order differs);
+  /// the kernel code table streams once per small shot block instead of
+  /// once per shot, with the quantized trace codes staged L1-resident in
+  /// scratch.block_trace_*.
+  void features_block_into(std::size_t block, const IqTrace* const* traces,
+                           InferenceScratch& scratch, std::int32_t* out,
+                           std::size_t out_stride) const;
+
   std::size_t n_samples() const { return n_samples_; }
   std::size_t n_filters() const { return scale_.size(); }
   std::size_t num_qubits() const { return n_qubits_; }

@@ -107,6 +107,15 @@ void gemm_rows(bool trans_a, bool trans_b, std::size_t row_lo,
 
 }  // namespace
 
+void sgemm_serial(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                  std::size_t k, float alpha, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, float beta, float* c,
+                  std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  gemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
+            ldc);
+}
+
 void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            std::size_t k, float alpha, const float* a, std::size_t lda,
            const float* b, std::size_t ldb, float beta, float* c,

@@ -23,6 +23,17 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            const float* b, std::size_t ldb, float beta, float* c,
            std::size_t ldc);
 
+/// sgemm without the internal parallel_for: always runs on the calling
+/// thread, whatever the problem size. The batched inference path calls
+/// this from inside EngineCore worker slots, where nesting another
+/// thread-pool fan-out would deadlock-prone-ly re-enter the shared pool.
+/// Same kernels as sgemm, so results are bit-identical to the serial
+/// branch of sgemm.
+void sgemm_serial(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                  std::size_t k, float alpha, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, float beta, float* c,
+                  std::size_t ldc);
+
 /// y = A * x (+ bias) for row-major A (m x n). Used on the inference path
 /// where batch size is 1 and GEMM overhead would dominate.
 void sgemv(std::size_t m, std::size_t n, const float* a, std::size_t lda,

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/serialize.h"
+#include "common/simd.h"
 #include "linalg/gemm.h"
 #include "nn/dense_stack.h"
 
@@ -93,15 +94,57 @@ std::vector<float> Mlp::forward_batch(std::span<const float> x,
     // Z = A * W^T.
     sgemm(false, true, batch, layer.out, layer.in, 1.0f, act.data(), act_dim,
           layer.w.data(), layer.in, 0.0f, z.data(), layer.out);
-    for (std::size_t r = 0; r < batch; ++r)
-      for (std::size_t c = 0; c < layer.out; ++c)
-        z[r * layer.out + c] += layer.b[c];
-    if (l + 1 < layers_.size())
-      for (float& v : z) v = std::max(v, 0.0f);
+    // One vectorized pass per row folds the bias broadcast and the ReLU
+    // together (simd::add_bias_relu_f32) instead of the old scalar double
+    // loop plus a second sweep.
+    const bool last = l + 1 == layers_.size();
+    for (std::size_t r = 0; r < batch; ++r) {
+      float* zrow = z.data() + r * layer.out;
+      if (last)
+        simd::add_bias_f32(zrow, layer.b.data(), layer.out);
+      else
+        simd::add_bias_relu_f32(zrow, layer.b.data(), layer.out);
+    }
     act = std::move(z);
     act_dim = layer.out;
   }
   return act;
+}
+
+void Mlp::classify_batch_into(std::size_t batch, const float* features,
+                              std::vector<float>& act_a,
+                              std::vector<float>& act_b, int* labels,
+                              std::size_t label_stride) const {
+  if (batch == 0) return;
+  const float* cur = features;
+  std::size_t cur_dim = input_size();
+  std::vector<float>* next = &act_a;
+  std::vector<float>* other = &act_b;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const DenseLayer& layer = layers_[l];
+    next->resize(batch * layer.out);
+    // Z = A * W^T, one GEMM for the whole micro-batch: the weight matrix
+    // streams through cache once per batch instead of once per shot.
+    // Serial on purpose — this runs inside EngineCore worker slots, and
+    // sgemm's own parallel_for would re-enter the shared pool.
+    sgemm_serial(false, true, batch, layer.out, layer.in, 1.0f, cur, cur_dim,
+                 layer.w.data(), layer.in, 0.0f, next->data(), layer.out);
+    const bool last = l + 1 == layers_.size();
+    for (std::size_t r = 0; r < batch; ++r) {
+      float* zrow = next->data() + r * layer.out;
+      if (last)
+        simd::add_bias_f32(zrow, layer.b.data(), layer.out);
+      else
+        simd::add_bias_relu_f32(zrow, layer.b.data(), layer.out);
+    }
+    cur = next->data();
+    cur_dim = layer.out;
+    std::swap(next, other);
+  }
+  const std::size_t out_dim = output_size();
+  for (std::size_t r = 0; r < batch; ++r)
+    labels[r * label_stride] =
+        argmax_tie_low(std::span<const float>(cur + r * out_dim, out_dim));
 }
 
 void Mlp::quantize(const FixedPointFormat& fmt) {

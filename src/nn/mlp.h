@@ -66,6 +66,20 @@ class Mlp {
   std::vector<float> forward_batch(std::span<const float> x,
                                    std::size_t batch) const;
 
+  /// Batched argmax classify: one serial GEMM per layer over `batch`
+  /// feature rows (row-major, batch x input_size()) with a shared
+  /// vectorized bias(+ReLU) epilogue, then per-row argmax into
+  /// labels[r * label_stride]. act_a/act_b are row-major ping-pong
+  /// activation matrices that reuse their capacity call-to-call (the
+  /// per-worker scratch path). Labels are bit-identical to
+  /// predict_reusing on every row — the GEMM evaluates the same dot
+  /// kernels with the same output blocking as sgemv, and a +-0.0
+  /// difference from the split bias add cannot flip an argmax.
+  void classify_batch_into(std::size_t batch, const float* features,
+                           std::vector<float>& act_a,
+                           std::vector<float>& act_b, int* labels,
+                           std::size_t label_stride) const;
+
   /// Rounds every weight and bias onto the fixed-point grid (in place).
   void quantize(const FixedPointFormat& fmt);
 

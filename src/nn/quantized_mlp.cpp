@@ -231,6 +231,104 @@ int QuantizedMlp::predict(std::span<const std::int32_t> x,
   return argmax_tie_low(std::span<const std::int64_t>(logits));
 }
 
+void QuantizedMlp::classify_batch_into(std::size_t batch,
+                                       const std::int32_t* features,
+                                       std::vector<std::int16_t>& act_a,
+                                       std::vector<std::int16_t>& act_b,
+                                       std::vector<std::int64_t>& logits,
+                                       int* labels,
+                                       std::size_t label_stride) const {
+  if (batch == 0) return;
+  const std::size_t in_dim = input_size();
+  const std::size_t out_dim = output_size();
+
+  // Shot-lane schedule: within a block of up to kShotBlock shots,
+  // activations live transposed ([dim][shot]) so the innermost loop runs
+  // contiguously across shots with the weight broadcast. The readout
+  // heads are narrow (tens of inputs), so per-shot dot products spend
+  // most of their time in vector tails and horizontal reductions; across
+  // shots every lane is full regardless of layer width. Integer
+  // arithmetic is exact, so the reordering is bit-identical to
+  // logits_into by construction.
+  constexpr std::size_t kShotBlock = 128;
+
+  std::size_t max_dim = in_dim;
+  for (const QuantizedDenseLayer& layer : layers_)
+    max_dim = std::max(max_dim, layer.out);
+  act_a.resize(max_dim * kShotBlock);
+  act_b.resize(max_dim * kShotBlock);
+  logits.resize(out_dim * kShotBlock);
+
+  for (std::size_t s0 = 0; s0 < batch; s0 += kShotBlock) {
+    const std::size_t nb = std::min(kShotBlock, batch - s0);
+    // Stage the block transposed, with the same value-preserving
+    // int32 -> int16 narrowing as logits_into.
+    for (std::size_t i = 0; i < in_dim; ++i)
+      for (std::size_t s = 0; s < nb; ++s)
+        act_a[i * kShotBlock + s] =
+            static_cast<std::int16_t>(features[(s0 + s) * in_dim + i]);
+    std::vector<std::int16_t>* cur = &act_a;
+    std::vector<std::int16_t>* next = &act_b;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const QuantizedDenseLayer& layer = layers_[l];
+      const bool last = l + 1 == layers_.size();
+      const int shift =
+          last ? 0
+               : layer.in_fmt.frac_bits + layer.weight_fmt.frac_bits -
+                     layers_[l + 1].in_fmt.frac_bits;
+      // int32 lane accumulators stay exact for `strip` consecutive
+      // inputs: |w| <= 2^(Tw-1) and |act| <= 2^(Ta-1) bound every
+      // product, and the strip flushes into the int64 accumulator
+      // before the partial sum can reach 2^31.
+      const std::int64_t max_prod =
+          (std::int64_t{1} << (layer.weight_fmt.total_bits - 1)) *
+          (std::int64_t{1} << (layer.in_fmt.total_bits - 1));
+      const std::size_t strip = static_cast<std::size_t>(
+          std::max<std::int64_t>(1, (std::int64_t{1} << 31) / max_prod - 1));
+      for (std::size_t j = 0; j < layer.out; ++j) {
+        const std::int16_t* wrow = layer.w.data() + j * layer.in;
+        std::int64_t acc64[kShotBlock];
+        std::int32_t acc32[kShotBlock];
+        std::fill(acc64, acc64 + nb, std::int64_t{0});
+        for (std::size_t i0 = 0; i0 < layer.in; i0 += strip) {
+          const std::size_t ie = std::min(layer.in, i0 + strip);
+          std::fill(acc32, acc32 + nb, 0);
+          for (std::size_t i = i0; i < ie; ++i) {
+            const std::int32_t w = wrow[i];
+            const std::int16_t* in_row = cur->data() + i * kShotBlock;
+            for (std::size_t s = 0; s < nb; ++s)
+              acc32[s] += w * in_row[s];
+          }
+          for (std::size_t s = 0; s < nb; ++s) acc64[s] += acc32[s];
+        }
+        // Epilogue: the exact per-(shot, output) chain of logits_into.
+        for (std::size_t s = 0; s < nb; ++s) {
+          std::int64_t acc = layer.b[j] + acc64[s];
+          acc = saturate_to_bits(acc, cfg_.accum_bits);
+          if (last) {
+            logits[j * kShotBlock + s] = acc;
+          } else {
+            if (acc < 0) acc = 0;  // ReLU in the integer domain.
+            const std::int64_t code = saturate_to_bits(
+                shift_round_half_even(acc, shift), cfg_.activation_bits);
+            (*next)[j * kShotBlock + s] = static_cast<std::int16_t>(code);
+          }
+        }
+      }
+      std::swap(cur, next);
+    }
+    // Strided argmax over the transposed logits — same strictly-greater
+    // tie-low rule as argmax_tie_low.
+    for (std::size_t s = 0; s < nb; ++s) {
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < out_dim; ++j)
+        if (logits[j * kShotBlock + s] > logits[best * kShotBlock + s])
+          best = j;
+      labels[(s0 + s) * label_stride] = static_cast<int>(best);
+    }
+  }
+}
+
 int QuantizedMlp::logit_frac_bits() const {
   MLQR_CHECK(!layers_.empty());
   const QuantizedDenseLayer& last = layers_.back();

@@ -78,6 +78,21 @@ class QuantizedMlp {
               std::vector<std::int16_t>& act_a,
               std::vector<std::int16_t>& act_b) const;
 
+  /// Batched argmax classify over `batch` feature rows (row-major int32
+  /// codes, batch x input_size()): shots are processed in shot-lane
+  /// blocks — activations transposed to [dim][shot] so the inner loop
+  /// runs contiguously across shots with a broadcast weight, giving full
+  /// SIMD lanes even on the narrow hidden layers where per-shot dots are
+  /// all tail. Integer arithmetic is exact, so reordering is free: labels
+  /// (written to labels[s * label_stride]) are bit-identical to predict
+  /// on every row. act_a/act_b/logits are scratch matrices reusing
+  /// capacity call-to-call.
+  void classify_batch_into(std::size_t batch, const std::int32_t* features,
+                           std::vector<std::int16_t>& act_a,
+                           std::vector<std::int16_t>& act_b,
+                           std::vector<std::int64_t>& logits, int* labels,
+                           std::size_t label_stride) const;
+
   /// Fraction bits of the emitted logit codes.
   int logit_frac_bits() const;
   /// Real value of one logit step (2^-logit_frac_bits()).

@@ -37,6 +37,26 @@ concept ReadoutBackend =
       { d.name() } -> std::convertible_to<std::string>;
     };
 
+/// A ReadoutBackend that can additionally classify a contiguous shot range
+/// as one batch: per-shot feature extraction gathered into a tile, the MLP
+/// stage run as one GEMM (or weight-row-outer integer sweep) per layer,
+/// labels scattered back through labels_at. The contract is strict
+/// bit-identity with classify_into on every shot — batching is a pure
+/// execution-schedule change, which is what lets EngineCore pick the path
+/// per group without affecting results. Designs without a batch
+/// formulation (FNN, HERQULES, LDA/QDA) simply don't satisfy this and are
+/// served per-shot.
+template <typename D>
+concept BatchedReadoutBackend =
+    ReadoutBackend<D> &&
+    requires(const D& d, std::size_t lo, std::size_t hi,
+             const ShotFrameAt& frame_at, InferenceScratch& scratch,
+             const ShotLabelsAt& labels_at) {
+      {
+        d.classify_batch_into(lo, hi, frame_at, scratch, labels_at)
+      } -> std::same_as<void>;
+    };
+
 /// A ReadoutBackend that also round-trips through the binary snapshot
 /// format: save(os) writes the payload the static load(is) reads back
 /// bit-identically, and samples_used() reports the trace window so the

@@ -44,28 +44,64 @@ void EngineCore::classify(std::size_t n, const FrameAt& frame_at,
                                     std::max<std::size_t>(n / per_thread, 1));
   if (scratch_.size() < workers) scratch_.resize(workers);
 
+  // Per-shot latency sampling has no batched meaning, so micros forces the
+  // per-shot schedule. Labels are bit-identical either way.
+  const bool batched = cfg_.batched_inference && micros == nullptr;
+
   parallel_for_slots(
       0, n, workers, [&](std::size_t slot, std::size_t lo, std::size_t hi) {
         InferenceScratch& scratch = scratch_[slot];
-        for (std::size_t s = lo; s < hi; ++s) {
-          const auto run_shot = [&] {
-            if (micros) {
-              Timer shot_timer;
-              backend_at(s).classify_into(frame_at(s), scratch, labels_at(s));
-              micros[s] = shot_timer.seconds() * 1e6;
+        const auto run_per_shot = [&](std::size_t b, std::size_t e) {
+          for (std::size_t s = b; s < e; ++s) {
+            const auto run_shot = [&] {
+              if (micros) {
+                Timer shot_timer;
+                backend_at(s).classify_into(frame_at(s), scratch,
+                                            labels_at(s));
+                micros[s] = shot_timer.seconds() * 1e6;
+              } else {
+                backend_at(s).classify_into(frame_at(s), scratch,
+                                            labels_at(s));
+              }
+            };
+            if (errors) {
+              try {
+                run_shot();
+              } catch (...) {
+                errors[s] = std::current_exception();
+              }
             } else {
-              backend_at(s).classify_into(frame_at(s), scratch, labels_at(s));
-            }
-          };
-          if (errors) {
-            try {
               run_shot();
+            }
+          }
+        };
+
+        if (!batched) {
+          run_per_shot(lo, hi);
+          return;
+        }
+        // Group contiguous runs served by the same backend instance (the
+        // BackendAt contract returns stable references, so the address
+        // identifies the shard) and push each large-enough group through
+        // the batched path. A throwing batch re-runs per-shot so the
+        // failure lands on the exact shots: per-shot classify is pure and
+        // rewrites every label the batch may have partially written.
+        std::size_t s = lo;
+        while (s < hi) {
+          const EngineBackend& be = backend_at(s);
+          std::size_t e = s + 1;
+          while (e < hi && &backend_at(e) == &be) ++e;
+          if (be.supports_batch() && e - s >= kMinGroupForGemm) {
+            try {
+              be.classify_batch_into(s, e, frame_at, scratch, labels_at);
             } catch (...) {
-              errors[s] = std::current_exception();
+              if (!errors) throw;
+              run_per_shot(s, e);
             }
           } else {
-            run_shot();
+            run_per_shot(s, e);
           }
+          s = e;
         }
       });
 }

@@ -55,6 +55,14 @@ struct EngineConfig {
   /// Record a per-shot wall-clock sample (two steady_clock reads per shot)
   /// for LatencyStats. Off for peak throughput.
   bool record_shot_latency = false;
+  /// Serve backends that support it (BatchedReadoutBackend) through their
+  /// batched-GEMM path: contiguous same-backend shot runs inside a worker's
+  /// range classify as one tile instead of shot-by-shot. Labels are
+  /// bit-identical either way (the batch contract); this knob exists so
+  /// benches can measure per-shot vs batched and tests can pin the
+  /// equivalence. record_shot_latency forces the per-shot path — a batch
+  /// has no per-shot wall clock.
+  bool batched_inference = true;
 };
 
 /// One processed batch: per-qubit level assignments for every frame, flat
@@ -83,24 +91,43 @@ class EngineBackend {
  public:
   using ClassifyInto =
       std::function<void(const IqTrace&, InferenceScratch&, std::span<int>)>;
+  using ClassifyBatchInto =
+      std::function<void(std::size_t, std::size_t, const ShotFrameAt&,
+                         InferenceScratch&, const ShotLabelsAt&)>;
 
   EngineBackend() = default;
-  EngineBackend(std::string name, std::size_t n_qubits, ClassifyInto fn)
-      : name_(std::move(name)), n_qubits_(n_qubits), fn_(std::move(fn)) {}
+  EngineBackend(std::string name, std::size_t n_qubits, ClassifyInto fn,
+                ClassifyBatchInto batch_fn = {})
+      : name_(std::move(name)),
+        n_qubits_(n_qubits),
+        fn_(std::move(fn)),
+        batch_fn_(std::move(batch_fn)) {}
 
   const std::string& name() const { return name_; }
   std::size_t num_qubits() const { return n_qubits_; }
   bool valid() const { return static_cast<bool>(fn_); }
+  /// True when the wrapped design exposes the batched-GEMM path
+  /// (BatchedReadoutBackend). EngineCore falls back to per-shot serving
+  /// otherwise — same labels, different schedule.
+  bool supports_batch() const { return static_cast<bool>(batch_fn_); }
 
   void classify_into(const IqTrace& trace, InferenceScratch& scratch,
                      std::span<int> out) const {
     fn_(trace, scratch, out);
   }
 
+  void classify_batch_into(std::size_t lo, std::size_t hi,
+                           const ShotFrameAt& frame_at,
+                           InferenceScratch& scratch,
+                           const ShotLabelsAt& labels_at) const {
+    batch_fn_(lo, hi, frame_at, scratch, labels_at);
+  }
+
  private:
   std::string name_;
   std::size_t n_qubits_ = 0;
   ClassifyInto fn_;
+  ClassifyBatchInto batch_fn_;
 };
 
 /// Wraps any ReadoutBackend in a type-erased EngineBackend. Non-owning:
@@ -111,11 +138,20 @@ class EngineBackend {
 /// satisfying the concept, with no engine-side registration.
 template <ReadoutBackend D>
 EngineBackend make_backend(const D& d) {
+  EngineBackend::ClassifyBatchInto batch_fn;
+  if constexpr (BatchedReadoutBackend<D>) {
+    batch_fn = [&d](std::size_t lo, std::size_t hi,
+                    const ShotFrameAt& frame_at, InferenceScratch& s,
+                    const ShotLabelsAt& labels_at) {
+      d.classify_batch_into(lo, hi, frame_at, s, labels_at);
+    };
+  }
   return EngineBackend(
       d.name(), d.num_qubits(),
       [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
         d.classify_into(t, s, out);
-      });
+      },
+      std::move(batch_fn));
 }
 
 /// The classification machinery shared by the synchronous ReadoutEngine
@@ -130,9 +166,14 @@ class EngineCore {
 
   const EngineConfig& config() const { return cfg_; }
 
-  using FrameAt = std::function<const IqTrace&(std::size_t)>;
+  /// Groups smaller than this classify per-shot even on a batch-capable
+  /// backend — tile setup (gathers, matrix resizes) costs more than it
+  /// saves under a handful of shots.
+  static constexpr std::size_t kMinGroupForGemm = 8;
+
+  using FrameAt = ShotFrameAt;
   using BackendAt = std::function<const EngineBackend&(std::size_t)>;
-  using LabelsAt = std::function<std::span<int>(std::size_t)>;
+  using LabelsAt = ShotLabelsAt;
 
   /// Classifies shots 0..n-1: backend_at(s) picks the (shard) backend for
   /// shot s, frame_at(s) its trace, labels_at(s) the destination span.
@@ -141,14 +182,23 @@ class EngineCore {
   /// worker gets >= min_shots_per_thread shots; each worker slot reuses
   /// its own scratch, so steady-state calls allocate nothing.
   ///
+  /// When cfg.batched_inference is set and micros is null, contiguous runs
+  /// of shots sharing one batch-capable backend (same EngineBackend
+  /// address) inside a worker's range classify through the batched-GEMM
+  /// path instead of shot-by-shot; groups under kMinGroupForGemm and
+  /// backends without a batch path stay per-shot. Labels are bit-identical
+  /// either way (the BatchedReadoutBackend contract).
+  ///
   /// When `errors` is non-null it must point at n entries; a backend that
   /// throws classifying shot s fails only that shot — the exception lands
   /// in errors[s] (workers write disjoint indices, so no synchronization)
-  /// and the remaining shots still classify. When null, the first escaping
-  /// exception propagates out of classify() as before — the synchronous
-  /// ReadoutEngine keeps that contract; the StreamingEngine dispatcher
-  /// passes a sink so one faulty shard shot poisons one ticket, not its
-  /// whole micro-batch.
+  /// and the remaining shots still classify (a throwing batch group is
+  /// re-run per-shot to attribute the failure to the exact shots; per-shot
+  /// classify is pure, so the overwrite is safe). When null, the first
+  /// escaping exception propagates out of classify() as before — the
+  /// synchronous ReadoutEngine keeps that contract; the StreamingEngine
+  /// dispatcher passes a sink so one faulty shard shot poisons one ticket,
+  /// not its whole micro-batch.
   void classify(std::size_t n, const FrameAt& frame_at,
                 const BackendAt& backend_at, const LabelsAt& labels_at,
                 double* micros, std::exception_ptr* errors = nullptr);

@@ -30,7 +30,7 @@ Header read_header(std::istream& is) {
                  "snapshot version " << version << " unsupported (this build "
                      << "reads version " << kSnapshotVersion << ')');
   const std::uint8_t kind = io::read_u8(is);
-  MLQR_CHECK_MSG(kind <= static_cast<std::uint8_t>(SnapshotKind::kGaussian),
+  MLQR_CHECK_MSG(kind <= static_cast<std::uint8_t>(SnapshotKind::kInt8),
                  "unknown snapshot kind " << static_cast<int>(kind));
   Header h;
   h.kind = static_cast<SnapshotKind>(kind);
@@ -53,12 +53,13 @@ BackendSnapshot load_as(std::istream& is) {
   return BackendSnapshot::wrap(D::load(is));
 }
 
-constexpr std::array<Codec, 5> kCodecs{{
+constexpr std::array<Codec, 6> kCodecs{{
     {SnapshotKind::kFloat, &load_as<ProposedDiscriminator>},
     {SnapshotKind::kInt16, &load_as<QuantizedProposedDiscriminator>},
     {SnapshotKind::kFnn, &load_as<FnnDiscriminator>},
     {SnapshotKind::kHerqules, &load_as<HerqulesDiscriminator>},
     {SnapshotKind::kGaussian, &load_as<GaussianShotDiscriminator>},
+    {SnapshotKind::kInt8, &load_as<Quantized8ProposedDiscriminator>},
 }};
 
 }  // namespace

@@ -51,6 +51,7 @@
 #include "discrim/gaussian_discriminator.h"
 #include "discrim/herqules_baseline.h"
 #include "discrim/proposed.h"
+#include "discrim/quantized8_proposed.h"
 #include "discrim/quantized_proposed.h"
 #include "pipeline/backend_trait.h"
 #include "pipeline/readout_engine.h"
@@ -68,7 +69,8 @@ enum class SnapshotKind : std::uint8_t {
   kFnn = 2,       ///< FnnDiscriminator (raw-trace joint-head baseline).
   kHerqules = 3,  ///< HerqulesDiscriminator (MF + joint-head baseline).
   kGaussian = 4,  ///< GaussianShotDiscriminator (LDA/QDA baselines).
-  // 5 is reserved for the planned int8 datapath (see the manifest).
+  kInt8 = 5,      ///< Quantized8ProposedDiscriminator (int8 datapath).
+  // 6 is the next free value (see the manifest).
 };
 
 inline constexpr std::uint32_t kSnapshotVersion = 1;
@@ -98,6 +100,10 @@ struct SnapshotTraits<HerqulesDiscriminator> {
 template <>
 struct SnapshotTraits<GaussianShotDiscriminator> {
   static constexpr SnapshotKind kKind = SnapshotKind::kGaussian;
+};
+template <>
+struct SnapshotTraits<Quantized8ProposedDiscriminator> {
+  static constexpr SnapshotKind kKind = SnapshotKind::kInt8;
 };
 
 /// A SnapshotableBackend that is also registered with the kind registry —
@@ -132,11 +138,20 @@ class BackendSnapshot {
     snap.n_qubits_ = p->num_qubits();
     snap.n_samples_ = p->samples_used();
     snap.type_ = &typeid(D);
+    EngineBackend::ClassifyBatchInto batch_fn;
+    if constexpr (BatchedReadoutBackend<D>) {
+      batch_fn = [p](std::size_t lo, std::size_t hi,
+                     const ShotFrameAt& frame_at, InferenceScratch& s,
+                     const ShotLabelsAt& labels_at) {
+        p->classify_batch_into(lo, hi, frame_at, s, labels_at);
+      };
+    }
     snap.backend_ = EngineBackend(
         p->name(), p->num_qubits(),
         [p](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
           p->classify_into(t, s, out);
-        });
+        },
+        std::move(batch_fn));
     snap.save_ = [](std::ostream& os, const void* raw) {
       save_backend(os, *static_cast<const D*>(raw));
     };

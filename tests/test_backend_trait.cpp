@@ -15,6 +15,7 @@
 #include "discrim/gaussian_discriminator.h"
 #include "discrim/herqules_baseline.h"
 #include "discrim/proposed.h"
+#include "discrim/quantized8_proposed.h"
 #include "discrim/quantized_proposed.h"
 #include "pipeline/snapshot.h"
 #include "pipeline/streaming_engine.h"
@@ -27,6 +28,7 @@ namespace {
 
 static_assert(ReadoutBackend<ProposedDiscriminator>);
 static_assert(ReadoutBackend<QuantizedProposedDiscriminator>);
+static_assert(ReadoutBackend<Quantized8ProposedDiscriminator>);
 static_assert(ReadoutBackend<FnnDiscriminator>);
 static_assert(ReadoutBackend<HerqulesDiscriminator>);
 static_assert(ReadoutBackend<GaussianShotDiscriminator>);
@@ -34,8 +36,18 @@ static_assert(ReadoutBackend<GaussianShotDiscriminator>);
 // be composed (a shard is just another backend).
 static_assert(ReadoutBackend<EngineBackend>);
 
+// The three OURS designs expose the batched-GEMM entry point; the
+// baseline designs stay per-shot and the engine must treat them so.
+static_assert(BatchedReadoutBackend<ProposedDiscriminator>);
+static_assert(BatchedReadoutBackend<QuantizedProposedDiscriminator>);
+static_assert(BatchedReadoutBackend<Quantized8ProposedDiscriminator>);
+static_assert(!BatchedReadoutBackend<FnnDiscriminator>);
+static_assert(!BatchedReadoutBackend<HerqulesDiscriminator>);
+static_assert(!BatchedReadoutBackend<GaussianShotDiscriminator>);
+
 static_assert(SnapshotableBackend<ProposedDiscriminator>);
 static_assert(SnapshotableBackend<QuantizedProposedDiscriminator>);
+static_assert(SnapshotableBackend<Quantized8ProposedDiscriminator>);
 static_assert(SnapshotableBackend<FnnDiscriminator>);
 static_assert(SnapshotableBackend<HerqulesDiscriminator>);
 static_assert(SnapshotableBackend<GaussianShotDiscriminator>);
@@ -44,6 +56,7 @@ static_assert(!SnapshotableBackend<EngineBackend>);
 
 static_assert(RegisteredSnapshotBackend<ProposedDiscriminator>);
 static_assert(RegisteredSnapshotBackend<QuantizedProposedDiscriminator>);
+static_assert(RegisteredSnapshotBackend<Quantized8ProposedDiscriminator>);
 static_assert(RegisteredSnapshotBackend<FnnDiscriminator>);
 static_assert(RegisteredSnapshotBackend<HerqulesDiscriminator>);
 static_assert(RegisteredSnapshotBackend<GaussianShotDiscriminator>);
@@ -52,6 +65,8 @@ static_assert(SnapshotTraits<ProposedDiscriminator>::kKind ==
               SnapshotKind::kFloat);
 static_assert(SnapshotTraits<QuantizedProposedDiscriminator>::kKind ==
               SnapshotKind::kInt16);
+static_assert(SnapshotTraits<Quantized8ProposedDiscriminator>::kKind ==
+              SnapshotKind::kInt8);
 static_assert(SnapshotTraits<FnnDiscriminator>::kKind == SnapshotKind::kFnn);
 static_assert(SnapshotTraits<HerqulesDiscriminator>::kKind ==
               SnapshotKind::kHerqules);
@@ -66,6 +81,7 @@ struct Fixture {
   ReadoutDataset ds;
   ProposedDiscriminator proposed;
   QuantizedProposedDiscriminator quantized;
+  Quantized8ProposedDiscriminator quantized8;
   FnnDiscriminator fnn;
   HerqulesDiscriminator herqules;
   GaussianShotDiscriminator lda;
@@ -84,6 +100,8 @@ struct Fixture {
           ds.shots, ds.training_labels, ds.train_idx, ds.chip, pcfg);
       QuantizedProposedDiscriminator q =
           QuantizedProposedDiscriminator::quantize(p, ds.shots, ds.train_idx);
+      Quantized8ProposedDiscriminator q8 =
+          Quantized8ProposedDiscriminator::quantize(p, ds.shots, ds.train_idx);
       FnnConfig fcfg;
       fcfg.trainer.epochs = 2;
       FnnDiscriminator f = FnnDiscriminator::train(
@@ -100,8 +118,8 @@ struct Fixture {
       GaussianShotDiscriminator qda = GaussianShotDiscriminator::train(
           ds.shots, ds.training_labels, ds.train_idx, ds.chip, gcfg);
       return Fixture{std::move(ds),  std::move(p),   std::move(q),
-                     std::move(f),   std::move(h),   std::move(lda),
-                     std::move(qda)};
+                     std::move(q8),  std::move(f),   std::move(h),
+                     std::move(lda), std::move(qda)};
     }();
     return fx;
   }
@@ -120,13 +138,17 @@ std::vector<int> reference_labels(const D& d,
 }
 
 /// Labels through ReadoutEngine with an explicit worker budget, assembled
-/// from sub-batches of at most `batch` shots.
+/// from sub-batches of at most `batch` shots. `batched` selects between
+/// the per-shot GEMV schedule and the batched-GEMM schedule — the labels
+/// must not depend on the choice.
 std::vector<int> engine_labels(const EngineBackend& backend,
                                const std::vector<IqTrace>& traces,
-                               std::size_t batch, std::size_t threads) {
+                               std::size_t batch, std::size_t threads,
+                               bool batched = true) {
   EngineConfig cfg;
   cfg.threads = threads;
   cfg.min_shots_per_thread = 1;
+  cfg.batched_inference = batched;
   ReadoutEngine engine(backend, cfg);
   std::vector<int> labels;
   for (std::size_t start = 0; start < traces.size(); start += batch) {
@@ -166,8 +188,12 @@ void expect_bit_identical_across_knobs(const D& d, const char* what) {
   for (std::size_t batch :
        {std::size_t{1}, std::size_t{7}, std::size_t{64}, traces.size()})
     for (std::size_t threads : {1u, 2u, 4u})
-      EXPECT_EQ(engine_labels(make_backend(d), traces, batch, threads), ref)
-          << what << ": batch " << batch << ", " << threads << " threads";
+      for (bool batched : {false, true})
+        EXPECT_EQ(
+            engine_labels(make_backend(d), traces, batch, threads, batched),
+            ref)
+            << what << ": batch " << batch << ", " << threads << " threads, "
+            << (batched ? "batched" : "per-shot");
   for (std::size_t shards : {1u, 2u, 3u})
     EXPECT_EQ(streamed_labels(make_backend(d), traces, shards), ref)
         << what << ": " << shards << " shards";
@@ -179,6 +205,10 @@ TEST(BackendTrait, FloatBitIdenticalAcrossBatchThreadShardGrid) {
 
 TEST(BackendTrait, Int16BitIdenticalAcrossBatchThreadShardGrid) {
   expect_bit_identical_across_knobs(Fixture::get().quantized, "int16");
+}
+
+TEST(BackendTrait, Int8BitIdenticalAcrossBatchThreadShardGrid) {
+  expect_bit_identical_across_knobs(Fixture::get().quantized8, "int8");
 }
 
 // ---- snapshot round trips for the kinds the registry gained -------------
@@ -205,6 +235,11 @@ void expect_roundtrip_bit_identical(const D& d, SnapshotKind kind) {
   std::stringstream orig;
   save_backend(orig, d);
   EXPECT_EQ(out.str(), orig.str());
+}
+
+TEST(BackendTrait, Int8SnapshotRoundTrip) {
+  expect_roundtrip_bit_identical(Fixture::get().quantized8,
+                                 SnapshotKind::kInt8);
 }
 
 TEST(BackendTrait, FnnSnapshotRoundTrip) {

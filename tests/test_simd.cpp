@@ -43,7 +43,9 @@ std::vector<std::int16_t> random_codes(Rng& rng, std::size_t n, int lo,
 
 TEST(Simd, TierIsKnown) {
   const std::string t = simd::tier();
-  EXPECT_TRUE(t == "avx2" || t == "sse2" || t == "neon" || t == "scalar") << t;
+  EXPECT_TRUE(t == "avx512-vnni" || t == "avx-vnni" || t == "avx2" ||
+              t == "sse2" || t == "neon" || t == "scalar")
+      << t;
 }
 
 TEST(Simd, DotI16BitExact) {
@@ -85,6 +87,147 @@ TEST(Simd, FusedDotI16BitExact) {
               simd::fused_dot_i16_scalar(kr.data(), ki.data(), xi.data(),
                                          xq.data(), n))
         << "n=" << n;
+  }
+}
+
+TEST(Simd, FusedDotI16StripBitExact) {
+  // The strip-mined widening must be bit-identical to the scalar loop for
+  // every strip the caller contract admits: kernel codes bounded by
+  // max_abs, strip * 2 * max_abs * 2^15 <= 2^31 - 1. Cover narrow codes
+  // with deep strips, full-range codes (strip collapses to 1), and strips
+  // that do not divide the block count.
+  Rng rng(21);
+  const struct {
+    std::int16_t max_abs;
+    std::size_t strip;
+  } kCases[] = {{2047, 16}, {2047, 7}, {127, 256}, {32767, 1}, {511, 3}};
+  for (const auto& c : kCases) {
+    for (std::size_t n : kLengths) {
+      const std::vector<std::int16_t> kr =
+          random_codes(rng, n, -c.max_abs, c.max_abs);
+      const std::vector<std::int16_t> ki =
+          random_codes(rng, n, -c.max_abs, c.max_abs);
+      const std::vector<std::int16_t> xi = random_codes(rng, n, -32768, 32767);
+      const std::vector<std::int16_t> xq = random_codes(rng, n, -32768, 32767);
+      EXPECT_EQ(simd::fused_dot_i16_strip(kr.data(), ki.data(), xi.data(),
+                                          xq.data(), n, c.strip),
+                simd::fused_dot_i16_scalar(kr.data(), ki.data(), xi.data(),
+                                           xq.data(), n))
+          << "n=" << n << " strip=" << c.strip << " max_abs=" << c.max_abs;
+    }
+  }
+}
+
+TEST(Simd, FusedDotI16StripExtremeOperandsBitExact) {
+  // Saturate the strip bound exactly: max_abs = 2047 admits strip 16
+  // (16 * 2 * 2047 * 32768 = 2146435072 <= 2^31 - 1). Every product at
+  // the extreme corner so any premature int32 wrap would show.
+  const std::size_t n = 4096;
+  std::vector<std::int16_t> kr(n, 2047), ki(n, -2047);
+  std::vector<std::int16_t> xi(n, -32768), xq(n, -32768);
+  const std::int64_t expect =
+      static_cast<std::int64_t>(n) * (2047LL * -32768LL - 2047LL * 32768LL);
+  EXPECT_EQ(simd::fused_dot_i16_strip(kr.data(), ki.data(), xi.data(),
+                                      xq.data(), n, 16),
+            expect);
+  EXPECT_EQ(simd::fused_dot_i16_strip(kr.data(), ki.data(), xi.data(),
+                                      xq.data(), n, 16),
+            simd::fused_dot_i16_scalar(kr.data(), ki.data(), xi.data(),
+                                       xq.data(), n));
+}
+
+TEST(Simd, FusedDotI16StripX4BitExact) {
+  // The four-stream kernel must emit exactly what four scalar calls emit,
+  // for deep strips, the strip < 4 fallback, and full-range trace codes.
+  Rng rng(22);
+  const struct {
+    std::int16_t max_abs;
+    std::size_t strip;
+  } kCases[] = {{2047, 16}, {511, 3}, {32767, 1}, {127, 256}};
+  for (const auto& c : kCases) {
+    for (std::size_t n : kLengths) {
+      const std::vector<std::int16_t> kr =
+          random_codes(rng, n, -c.max_abs, c.max_abs);
+      const std::vector<std::int16_t> ki =
+          random_codes(rng, n, -c.max_abs, c.max_abs);
+      std::vector<std::int16_t> xi[4], xq[4];
+      const std::int16_t* xi_ptr[4];
+      const std::int16_t* xq_ptr[4];
+      for (int s = 0; s < 4; ++s) {
+        xi[s] = random_codes(rng, n, -32768, 32767);
+        xq[s] = random_codes(rng, n, -32768, 32767);
+        xi_ptr[s] = xi[s].data();
+        xq_ptr[s] = xq[s].data();
+      }
+      std::int64_t out[4];
+      simd::fused_dot_i16_strip_x4(kr.data(), ki.data(), xi_ptr, xq_ptr, n,
+                                   c.strip, out);
+      for (int s = 0; s < 4; ++s)
+        EXPECT_EQ(out[s], simd::fused_dot_i16_scalar(kr.data(), ki.data(),
+                                                     xi_ptr[s], xq_ptr[s], n))
+            << "n=" << n << " s=" << s << " strip=" << c.strip;
+    }
+  }
+}
+
+TEST(Simd, DotU8I8BitExact) {
+  Rng rng(15);
+  for (std::size_t n : kLengths) {
+    std::vector<std::uint8_t> u(n);
+    std::vector<std::int8_t> w(n);
+    for (auto& x : u)
+      x = static_cast<std::uint8_t>(rng.uniform() * 256.0);
+    for (auto& x : w)
+      x = static_cast<std::int8_t>(-128 + static_cast<int>(rng.uniform() * 256.0));
+    EXPECT_EQ(simd::dot_u8i8(u.data(), w.data(), n),
+              simd::dot_u8i8_scalar(u.data(), w.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(Simd, DotU8I8ExtremeOperandsBitExact) {
+  // Worst cases the int8 datapath admits: u = 255 against w = -128 / 127,
+  // long enough that a saturating maddubs-style intermediate (the AVX2
+  // trap) or int16 lane accumulation would diverge from the exact sum.
+  const std::size_t n = 4096;
+  std::vector<std::uint8_t> u(n, 255);
+  std::vector<std::int8_t> w(n, -128);
+  EXPECT_EQ(simd::dot_u8i8(u.data(), w.data(), n),
+            static_cast<std::int32_t>(n) * (255 * -128));
+  EXPECT_EQ(simd::dot_u8i8(u.data(), w.data(), n),
+            simd::dot_u8i8_scalar(u.data(), w.data(), n));
+  for (auto& x : w) x = 127;
+  EXPECT_EQ(simd::dot_u8i8(u.data(), w.data(), n),
+            static_cast<std::int32_t>(n) * (255 * 127));
+  EXPECT_EQ(simd::dot_u8i8(u.data(), w.data(), n),
+            simd::dot_u8i8_scalar(u.data(), w.data(), n));
+  // Alternating extremes exercise in-register pair summation order.
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = (i & 1) ? std::int8_t{127} : std::int8_t{-128};
+  EXPECT_EQ(simd::dot_u8i8(u.data(), w.data(), n),
+            simd::dot_u8i8_scalar(u.data(), w.data(), n));
+}
+
+TEST(Simd, AddBiasVariantsMatchScalar) {
+  Rng rng(16);
+  for (std::size_t n : kLengths) {
+    const std::vector<float> z0 = random_floats(rng, n);
+    const std::vector<float> b = random_floats(rng, n);
+    std::vector<float> simd_z = z0, scalar_z = z0;
+    simd::add_bias_f32(simd_z.data(), b.data(), n);
+    simd::add_bias_f32_scalar(scalar_z.data(), b.data(), n);
+    // z + b is a single rounding in both paths: bit-identical.
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(simd_z[i], scalar_z[i]) << "add_bias n=" << n << " i=" << i;
+    simd_z = z0;
+    scalar_z = z0;
+    simd::add_bias_relu_f32(simd_z.data(), b.data(), n);
+    simd::add_bias_relu_f32_scalar(scalar_z.data(), b.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(simd_z[i], scalar_z[i])
+          << "add_bias_relu n=" << n << " i=" << i;
+      EXPECT_GE(simd_z[i], 0.0f);
+    }
   }
 }
 

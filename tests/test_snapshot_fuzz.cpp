@@ -54,6 +54,8 @@ struct Corpus {
       add("float", proposed);
       add("int16", QuantizedProposedDiscriminator::quantize(proposed, ds.shots,
                                                             ds.train_idx));
+      add("int8", Quantized8ProposedDiscriminator::quantize(proposed, ds.shots,
+                                                            ds.train_idx));
       FnnConfig fcfg;
       fcfg.trainer.epochs = 1;
       fcfg.hidden = {16};

@@ -248,10 +248,10 @@ def self_test() -> int:
         "removed kind": header.replace("kGaussian = 4,", ""),
         "renamed kind": header.replace("kHerqules = 3,", "kHercules = 3,"),
         "reserved value claimed": header.replace(
-            "kGaussian = 4,", "kGaussian = 4,\n  kInt8 = 5,"
+            "kInt8 = 5,", "kInt8 = 5,\n  kShadow = 6,"
         ),
         "unpinned new kind": header.replace(
-            "kGaussian = 4,", "kGaussian = 4,\n  kShadow = 7,"
+            "kInt8 = 5,", "kInt8 = 5,\n  kShadow = 7,"
         ),
     }
     failures = []
