@@ -103,6 +103,54 @@ void FnnDiscriminator::classify_into(const IqTrace& trace,
   decode_joint_into(static_cast<std::size_t>(joint), cfg_.n_levels, out);
 }
 
+void FnnDiscriminator::classify_batch_into(
+    std::size_t lo, std::size_t hi, const ShotFrameAt& frame_at,
+    InferenceScratch& scratch, const ShotLabelsAt& labels_at) const {
+  const std::size_t in_dim = 2 * samples_used_;
+  // Tile so the raw-trace feature rows (1000 floats each for the paper's
+  // 500-sample window) stay cache-resident next to the first hidden layer.
+  constexpr std::size_t kBatchTile = 32;
+  for (std::size_t base = lo; base < hi; base += kBatchTile) {
+    const std::size_t tile = std::min(kBatchTile, hi - base);
+    scratch.batch_features.resize(tile * in_dim);
+    for (std::size_t s = 0; s < tile; ++s) {
+      const IqTrace& trace = frame_at(base + s);
+      MLQR_CHECK(trace.size() >= samples_used_);
+      float* row = scratch.batch_features.data() + s * in_dim;
+      std::copy_n(trace.i.begin(), samples_used_, row);
+      std::copy_n(trace.q.begin(), samples_used_, row + samples_used_);
+    }
+    // One standardization pass over the whole tile: the normalizer is a
+    // per-column affine map, so each row comes out identical to the
+    // per-shot raw_features_into + apply sequence.
+    normalizer_.apply(scratch.batch_features);
+    scratch.batch_labels.resize(tile);
+    model_.classify_batch_into(tile, scratch.batch_features.data(),
+                               scratch.batch_act_a, scratch.batch_act_b,
+                               scratch.batch_labels.data(), 1);
+    for (std::size_t s = 0; s < tile; ++s) {
+      const std::span<int> out = labels_at(base + s);
+      MLQR_CHECK(out.size() == n_qubits_);
+      decode_joint_into(static_cast<std::size_t>(scratch.batch_labels[s]),
+                        cfg_.n_levels, out);
+    }
+  }
+}
+
+float FnnDiscriminator::classify_scored_into(const IqTrace& trace,
+                                             InferenceScratch& scratch,
+                                             std::span<int> out) const {
+  MLQR_CHECK(out.size() == n_qubits_);
+  std::vector<float>& x = scratch.features;
+  raw_features_into(trace, x);
+  normalizer_.apply(x);
+  float p_max = 0.0f;
+  const int joint = model_.predict_scored_reusing(x, scratch.logits,
+                                                  scratch.activations, p_max);
+  decode_joint_into(static_cast<std::size_t>(joint), cfg_.n_levels, out);
+  return p_max;
+}
+
 void FnnDiscriminator::save(std::ostream& os) const {
   io::write_u32(os, static_cast<std::uint32_t>(cfg_.n_levels));
   io::write_u64(os, n_qubits_);

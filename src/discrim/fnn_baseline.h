@@ -64,6 +64,24 @@ class FnnDiscriminator {
   void classify_into(const IqTrace& trace, InferenceScratch& scratch,
                      std::span<int> out) const;
 
+  /// Batched classify over shots [lo, hi): raw I/Q feature rows gathered
+  /// into a tile in `scratch`, the whole tile standardized in one
+  /// normalizer pass (per-row affine, so identical to the per-shot path),
+  /// the joint head run as one GEMM per layer (Mlp::classify_batch_into,
+  /// bit-identical argmax), then each joint class base-k decoded into
+  /// `labels_at(s)`. Recalibrated FNN shards serve at batched speed like
+  /// the Proposed family. Thread-safe for distinct scratches.
+  void classify_batch_into(std::size_t lo, std::size_t hi,
+                           const ShotFrameAt& frame_at,
+                           InferenceScratch& scratch,
+                           const ShotLabelsAt& labels_at) const;
+
+  /// classify_into plus the softmax confidence of the winning joint class,
+  /// in (0, 1]. Labels are bit-identical to classify_into — the score is a
+  /// drift-monitoring side channel, not an alternative decision rule.
+  float classify_scored_into(const IqTrace& trace, InferenceScratch& scratch,
+                             std::span<int> out) const;
+
   std::string name() const { return "FNN"; }
 
   std::size_t num_qubits() const { return n_qubits_; }

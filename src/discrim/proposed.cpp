@@ -209,6 +209,21 @@ void ProposedDiscriminator::classify_into(const IqTrace& trace,
                                         scratch.activations);
 }
 
+float ProposedDiscriminator::classify_scored_into(const IqTrace& trace,
+                                                  InferenceScratch& scratch,
+                                                  std::span<int> out) const {
+  MLQR_CHECK(out.size() == models_.size());
+  features_into(trace, scratch);
+  float total = 0.0f;
+  for (std::size_t q = 0; q < models_.size(); ++q) {
+    float p_max = 0.0f;
+    out[q] = models_[q].predict_scored_reusing(scratch.features, scratch.logits,
+                                               scratch.activations, p_max);
+    total += p_max;
+  }
+  return total / static_cast<float>(models_.size());
+}
+
 void ProposedDiscriminator::classify_batch_into(
     std::size_t lo, std::size_t hi, const ShotFrameAt& frame_at,
     InferenceScratch& scratch, const ShotLabelsAt& labels_at) const {

@@ -86,6 +86,13 @@ class ProposedDiscriminator {
                            InferenceScratch& scratch,
                            const ShotLabelsAt& labels_at) const;
 
+  /// classify_into plus a confidence score: the mean (over qubits) softmax
+  /// probability of each head's winning level, in (0, 1]. Labels are
+  /// bit-identical to classify_into (same logits, same tie-low argmax) —
+  /// this feeds the streaming drift monitors, never the decision rule.
+  float classify_scored_into(const IqTrace& trace, InferenceScratch& scratch,
+                             std::span<int> out) const;
+
   /// Allocation-free feature extraction into scratch.features (normalized,
   /// same values as features()). Runs the fused one-pass front-end
   /// (FusedFrontend: LO-pre-rotated float kernels over the raw trace, no

@@ -83,6 +83,22 @@ int Mlp::predict_reusing(std::span<const float> x, std::vector<float>& out,
   return argmax_tie_low(std::span<const float>(out));
 }
 
+int Mlp::predict_scored_reusing(std::span<const float> x,
+                                std::vector<float>& out,
+                                std::vector<float>& scratch,
+                                float& p_max) const {
+  logits_into(x, out, scratch);
+  const int label = argmax_tie_low(std::span<const float>(out));
+  // Stable softmax anchored at the winning logit: p_max = 1 / sum_c
+  // exp(z_c - z_max). The winner contributes exp(0) = 1, so the result is
+  // always in (0, 1] and never under/overflows.
+  const float z_max = out[static_cast<std::size_t>(label)];
+  float total = 0.0f;
+  for (const float z : out) total += std::exp(z - z_max);
+  p_max = 1.0f / total;
+  return label;
+}
+
 std::vector<float> Mlp::forward_batch(std::span<const float> x,
                                       std::size_t batch) const {
   MLQR_CHECK(batch > 0 && x.size() == batch * input_size());

@@ -61,6 +61,13 @@ class Mlp {
   int predict_reusing(std::span<const float> x, std::vector<float>& out,
                       std::vector<float>& scratch) const;
 
+  /// predict_reusing plus the softmax probability of the winning class
+  /// (written to `p_max`, in (0, 1]). The label is bit-identical to
+  /// predict_reusing — same logits, same tie-low argmax — so confidence
+  /// monitoring never disagrees with the serving path about the label.
+  int predict_scored_reusing(std::span<const float> x, std::vector<float>& out,
+                             std::vector<float>& scratch, float& p_max) const;
+
   /// Batch forward: X is row-major (batch x in); returns row-major logits
   /// (batch x out). Scratch buffers are caller-invisible.
   std::vector<float> forward_batch(std::span<const float> x,

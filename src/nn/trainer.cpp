@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "linalg/gemm.h"
 
@@ -12,36 +13,115 @@ namespace mlqr {
 
 namespace {
 
-/// Adam moment buffers matching a model's parameter layout.
-struct AdamState {
-  std::vector<std::vector<float>> mw, vw, mb, vb;
+/// Rows per gradient shard. The shard partition is a pure function of the
+/// minibatch size — never of the worker count — so the per-shard partial
+/// gradients and their fixed-order reduction make training bit-identical
+/// for any MLQR_THREADS / TrainerConfig::threads setting.
+constexpr std::size_t kGradShardRows = 16;
 
-  explicit AdamState(const Mlp& model) {
-    for (const DenseLayer& l : model.layers()) {
-      mw.emplace_back(l.w.size(), 0.0f);
-      vw.emplace_back(l.w.size(), 0.0f);
-      mb.emplace_back(l.b.size(), 0.0f);
-      vb.emplace_back(l.b.size(), 0.0f);
-    }
-  }
+/// Resolves a TrainerConfig::threads-style worker budget.
+std::size_t resolve_workers(std::size_t threads) {
+  return threads > 0 ? std::min(threads, kMaxWorkerThreads)
+                     : parallel_thread_count();
+}
+
+/// Per-worker forward/backward scratch, reused across minibatches.
+struct ShardScratch {
+  std::vector<std::vector<float>> zs;    ///< Pre-activations per layer.
+  std::vector<std::vector<float>> acts;  ///< Post-ReLU activations per layer.
+  std::vector<float> delta;
+  std::vector<float> next_delta;
 };
 
-void adam_update(std::span<float> param, std::span<const float> grad,
-                 std::span<float> m, std::span<float> v,
-                 const TrainerConfig& cfg, float bias1, float bias2) {
-  // AdamW: decoupled weight decay — the decay acts directly on the weights
-  // instead of through the adaptive gradient normalization, so its
-  // strength is predictable regardless of gradient scale.
-  const float decay = cfg.learning_rate * cfg.weight_decay;
-  for (std::size_t i = 0; i < param.size(); ++i) {
-    const float g = grad[i];
-    m[i] = cfg.beta1 * m[i] + (1.0f - cfg.beta1) * g;
-    v[i] = cfg.beta2 * v[i] + (1.0f - cfg.beta2) * g * g;
-    const float mhat = m[i] / bias1;
-    const float vhat = v[i] / bias2;
-    param[i] -= cfg.learning_rate * mhat / (std::sqrt(vhat) + cfg.adam_eps) +
-                decay * param[i];
+struct ShardResult {
+  double loss = 0.0;
+  double weight = 0.0;
+};
+
+/// Forward + backward over rows [r0, r0+rows) of the gathered minibatch.
+/// Writes this shard's gradient partials into `grads` (overwritten, not
+/// accumulated) and returns its loss/weight contribution.
+ShardResult run_gradient_shard(const Mlp& model, const float* bx,
+                               const int* by, const float* sample_w,
+                               float batch_w, std::size_t r0, std::size_t rows,
+                               ShardScratch& ss, GradientBuffers& grads) {
+  const auto& layers = model.layers();
+  const std::size_t in_dim = model.input_size();
+  const std::size_t out_dim = model.output_size();
+  ss.zs.resize(layers.size());
+  ss.acts.resize(layers.size());
+
+  // ---- Forward pass, caching pre- and post-activations per layer. ----
+  const float* prev = bx + r0 * in_dim;
+  std::size_t prev_dim = in_dim;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const DenseLayer& layer = layers[l];
+    std::vector<float>& z = ss.zs[l];
+    z.assign(rows * layer.out, 0.0f);
+    sgemm(false, true, rows, layer.out, layer.in, 1.0f, prev, prev_dim,
+          layer.w.data(), layer.in, 0.0f, z.data(), layer.out);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < layer.out; ++c)
+        z[r * layer.out + c] += layer.b[c];
+    std::vector<float>& a = ss.acts[l];
+    a = z;
+    if (l + 1 < layers.size())
+      for (float& v : a) v = std::max(v, 0.0f);
+    prev = a.data();
+    prev_dim = layer.out;
   }
+
+  // ---- Loss and output gradient (softmax CE, weighted). ----
+  ShardResult res;
+  ss.delta = ss.acts.back();  // Will become dL/dZ_last for this shard.
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* row = ss.delta.data() + i * out_dim;
+    const float peak = *std::max_element(row, row + out_dim);
+    float total = 0.0f;
+    for (std::size_t c = 0; c < out_dim; ++c) {
+      row[c] = std::exp(row[c] - peak);
+      total += row[c];
+    }
+    const float inv = 1.0f / total;
+    const int y = by[r0 + i];
+    const float sw = sample_w[r0 + i];
+    const float p_true = row[y] * inv;
+    res.loss += static_cast<double>(sw) * -std::log(std::max(p_true, 1e-12f));
+    res.weight += sw;
+    const float scale = sw / batch_w;
+    for (std::size_t c = 0; c < out_dim; ++c) row[c] *= inv * scale;
+    row[y] -= scale;
+  }
+
+  // ---- Backward pass: gradient partials only, no parameter updates. ----
+  for (std::size_t li = layers.size(); li > 0; --li) {
+    const std::size_t l = li - 1;
+    const DenseLayer& layer = layers[l];
+    const float* a_prev = l == 0 ? bx + r0 * in_dim : ss.acts[l - 1].data();
+    const std::size_t a_dim = layer.in;
+
+    // dW partial = delta^T * A_prev  (out x in).
+    sgemm(true, false, layer.out, a_dim, rows, 1.0f, ss.delta.data(),
+          layer.out, a_prev, a_dim, 0.0f, grads.dw[l].data(), a_dim);
+    std::vector<float>& db = grads.db[l];
+    std::fill(db.begin(), db.end(), 0.0f);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < layer.out; ++c)
+        db[c] += ss.delta[r * layer.out + c];
+
+    if (l > 0) {
+      // dA_prev = delta * W (rows x in), then ReLU mask via z of layer l-1.
+      ss.next_delta.assign(rows * a_dim, 0.0f);
+      sgemm(false, false, rows, a_dim, layer.out, 1.0f, ss.delta.data(),
+            layer.out, layer.w.data(), layer.in, 0.0f, ss.next_delta.data(),
+            a_dim);
+      const std::vector<float>& z_prev = ss.zs[l - 1];
+      for (std::size_t i = 0; i < ss.next_delta.size(); ++i)
+        if (z_prev[i] <= 0.0f) ss.next_delta[i] = 0.0f;
+      std::swap(ss.delta, ss.next_delta);
+    }
+  }
+  return res;
 }
 
 }  // namespace
@@ -68,35 +148,65 @@ std::vector<float> inverse_frequency_weights(std::span<const int> labels,
 }
 
 double evaluate_accuracy(const Mlp& model, std::span<const float> features,
-                         std::span<const int> labels) {
+                         std::span<const int> labels, std::size_t threads) {
   MLQR_CHECK(!labels.empty());
   const std::size_t in = model.input_size();
   MLQR_CHECK(features.size() == labels.size() * in);
-  std::size_t hits = 0;
-  for (std::size_t s = 0; s < labels.size(); ++s)
-    if (model.predict(features.subspan(s * in, in)) == labels[s]) ++hits;
-  return static_cast<double>(hits) / static_cast<double>(labels.size());
+  const std::size_t workers = resolve_workers(threads);
+  // Per-slot integer hit counts: the sum is order-independent, so the
+  // result matches the old serial loop exactly for every worker count.
+  std::vector<std::size_t> hits(workers, 0);
+  parallel_for_slots(
+      0, labels.size(), workers,
+      [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+        std::vector<float> logits, scratch;
+        std::size_t h = 0;
+        for (std::size_t s = lo; s < hi; ++s)
+          if (model.predict_reusing(features.subspan(s * in, in), logits,
+                                    scratch) == labels[s])
+            ++h;
+        hits[slot] = h;
+      });
+  std::size_t total = 0;
+  for (std::size_t h : hits) total += h;
+  return static_cast<double>(total) / static_cast<double>(labels.size());
 }
 
 double evaluate_balanced_accuracy(const Mlp& model,
                                   std::span<const float> features,
-                                  std::span<const int> labels) {
+                                  std::span<const int> labels,
+                                  std::size_t threads) {
   MLQR_CHECK(!labels.empty());
   const std::size_t in = model.input_size();
   const std::size_t k = model.output_size();
   MLQR_CHECK(features.size() == labels.size() * in);
-  std::vector<std::size_t> hits(k, 0), totals(k, 0);
-  for (std::size_t s = 0; s < labels.size(); ++s) {
-    const int truth = labels[s];
-    MLQR_CHECK(truth >= 0 && static_cast<std::size_t>(truth) < k);
-    ++totals[truth];
-    if (model.predict(features.subspan(s * in, in)) == truth) ++hits[truth];
-  }
+  const std::size_t workers = resolve_workers(threads);
+  std::vector<std::size_t> hits(workers * k, 0), totals(workers * k, 0);
+  parallel_for_slots(
+      0, labels.size(), workers,
+      [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+        std::vector<float> logits, scratch;
+        std::size_t* slot_hits = hits.data() + slot * k;
+        std::size_t* slot_totals = totals.data() + slot * k;
+        for (std::size_t s = lo; s < hi; ++s) {
+          const int truth = labels[s];
+          MLQR_CHECK(truth >= 0 && static_cast<std::size_t>(truth) < k);
+          ++slot_totals[truth];
+          if (model.predict_reusing(features.subspan(s * in, in), logits,
+                                    scratch) == truth)
+            ++slot_hits[truth];
+        }
+      });
   double acc = 0.0;
   std::size_t present = 0;
   for (std::size_t c = 0; c < k; ++c) {
-    if (totals[c] == 0) continue;
-    acc += static_cast<double>(hits[c]) / static_cast<double>(totals[c]);
+    std::size_t class_hits = 0, class_totals = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      class_hits += hits[w * k + c];
+      class_totals += totals[w * k + c];
+    }
+    if (class_totals == 0) continue;
+    acc += static_cast<double>(class_hits) / static_cast<double>(class_totals);
     ++present;
   }
   MLQR_CHECK(present > 0);
@@ -105,7 +215,8 @@ double evaluate_balanced_accuracy(const Mlp& model,
 
 TrainHistory train_classifier(Mlp& model, std::span<const float> features,
                               std::span<const int> labels,
-                              const TrainerConfig& cfg) {
+                              const TrainerConfig& cfg,
+                              AdamWOptimizer* optimizer) {
   const std::size_t in_dim = model.input_size();
   const std::size_t out_dim = model.output_size();
   MLQR_CHECK(!labels.empty());
@@ -117,6 +228,19 @@ TrainHistory train_classifier(Mlp& model, std::span<const float> features,
     MLQR_CHECK_MSG(l >= 0 && static_cast<std::size_t>(l) < out_dim,
                    "label " << l << " out of range for " << out_dim
                             << " classes");
+
+  // The warm-start seam: a caller-provided optimizer resumes from its
+  // saved moments/step count; an empty one is initialized here and can be
+  // saved afterwards for the next retrain.
+  AdamWOptimizer local_opt;
+  AdamWOptimizer& opt = optimizer != nullptr ? *optimizer : local_opt;
+  if (!opt.initialized())
+    opt.reset(model);
+  else
+    MLQR_CHECK_MSG(opt.matches(model),
+                   "resumed optimizer state does not match the model");
+  const AdamWParams params{cfg.learning_rate, cfg.beta1, cfg.beta2,
+                           cfg.adam_eps, cfg.weight_decay};
 
   Rng rng(cfg.seed);
 
@@ -140,19 +264,27 @@ TrainHistory train_classifier(Mlp& model, std::span<const float> features,
     val_y[i] = labels[s];
   }
 
-  AdamState adam(model);
   TrainHistory history;
   std::vector<DenseLayer> best_weights;
   double best_val = -1.0;
-  long step = 0;
 
   std::vector<std::size_t> train_idx(order.begin(), order.begin() + n_train);
   const std::size_t batch = std::min(cfg.batch_size, n_train);
+  const std::size_t max_shards = (batch + kGradShardRows - 1) / kGradShardRows;
+  const std::size_t workers = resolve_workers(cfg.threads);
 
-  // Reusable buffers.
+  // Reusable buffers: the gathered minibatch, one gradient buffer per
+  // shard (filled in parallel, reduced in shard order), per-worker
+  // forward/backward scratch, and the reduced total.
   std::vector<float> bx(batch * in_dim);
   std::vector<int> by(batch);
   std::vector<float> sample_w(batch);
+  std::vector<GradientBuffers> shard_grads(max_shards);
+  for (GradientBuffers& g : shard_grads) g.match(model);
+  std::vector<ShardResult> shard_res(max_shards);
+  std::vector<ShardScratch> scratch(workers);
+  GradientBuffers total;
+  total.match(model);
 
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     // Shuffle training order each epoch.
@@ -164,6 +296,7 @@ TrainHistory train_classifier(Mlp& model, std::span<const float> features,
 
     for (std::size_t start = 0; start < n_train; start += batch) {
       const std::size_t b = std::min(batch, n_train - start);
+      float batch_w = 0.0f;
       for (std::size_t i = 0; i < b; ++i) {
         const std::size_t s = train_idx[start + i];
         std::copy_n(features.data() + s * in_dim, in_dim,
@@ -172,96 +305,52 @@ TrainHistory train_classifier(Mlp& model, std::span<const float> features,
         sample_w[i] = cfg.class_weights.empty()
                           ? 1.0f
                           : cfg.class_weights[by[i]];
+        batch_w += sample_w[i];
       }
-
-      // ---- Forward pass, caching activations per layer. ----
-      const auto& layers = model.layers();
-      std::vector<std::vector<float>> acts;   // acts[0] = input batch.
-      std::vector<std::vector<float>> zs;     // Pre-activation per layer.
-      acts.emplace_back(bx.begin(), bx.begin() + b * in_dim);
-      std::size_t dim = in_dim;
-      for (std::size_t l = 0; l < layers.size(); ++l) {
-        const DenseLayer& layer = layers[l];
-        std::vector<float> z(b * layer.out);
-        sgemm(false, true, b, layer.out, layer.in, 1.0f, acts.back().data(),
-              dim, layer.w.data(), layer.in, 0.0f, z.data(), layer.out);
-        for (std::size_t r = 0; r < b; ++r)
-          for (std::size_t c = 0; c < layer.out; ++c)
-            z[r * layer.out + c] += layer.b[c];
-        zs.push_back(z);
-        if (l + 1 < layers.size())
-          for (float& v : z) v = std::max(v, 0.0f);
-        acts.push_back(std::move(z));
-        dim = layer.out;
-      }
-
-      // ---- Loss and output gradient (softmax CE, weighted). ----
-      std::vector<float> delta = acts.back();  // Will become dL/dZ_last.
-      float batch_w = 0.0f;
-      for (std::size_t i = 0; i < b; ++i) batch_w += sample_w[i];
       if (batch_w <= 0.0f) continue;  // Every sample in a zero-weight class.
-      for (std::size_t i = 0; i < b; ++i) {
-        float* row = delta.data() + i * out_dim;
-        const float peak = *std::max_element(row, row + out_dim);
-        float total = 0.0f;
-        for (std::size_t c = 0; c < out_dim; ++c) {
-          row[c] = std::exp(row[c] - peak);
-          total += row[c];
+
+      // Fan the fixed-size gradient shards out across the worker budget;
+      // each shard's partial is a pure function of the minibatch, so the
+      // shard→worker assignment cannot change the result.
+      const std::size_t n_shards = (b + kGradShardRows - 1) / kGradShardRows;
+      parallel_for_slots(
+          0, n_shards, workers,
+          [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+            for (std::size_t si = lo; si < hi; ++si) {
+              const std::size_t r0 = si * kGradShardRows;
+              const std::size_t rows = std::min(kGradShardRows, b - r0);
+              shard_res[si] = run_gradient_shard(
+                  model, bx.data(), by.data(), sample_w.data(), batch_w, r0,
+                  rows, scratch[slot], shard_grads[si]);
+            }
+          });
+
+      // Fixed shard-order reduction, then one AdamW step on the total.
+      for (std::size_t si = 0; si < n_shards; ++si) {
+        if (si == 0) {
+          for (std::size_t l = 0; l < total.dw.size(); ++l) {
+            std::copy(shard_grads[0].dw[l].begin(), shard_grads[0].dw[l].end(),
+                      total.dw[l].begin());
+            std::copy(shard_grads[0].db[l].begin(), shard_grads[0].db[l].end(),
+                      total.db[l].begin());
+          }
+        } else {
+          total.add(shard_grads[si]);
         }
-        const float inv = 1.0f / total;
-        const float p_true = row[by[i]] * inv;
-        epoch_loss += static_cast<double>(sample_w[i]) *
-                      -std::log(std::max(p_true, 1e-12f));
-        epoch_weight += sample_w[i];
-        const float scale = sample_w[i] / batch_w;
-        for (std::size_t c = 0; c < out_dim; ++c) row[c] *= inv * scale;
-        row[by[i]] -= scale;
+        epoch_loss += shard_res[si].loss;
+        epoch_weight += shard_res[si].weight;
       }
-
-      // ---- Backward pass with immediate Adam updates. ----
-      ++step;
-      const float bias1 = 1.0f - std::pow(cfg.beta1, static_cast<float>(step));
-      const float bias2 = 1.0f - std::pow(cfg.beta2, static_cast<float>(step));
-      auto& mutable_layers = model.mutable_layers();
-      for (std::size_t li = layers.size(); li > 0; --li) {
-        const std::size_t l = li - 1;
-        DenseLayer& layer = mutable_layers[l];
-        const std::vector<float>& a_prev = acts[l];
-        const std::size_t prev_dim = layer.in;
-
-        // dW = delta^T * A_prev  (out x in).
-        std::vector<float> dw(layer.w.size(), 0.0f);
-        sgemm(true, false, layer.out, prev_dim, b, 1.0f, delta.data(),
-              layer.out, a_prev.data(), prev_dim, 0.0f, dw.data(), prev_dim);
-        std::vector<float> db(layer.out, 0.0f);
-        for (std::size_t r = 0; r < b; ++r)
-          for (std::size_t c = 0; c < layer.out; ++c)
-            db[c] += delta[r * layer.out + c];
-
-        if (l > 0) {
-          // dA_prev = delta * W (b x in), then ReLU mask via z of layer l-1.
-          std::vector<float> d_prev(b * prev_dim, 0.0f);
-          sgemm(false, false, b, prev_dim, layer.out, 1.0f, delta.data(),
-                layer.out, layer.w.data(), layer.in, 0.0f, d_prev.data(),
-                prev_dim);
-          const std::vector<float>& z_prev = zs[l - 1];
-          for (std::size_t i = 0; i < d_prev.size(); ++i)
-            if (z_prev[i] <= 0.0f) d_prev[i] = 0.0f;
-          delta = std::move(d_prev);
-        }
-
-        adam_update(layer.w, dw, adam.mw[l], adam.vw[l], cfg, bias1, bias2);
-        adam_update(layer.b, db, adam.mb[l], adam.vb[l], cfg, bias1, bias2);
-      }
+      opt.step(model, total, params);
     }
 
     history.train_loss.push_back(
         epoch_weight > 0.0 ? epoch_loss / epoch_weight : 0.0);
 
     if (n_val > 0) {
-      const double acc = cfg.balanced_validation
-                             ? evaluate_balanced_accuracy(model, val_x, val_y)
-                             : evaluate_accuracy(model, val_x, val_y);
+      const double acc =
+          cfg.balanced_validation
+              ? evaluate_balanced_accuracy(model, val_x, val_y, cfg.threads)
+              : evaluate_accuracy(model, val_x, val_y, cfg.threads);
       history.val_accuracy.push_back(acc);
       if (acc > best_val) {
         best_val = acc;

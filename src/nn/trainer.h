@@ -1,10 +1,18 @@
-// Minibatch softmax-cross-entropy trainer with Adam.
+// Minibatch softmax-cross-entropy trainer with AdamW.
 //
 // Supports per-class loss weights, which is how the per-qubit heads of the
 // proposed design stay calibrated on the rare |2> level (mined natural
 // leakage is ~0.5-3% of traces). Joint-output designs (FNN/HERQULES) cannot
 // be class-balanced this way because most of their 3^n classes have no
 // training data at all — a key scalability failure mode the paper reports.
+//
+// Gradient accumulation is data-parallel on the process-wide thread pool:
+// each minibatch is cut into fixed kGradShardRows-row gradient shards, the
+// per-shard partial gradients are reduced in shard order, and one AdamW
+// step applies the total. Because the shard partition depends only on the
+// minibatch size, training is bit-identical across thread counts
+// (MLQR_THREADS or TrainerConfig::threads) — the retrain half of the
+// closed recalibration loop stays reproducible no matter where it runs.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +20,7 @@
 #include <vector>
 
 #include "nn/mlp.h"
+#include "nn/optimizer.h"
 
 namespace mlqr {
 
@@ -35,6 +44,11 @@ struct TrainerConfig {
   /// data (the mined |2> level) and plain accuracy would reward ignoring
   /// it.
   bool balanced_validation = true;
+  /// Worker budget for gradient shards and epoch evaluation. 0 uses
+  /// parallel_thread_count() (the MLQR_THREADS resolution); any value
+  /// yields bit-identical training, so this is a throughput knob only —
+  /// e.g. a background retrain can leave cores to the serving path.
+  std::size_t threads = 0;
   bool verbose = false;
 };
 
@@ -46,19 +60,31 @@ struct TrainHistory {
 
 /// Trains the model in place on row-major `features` (n x input) with
 /// integer `labels` in [0, output_size). Returns the loss/accuracy history.
+///
+/// `optimizer` (optional) is the warm-start seam: pass a default-constructed
+/// AdamWOptimizer to capture the moment state for a later resume, or a
+/// previously captured one to continue from its moments and step count (it
+/// must match the model's layout). nullptr trains with throwaway state,
+/// exactly as before.
 TrainHistory train_classifier(Mlp& model, std::span<const float> features,
                               std::span<const int> labels,
-                              const TrainerConfig& cfg);
+                              const TrainerConfig& cfg,
+                              AdamWOptimizer* optimizer = nullptr);
 
-/// Plain accuracy of `model` on a labeled set.
+/// Plain accuracy of `model` on a labeled set. Evaluated data-parallel on
+/// the thread pool; the per-slot hit counts are integers, so the result is
+/// identical for every `threads` value (0 = parallel_thread_count()).
 double evaluate_accuracy(const Mlp& model, std::span<const float> features,
-                         std::span<const int> labels);
+                         std::span<const int> labels,
+                         std::size_t threads = 0);
 
 /// Macro-averaged per-class recall (classes absent from `labels` are
-/// skipped).
+/// skipped). Same deterministic thread-pool evaluation as
+/// evaluate_accuracy.
 double evaluate_balanced_accuracy(const Mlp& model,
                                   std::span<const float> features,
-                                  std::span<const int> labels);
+                                  std::span<const int> labels,
+                                  std::size_t threads = 0);
 
 /// Convenience: inverse-frequency class weights (missing classes get 0).
 std::vector<float> inverse_frequency_weights(std::span<const int> labels,

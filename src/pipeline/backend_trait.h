@@ -57,6 +57,25 @@ concept BatchedReadoutBackend =
       } -> std::same_as<void>;
     };
 
+/// A ReadoutBackend that can report how confident it is in a shot's
+/// labels: classify_scored_into writes the same labels classify_into
+/// would (strict bit-identity — scoring is a read-only side channel, never
+/// an alternative decision rule) and returns a confidence in (0, 1],
+/// typically the mean softmax probability of the winning class across the
+/// per-qubit heads. The streaming engine's drift monitors sample this on
+/// live traffic: a calibration that has drifted away from the device keeps
+/// emitting labels, but its confidence distribution sags well before
+/// ground truth is available to prove the labels wrong.
+template <typename D>
+concept ScoredReadoutBackend =
+    ReadoutBackend<D> &&
+    requires(const D& d, const IqTrace& trace, InferenceScratch& scratch,
+             std::span<int> out) {
+      {
+        d.classify_scored_into(trace, scratch, out)
+      } -> std::convertible_to<float>;
+    };
+
 /// A ReadoutBackend that also round-trips through the binary snapshot
 /// format: save(os) writes the payload the static load(is) reads back
 /// bit-identically, and samples_used() reports the trace window so the

@@ -94,14 +94,18 @@ class EngineBackend {
   using ClassifyBatchInto =
       std::function<void(std::size_t, std::size_t, const ShotFrameAt&,
                          InferenceScratch&, const ShotLabelsAt&)>;
+  using ClassifyScoredInto =
+      std::function<float(const IqTrace&, InferenceScratch&, std::span<int>)>;
 
   EngineBackend() = default;
   EngineBackend(std::string name, std::size_t n_qubits, ClassifyInto fn,
-                ClassifyBatchInto batch_fn = {})
+                ClassifyBatchInto batch_fn = {},
+                ClassifyScoredInto scored_fn = {})
       : name_(std::move(name)),
         n_qubits_(n_qubits),
         fn_(std::move(fn)),
-        batch_fn_(std::move(batch_fn)) {}
+        batch_fn_(std::move(batch_fn)),
+        scored_fn_(std::move(scored_fn)) {}
 
   const std::string& name() const { return name_; }
   std::size_t num_qubits() const { return n_qubits_; }
@@ -110,6 +114,9 @@ class EngineBackend {
   /// (BatchedReadoutBackend). EngineCore falls back to per-shot serving
   /// otherwise — same labels, different schedule.
   bool supports_batch() const { return static_cast<bool>(batch_fn_); }
+  /// True when the wrapped design reports classification confidence
+  /// (ScoredReadoutBackend) — the streaming drift monitors sample this.
+  bool supports_scored() const { return static_cast<bool>(scored_fn_); }
 
   void classify_into(const IqTrace& trace, InferenceScratch& scratch,
                      std::span<int> out) const {
@@ -123,11 +130,19 @@ class EngineBackend {
     batch_fn_(lo, hi, frame_at, scratch, labels_at);
   }
 
+  /// classify_into plus a confidence in (0, 1] (the scored contract:
+  /// labels bit-identical to classify_into).
+  float classify_scored_into(const IqTrace& trace, InferenceScratch& scratch,
+                             std::span<int> out) const {
+    return scored_fn_(trace, scratch, out);
+  }
+
  private:
   std::string name_;
   std::size_t n_qubits_ = 0;
   ClassifyInto fn_;
   ClassifyBatchInto batch_fn_;
+  ClassifyScoredInto scored_fn_;
 };
 
 /// Wraps any ReadoutBackend in a type-erased EngineBackend. Non-owning:
@@ -146,12 +161,19 @@ EngineBackend make_backend(const D& d) {
       d.classify_batch_into(lo, hi, frame_at, s, labels_at);
     };
   }
+  EngineBackend::ClassifyScoredInto scored_fn;
+  if constexpr (ScoredReadoutBackend<D>) {
+    scored_fn = [&d](const IqTrace& t, InferenceScratch& s,
+                     std::span<int> out) {
+      return d.classify_scored_into(t, s, out);
+    };
+  }
   return EngineBackend(
       d.name(), d.num_qubits(),
       [&d](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
         d.classify_into(t, s, out);
       },
-      std::move(batch_fn));
+      std::move(batch_fn), std::move(scored_fn));
 }
 
 /// The classification machinery shared by the synchronous ReadoutEngine

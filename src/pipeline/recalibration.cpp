@@ -1,0 +1,179 @@
+#include "pipeline/recalibration.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mlqr {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+ShotReservoir::ShotReservoir(std::size_t capacity, std::size_t n_qubits)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      n_qubits_(n_qubits) {
+  MLQR_CHECK_MSG(n_qubits_ > 0, "shot reservoir needs >= 1 qubit");
+  frames_.resize(capacity_);
+  labels_.assign(capacity_ * n_qubits_, 0);
+}
+
+void ShotReservoir::push(const IqTrace& frame, std::span<const int> labels) {
+  MLQR_CHECK_MSG(labels.size() == n_qubits_,
+                 "reservoir push got " << labels.size() << " labels for "
+                                       << n_qubits_ << " qubits");
+  MutexLock lock(mutex_);
+  std::size_t idx;
+  if (count_ == capacity_) {
+    idx = head_;  // Full: overwrite the oldest entry.
+    head_ = (head_ + 1) % capacity_;
+  } else {
+    idx = (head_ + count_) % capacity_;
+    ++count_;
+  }
+  frames_[idx].i.assign(frame.i.begin(), frame.i.end());
+  frames_[idx].q.assign(frame.q.begin(), frame.q.end());
+  std::copy(labels.begin(), labels.end(),
+            labels_.begin() + static_cast<std::ptrdiff_t>(idx * n_qubits_));
+}
+
+std::size_t ShotReservoir::size() const {
+  MutexLock lock(mutex_);
+  return count_;
+}
+
+std::size_t ShotReservoir::snapshot(std::vector<IqTrace>& frames,
+                                    std::vector<int>& labels_flat) const {
+  MutexLock lock(mutex_);
+  frames.resize(count_);
+  labels_flat.resize(count_ * n_qubits_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::size_t idx = (head_ + i) % capacity_;
+    frames[i].i.assign(frames_[idx].i.begin(), frames_[idx].i.end());
+    frames[i].q.assign(frames_[idx].q.begin(), frames_[idx].q.end());
+    std::copy_n(labels_.begin() + static_cast<std::ptrdiff_t>(idx * n_qubits_),
+                n_qubits_,
+                labels_flat.begin() + static_cast<std::ptrdiff_t>(i * n_qubits_));
+  }
+  return count_;
+}
+
+RecalibrationPolicy::RecalibrationPolicy(std::size_t n_shards,
+                                         std::size_t consecutive_reports,
+                                         std::chrono::microseconds cooldown)
+    : consecutive_reports_(std::max<std::size_t>(consecutive_reports, 1)),
+      cooldown_(cooldown),
+      shards_(n_shards) {
+  MLQR_CHECK_MSG(n_shards > 0, "recalibration policy needs >= 1 shard");
+}
+
+RecalibrationPolicy::Action RecalibrationPolicy::observe(std::size_t shard,
+                                                         bool drifted,
+                                                         Clock::time_point now) {
+  ShardPolicy& s = shards_.at(shard);
+  if (!drifted) {
+    s.streak = 0;  // Hysteresis resets on any clean poll.
+    return Action::kNone;
+  }
+  if (s.retraining || now < s.cooldown_until) return Action::kNone;
+  if (++s.streak < consecutive_reports_) return Action::kNone;
+  s.streak = 0;
+  s.retraining = true;
+  return Action::kRetrain;
+}
+
+void RecalibrationPolicy::retrain_done(std::size_t shard,
+                                       Clock::time_point now) {
+  ShardPolicy& s = shards_.at(shard);
+  s.retraining = false;
+  s.streak = 0;
+  s.cooldown_until = now + cooldown_;
+}
+
+bool RecalibrationPolicy::retraining(std::size_t shard) const {
+  return shards_.at(shard).retraining;
+}
+
+std::size_t RecalibrationPolicy::streak(std::size_t shard) const {
+  return shards_.at(shard).streak;
+}
+
+RecalibrationController::RecalibrationController(StreamingEngine& engine,
+                                                 Retrainer retrainer,
+                                                 RecalibrationConfig cfg)
+    : engine_(engine),
+      retrainer_(std::move(retrainer)),
+      cfg_(std::move(cfg)),
+      reservoir_(cfg_.reservoir_capacity, engine.num_qubits()),
+      policy_(engine.num_shards(), cfg_.consecutive_reports, cfg_.cooldown) {
+  MLQR_CHECK_MSG(static_cast<bool>(retrainer_),
+                 "recalibration controller needs a retrainer");
+  worker_ = std::jthread([this] { control_loop(); });
+}
+
+RecalibrationController::~RecalibrationController() { stop(); }
+
+void RecalibrationController::stop() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+RecalibrationStats RecalibrationController::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+void RecalibrationController::control_loop() {
+  const std::size_t n_shards = engine_.num_shards();
+  MutexLock lock(mutex_);
+  while (!stop_) {
+    // Park until the next poll tick (stop() interrupts the nap).
+    const Clock::time_point tick = Clock::now() + cfg_.poll_interval;
+    while (!stop_) {
+      if (wake_cv_.wait_until(mutex_, tick) == std::cv_status::timeout) break;
+    }
+    if (stop_) return;
+    ++stats_.polls;
+    for (std::size_t shard = 0; shard < n_shards; ++shard) {
+      // drift() takes the engine lock; never hold ours across it.
+      lock.unlock();
+      const DriftReport report = engine_.drift(shard);
+      lock.lock();
+      if (stop_) return;
+      if (report.drifted) ++stats_.drift_flags;
+      if (policy_.observe(shard, report.drifted, Clock::now()) !=
+          RecalibrationPolicy::Action::kRetrain)
+        continue;
+      // Retrain outside the lock: ingest keeps flowing, stats stay
+      // readable, and stop() can still flag (it then waits on join for
+      // this retrain to finish — a swap is never torn).
+      lock.unlock();
+      bool swapped = false;
+      try {
+        const BackendSnapshot snap = retrainer_(shard, report, reservoir_);
+        if (snap.valid()) {
+          if (!cfg_.snapshot_path.empty())
+            save_backend_file(cfg_.snapshot_path, snap);
+          engine_.swap_shard(shard, snap.backend());
+          swapped = true;
+        }
+      } catch (...) {
+        // Failed retrain: the old backend keeps serving (counted below).
+      }
+      lock.lock();
+      ++stats_.retrains;
+      if (swapped)
+        ++stats_.swaps;
+      else
+        ++stats_.failures;
+      policy_.retrain_done(shard, Clock::now());
+      if (stop_) return;
+    }
+  }
+}
+
+}  // namespace mlqr

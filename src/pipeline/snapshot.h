@@ -146,12 +146,19 @@ class BackendSnapshot {
         p->classify_batch_into(lo, hi, frame_at, s, labels_at);
       };
     }
+    EngineBackend::ClassifyScoredInto scored_fn;
+    if constexpr (ScoredReadoutBackend<D>) {
+      scored_fn = [p](const IqTrace& t, InferenceScratch& s,
+                      std::span<int> out) {
+        return p->classify_scored_into(t, s, out);
+      };
+    }
     snap.backend_ = EngineBackend(
         p->name(), p->num_qubits(),
         [p](const IqTrace& t, InferenceScratch& s, std::span<int> out) {
           p->classify_into(t, s, out);
         },
-        std::move(batch_fn));
+        std::move(batch_fn), std::move(scored_fn));
     snap.save_ = [](std::ostream& os, const void* raw) {
       save_backend(os, *static_cast<const D*>(raw));
     };

@@ -1,6 +1,7 @@
 #include "pipeline/streaming_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/error.h"
@@ -35,11 +36,21 @@ StreamingEngine::StreamingEngine(std::vector<EngineBackend> shards,
   cfg_.batch_max =
       std::clamp<std::size_t>(cfg_.batch_max, 1, cfg_.queue_capacity);
   cfg_.probe_shots = std::max<std::size_t>(cfg_.probe_shots, 1);
+  cfg_.drift.alpha = std::clamp(cfg_.drift.alpha, 1e-6, 1.0);
+  cfg_.drift.baseline_shots = std::max<std::size_t>(cfg_.drift.baseline_shots, 1);
+  cfg_.drift.baseline_signal =
+      std::max<std::size_t>(cfg_.drift.baseline_signal, 1);
+  cfg_.drift.confidence_sample =
+      std::max<std::size_t>(cfg_.drift.confidence_sample, 1);
   ring_.resize(cfg_.queue_capacity);
   for (Slot& s : ring_) s.labels.assign(n_qubits_, 0);
   health_.assign(shards_.size(), ShardState{});
+  drift_.assign(shards_.size(), DriftMonitor{});
+  score_counter_.assign(shards_.size(), 0);
+  drift_labels_.assign(n_qubits_, 0);
   batch_tickets_.reserve(cfg_.batch_max);
   batch_errors_.reserve(cfg_.batch_max);
+  batch_conf_.reserve(cfg_.batch_max);
   dispatcher_ = std::jthread([this] { dispatch_loop(); });
 }
 
@@ -61,32 +72,36 @@ StreamingEngine::~StreamingEngine() {
 
 StreamingEngine::Ticket StreamingEngine::submit(const IqTrace& frame) {
   // Blocking admission never rejects, so the optional is always engaged.
-  return *submit_routed(frame, /*keyed=*/false, 0, /*deadline=*/nullptr);
+  return *submit_routed(frame, /*keyed=*/false, 0, /*expected=*/nullptr,
+                        /*deadline=*/nullptr);
 }
 
 StreamingEngine::Ticket StreamingEngine::submit(const IqTrace& frame,
                                                 std::uint64_t channel_key) {
   return *submit_routed(frame, /*keyed=*/true, channel_key,
-                        /*deadline=*/nullptr);
+                        /*expected=*/nullptr, /*deadline=*/nullptr);
 }
 
 std::optional<StreamingEngine::Ticket> StreamingEngine::try_submit(
     const IqTrace& frame) {
   const TimePoint expired{};  // Epoch: any wait times out immediately.
-  return submit_routed(frame, /*keyed=*/false, 0, &expired);
+  return submit_routed(frame, /*keyed=*/false, 0, /*expected=*/nullptr,
+                       &expired);
 }
 
 std::optional<StreamingEngine::Ticket> StreamingEngine::try_submit(
     const IqTrace& frame, std::uint64_t channel_key) {
   const TimePoint expired{};
-  return submit_routed(frame, /*keyed=*/true, channel_key, &expired);
+  return submit_routed(frame, /*keyed=*/true, channel_key,
+                       /*expected=*/nullptr, &expired);
 }
 
 std::optional<StreamingEngine::Ticket> StreamingEngine::submit_for(
     const IqTrace& frame, std::chrono::microseconds timeout) {
   const TimePoint deadline =
       timeout.count() > 0 ? Clock::now() + timeout : TimePoint{};
-  return submit_routed(frame, /*keyed=*/false, 0, &deadline);
+  return submit_routed(frame, /*keyed=*/false, 0, /*expected=*/nullptr,
+                       &deadline);
 }
 
 std::optional<StreamingEngine::Ticket> StreamingEngine::submit_for(
@@ -94,11 +109,46 @@ std::optional<StreamingEngine::Ticket> StreamingEngine::submit_for(
     std::chrono::microseconds timeout) {
   const TimePoint deadline =
       timeout.count() > 0 ? Clock::now() + timeout : TimePoint{};
-  return submit_routed(frame, /*keyed=*/true, channel_key, &deadline);
+  return submit_routed(frame, /*keyed=*/true, channel_key,
+                       /*expected=*/nullptr, &deadline);
+}
+
+StreamingEngine::Ticket StreamingEngine::submit_reference(
+    const IqTrace& frame, std::span<const int> expected) {
+  MLQR_CHECK_MSG(expected.size() == n_qubits_,
+                 "submit_reference expected-label span has "
+                     << expected.size() << " entries, engine serves "
+                     << n_qubits_ << " qubits");
+  return *submit_routed(frame, /*keyed=*/false, 0, expected.data(),
+                        /*deadline=*/nullptr);
+}
+
+StreamingEngine::Ticket StreamingEngine::submit_reference(
+    const IqTrace& frame, std::uint64_t channel_key,
+    std::span<const int> expected) {
+  MLQR_CHECK_MSG(expected.size() == n_qubits_,
+                 "submit_reference expected-label span has "
+                     << expected.size() << " entries, engine serves "
+                     << n_qubits_ << " qubits");
+  return *submit_routed(frame, /*keyed=*/true, channel_key, expected.data(),
+                        /*deadline=*/nullptr);
+}
+
+std::optional<StreamingEngine::Ticket> StreamingEngine::submit_reference_for(
+    const IqTrace& frame, std::uint64_t channel_key,
+    std::span<const int> expected, std::chrono::microseconds timeout) {
+  MLQR_CHECK_MSG(expected.size() == n_qubits_,
+                 "submit_reference expected-label span has "
+                     << expected.size() << " entries, engine serves "
+                     << n_qubits_ << " qubits");
+  const TimePoint deadline =
+      timeout.count() > 0 ? Clock::now() + timeout : TimePoint{};
+  return submit_routed(frame, /*keyed=*/true, channel_key, expected.data(),
+                       &deadline);
 }
 
 std::optional<StreamingEngine::Ticket> StreamingEngine::submit_routed(
-    const IqTrace& frame, bool keyed, std::uint64_t key,
+    const IqTrace& frame, bool keyed, std::uint64_t key, const int* expected,
     const TimePoint* deadline) {
   frame.check_consistent();
   MutexLock lock(mutex_);
@@ -125,6 +175,8 @@ std::optional<StreamingEngine::Ticket> StreamingEngine::submit_routed(
   // of this length.
   slot.frame.i.assign(frame.i.begin(), frame.i.end());
   slot.frame.q.assign(frame.q.begin(), frame.q.end());
+  slot.is_reference = expected != nullptr;
+  if (expected) slot.expected.assign(expected, expected + n_qubits_);
   slot.arrival = Clock::now();
   lock.lock();
   slot.state = SlotState::kQueued;
@@ -216,6 +268,111 @@ void StreamingEngine::record_shot_result(const Slot& slot, bool shot_failed,
   }
 }
 
+void StreamingEngine::SignalTrack::update(double x, std::size_t baseline_n,
+                                          double alpha) {
+  ++count;
+  if (!frozen) {
+    // Baseline phase: plain mean over the first baseline_n samples, then
+    // freeze and seed the EWMA from it so the first post-baseline report
+    // starts exactly at "no drift".
+    baseline_sum += x;
+    if (count >= baseline_n) {
+      baseline = baseline_sum / static_cast<double>(count);
+      value = baseline;
+      frozen = true;
+    }
+  } else {
+    value = (1.0 - alpha) * value + alpha * x;
+  }
+}
+
+void StreamingEngine::observe_ok_shot(const Slot& slot, float conf) {
+  const DriftConfig& dc = cfg_.drift;
+  DriftMonitor& m = drift_[slot.served_by];
+  ++m.samples;
+
+  // Label mix: this shot's per-level occupancy, averaged over qubits so
+  // every shot contributes unit mass regardless of register width.
+  std::array<double, kDriftLabelBins> frac{};
+  const double w = 1.0 / static_cast<double>(slot.labels.size());
+  for (const int l : slot.labels)
+    frac[static_cast<std::size_t>(
+        std::clamp<int>(l, 0, static_cast<int>(kDriftLabelBins) - 1))] += w;
+  ++m.label_count;
+  if (!m.label_frozen) {
+    for (std::size_t i = 0; i < kDriftLabelBins; ++i)
+      m.label_base_sum[i] += frac[i];
+    if (m.label_count >= dc.baseline_shots) {
+      for (std::size_t i = 0; i < kDriftLabelBins; ++i) {
+        m.label_base[i] =
+            m.label_base_sum[i] / static_cast<double>(m.label_count);
+        m.label_ewma[i] = m.label_base[i];
+      }
+      m.label_frozen = true;
+    }
+  } else {
+    for (std::size_t i = 0; i < kDriftLabelBins; ++i)
+      m.label_ewma[i] = (1.0 - dc.alpha) * m.label_ewma[i] + dc.alpha * frac[i];
+  }
+
+  if (conf >= 0.0f) {
+    ++m.scored;
+    ++scored_shots_;
+    m.confidence.update(conf, dc.baseline_signal, dc.alpha);
+  }
+
+  if (slot.is_reference) {
+    ++m.reference;
+    ++reference_shots_;
+    std::size_t match = 0;
+    for (std::size_t q = 0; q < slot.labels.size(); ++q)
+      if (slot.labels[q] == slot.expected[q]) ++match;
+    m.fidelity.update(
+        static_cast<double>(match) / static_cast<double>(slot.labels.size()),
+        dc.baseline_signal, dc.alpha);
+  }
+}
+
+DriftReport StreamingEngine::report_of(const DriftMonitor& m) const {
+  const DriftConfig& dc = cfg_.drift;
+  DriftReport r;
+  r.samples = m.samples;
+  r.scored = m.scored;
+  r.reference = m.reference;
+  if (m.confidence.frozen) {
+    r.confidence = m.confidence.value;
+    r.baseline_confidence = m.confidence.baseline;
+  }
+  if (m.fidelity.frozen) {
+    r.fidelity = m.fidelity.value;
+    r.baseline_fidelity = m.fidelity.baseline;
+  }
+  if (m.label_frozen)
+    for (std::size_t i = 0; i < kDriftLabelBins; ++i)
+      r.label_l1 += std::abs(m.label_ewma[i] - m.label_base[i]);
+  r.ready = dc.enabled && m.samples >= dc.min_samples &&
+            (m.confidence.frozen || m.fidelity.frozen || m.label_frozen);
+  if (!r.ready) return r;
+  const bool conf_drift =
+      m.confidence.frozen &&
+      r.confidence < r.baseline_confidence * (1.0 - dc.confidence_drop);
+  const bool fid_drift =
+      m.fidelity.frozen &&
+      (r.fidelity < r.baseline_fidelity - dc.fidelity_drop ||
+       (dc.min_fidelity > 0.0 && r.fidelity < dc.min_fidelity));
+  const bool label_drift = m.label_frozen && r.label_l1 > dc.label_l1;
+  r.drifted = conf_drift || fid_drift || label_drift;
+  return r;
+}
+
+DriftReport StreamingEngine::drift(std::size_t shard) const {
+  MutexLock lock(mutex_);
+  MLQR_CHECK_MSG(shard < drift_.size(),
+                 "drift index " << shard << " out of range (engine has "
+                                << drift_.size() << " shards)");
+  return report_of(drift_[shard]);
+}
+
 void StreamingEngine::dispatch_loop() {
   MutexLock lock(mutex_);
   for (;;) {
@@ -269,6 +426,7 @@ void StreamingEngine::dispatch_loop() {
     const std::size_t b = batch_tickets_.size();
     if (b == 0) continue;  // Everything shed: nothing to classify.
     batch_errors_.assign(b, std::exception_ptr{});
+    batch_conf_.assign(b, -1.0f);  // -1: no confidence sample this shot.
     dispatching_ = true;
     // Custody hand-off: snapshot the (never-resized) ring, shard, ticket
     // and error tables under the lock, then classify through the
@@ -313,6 +471,31 @@ void StreamingEngine::dispatch_loop() {
       batch_error = std::current_exception();
     }
 
+    // Sampled confidence scoring, still inside the batch's custody window:
+    // every Nth OK shot per shard re-runs serially through the scored path
+    // of the backend that served it. Labels are bit-identical by the
+    // ScoredReadoutBackend contract, so only the score is kept; shards_ is
+    // stable while dispatching_ is true, and a scoring failure is
+    // swallowed — monitoring must never fail a ticket that classified
+    // fine.
+    if (cfg_.drift.enabled && !batch_error) {
+      for (std::size_t s = 0; s < b; ++s) {
+        if (errors[s]) continue;
+        const Slot& slot = ring[tickets[s] % cap];
+        const std::size_t sb = slot.served_by;
+        if (sb == kFallbackShard) continue;
+        if (score_counter_[sb]++ % cfg_.drift.confidence_sample != 0) continue;
+        if (!shards[sb].supports_scored()) continue;
+        try {
+          batch_conf_[s] = shards[sb].classify_scored_into(
+              slot.frame, drift_scratch_,
+              {drift_labels_.data(), drift_labels_.size()});
+        } catch (...) {
+          // Skip the sample; the ticket's labels stand.
+        }
+      }
+    }
+
     lock.lock();
     dispatching_ = false;
     const TimePoint done_now = Clock::now();
@@ -330,6 +513,8 @@ void StreamingEngine::dispatch_loop() {
       } else {
         slot.outcome = SlotOutcome::kOk;
         slot.error = nullptr;
+        if (cfg_.drift.enabled && slot.served_by != kFallbackShard)
+          observe_ok_shot(slot, batch_conf_[s]);
       }
       record_shot_result(slot, static_cast<bool>(err), done_now);
     }
@@ -469,8 +654,11 @@ void StreamingEngine::swap_shard(std::size_t shard, EngineBackend backend) {
   shards_[shard] = std::move(backend);
   // Fresh calibration means fresh health: a quarantined shard re-enters
   // service immediately (no probe_in_flight can be pending here — probes
-  // only live while dispatching_ is true).
+  // only live while dispatching_ is true). The drift monitor resets too —
+  // the new backend earns its own baselines (score_counter_ is untouched:
+  // it is dispatcher-only sampling phase, not monitor state).
   health_[shard] = ShardState{};
+  drift_[shard] = DriftMonitor{};
   ++swaps_;
   --swaps_pending_;
   lock.unlock();
@@ -501,8 +689,12 @@ StreamingStats StreamingEngine::stats() const {
   s.quarantines = quarantines_;
   s.probes = probes_;
   s.recoveries = recoveries_;
+  s.reference_shots = reference_shots_;
+  s.scored_shots = scored_shots_;
   for (const ShardState& st : health_)
     if (st.quarantined) ++s.shards_quarantined;
+  for (const DriftMonitor& m : drift_)
+    if (report_of(m).drifted) ++s.shards_drifted;
   return s;
 }
 

@@ -58,6 +58,15 @@
 //     micro-batches — the drift-recalibration path (typically fed by a
 //     pipeline/snapshot.h BackendSnapshot) — without dropping or
 //     rerouting tickets.
+//   * Drift monitoring (StreamingConfig::drift): each shard tracks a
+//     frozen baseline plus an EWMA of three passive signals — sampled
+//     softmax confidence (on backends that support scoring), live
+//     fidelity of interleaved submit_reference() shots against their
+//     known expected labels, and the served label mix. drift(shard)
+//     snapshots them as a DriftReport; a recalibration controller
+//     (pipeline/recalibration.h) closes the loop by retraining and
+//     swap_shard-ing flagged shards. Monitoring never alters routing,
+//     labels, or ticket outcomes.
 //
 // Steady state allocates nothing: ring slots reuse their frame/label
 // capacity, scratch lives per worker slot, and the dispatcher loop reuses
@@ -75,6 +84,7 @@
 // by TSan.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <exception>
@@ -87,6 +97,59 @@
 #include "pipeline/readout_engine.h"
 
 namespace mlqr {
+
+/// Knobs for the per-shard drift monitors (StreamingEngine::drift()).
+/// Monitoring is passive — it never alters routing, labels, or ticket
+/// outcomes. Three signals are tracked per shard, each as a frozen
+/// baseline (mean over the first baseline window) plus an EWMA:
+///   * confidence — softmax p_max of the winning labels, re-scored on the
+///     dispatcher thread every confidence_sample-th OK shot (only on
+///     backends whose supports_scored() is true).
+///   * fidelity — fraction of qubits matching the caller-supplied
+///     expected labels on submit_reference() shots (interleaved
+///     calibration probes with known ground truth).
+///   * label mix — per-level occupancy histogram of the served labels
+///     (catches population drift even without scoring or references).
+struct DriftConfig {
+  /// Master switch; when false no monitor state is ever touched.
+  bool enabled = false;
+  /// EWMA smoothing factor for the post-baseline trackers, in (0, 1].
+  double alpha = 0.02;
+  /// OK shots of label-mix baseline before that tracker goes live.
+  std::size_t baseline_shots = 256;
+  /// Scored / reference shots of baseline for confidence and fidelity.
+  std::size_t baseline_signal = 16;
+  /// Score every Nth OK shot per shard (1 = every shot). Scoring re-runs
+  /// inference serially on the dispatcher thread, so keep it sparse when
+  /// ingest is saturating the classifier.
+  std::size_t confidence_sample = 16;
+  /// Relative confidence drop vs baseline that flags drift.
+  double confidence_drop = 0.05;
+  /// Absolute reference-fidelity drop vs baseline that flags drift.
+  double fidelity_drop = 0.02;
+  /// Absolute reference-fidelity floor (0 disables the floor check).
+  double min_fidelity = 0.0;
+  /// L1 distance between the label-mix EWMA and its baseline that flags
+  /// drift (2.0 would mean totally disjoint distributions).
+  double label_l1 = 0.25;
+  /// Minimum OK shots on a shard before any signal may flag drift.
+  std::size_t min_samples = 64;
+};
+
+/// One shard's drift-monitor snapshot (StreamingEngine::drift()). Signal
+/// fields are zero until their baseline froze.
+struct DriftReport {
+  bool ready = false;    ///< A baseline froze and min_samples was reached.
+  bool drifted = false;  ///< At least one signal crossed its threshold.
+  std::uint64_t samples = 0;    ///< OK shots observed on this shard.
+  std::uint64_t scored = 0;     ///< Shots with a sampled confidence.
+  std::uint64_t reference = 0;  ///< Reference shots with expected labels.
+  double confidence = 0.0;           ///< Confidence EWMA.
+  double baseline_confidence = 0.0;  ///< Frozen confidence baseline.
+  double fidelity = 0.0;             ///< Reference-fidelity EWMA.
+  double baseline_fidelity = 0.0;    ///< Frozen fidelity baseline.
+  double label_l1 = 0.0;  ///< L1(label-mix EWMA, baseline mix).
+};
 
 struct StreamingConfig {
   /// Ring capacity: bounds in-flight shots (submitted, not yet waited).
@@ -126,6 +189,8 @@ struct StreamingConfig {
   /// boxcar/LDA discriminator that never needs recalibration). Must agree
   /// on the qubit count when valid(); ignored while invalid.
   EngineBackend fallback;
+  /// Per-shard drift monitors (off by default; see DriftConfig).
+  DriftConfig drift;
   /// Worker budget / scratch policy for the classification fan-out, shared
   /// with ReadoutEngine semantics (threads == 0 means MLQR_THREADS).
   EngineConfig engine;
@@ -161,7 +226,10 @@ struct StreamingStats {
   std::uint64_t quarantines = 0;  ///< Healthy -> quarantined transitions.
   std::uint64_t probes = 0;       ///< Half-open probe shots dispatched.
   std::uint64_t recoveries = 0;   ///< Quarantined -> healthy via a probe.
+  std::uint64_t reference_shots = 0;  ///< Reference shots resolved OK.
+  std::uint64_t scored_shots = 0;  ///< Shots with a sampled confidence.
   std::size_t shards_quarantined = 0;  ///< Currently quarantined shards.
+  std::size_t shards_drifted = 0;  ///< Shards currently flagging drift.
 };
 
 /// Asynchronous sharded engine: submit/wait/drain over a bounded MPSC
@@ -222,6 +290,24 @@ class StreamingEngine {
   std::optional<Ticket> submit_for(const IqTrace& frame,
                                    std::uint64_t channel_key,
                                    std::chrono::microseconds timeout)
+      MLQR_EXCLUDES(mutex_);
+
+  /// Reference-shot admission: like submit, but tags the shot with its
+  /// known ground-truth labels (`expected`, size num_qubits()) so the
+  /// drift monitors can track live serving fidelity. Classification and
+  /// ticket semantics are unchanged — the expected labels feed monitoring
+  /// only, and wait() returns the backend's labels as usual. Interleave
+  /// these sparsely (e.g. calibration shots with known prepared states)
+  /// among regular traffic.
+  Ticket submit_reference(const IqTrace& frame, std::span<const int> expected)
+      MLQR_EXCLUDES(mutex_);
+  Ticket submit_reference(const IqTrace& frame, std::uint64_t channel_key,
+                          std::span<const int> expected) MLQR_EXCLUDES(mutex_);
+  /// Bounded-blocking reference admission (submit_for semantics).
+  std::optional<Ticket> submit_reference_for(const IqTrace& frame,
+                                             std::uint64_t channel_key,
+                                             std::span<const int> expected,
+                                             std::chrono::microseconds timeout)
       MLQR_EXCLUDES(mutex_);
 
   /// Blocks until ticket `t` resolves, copies its labels into `out` (size
@@ -289,6 +375,11 @@ class StreamingEngine {
   /// breaker is disabled).
   ShardHealth shard_health(std::size_t shard) const MLQR_EXCLUDES(mutex_);
 
+  /// Snapshot of one shard's drift monitor (all-zero / never ready while
+  /// cfg.drift.enabled is false). swap_shard resets the shard's monitor —
+  /// fresh calibration means fresh baselines.
+  DriftReport drift(std::size_t shard) const MLQR_EXCLUDES(mutex_);
+
   /// Every counter in one consistent snapshot (single lock acquisition).
   StreamingStats stats() const MLQR_EXCLUDES(mutex_);
 
@@ -343,6 +434,13 @@ class StreamingEngine {
     std::size_t served_by = 0;
     /// True when this shot was a half-open probe of a quarantined shard.
     bool probe = false;
+    /// Reference-shot tagging: when is_reference, `expected` holds the
+    /// caller's ground-truth labels for the fidelity monitor. Both follow
+    /// the kReserved custody protocol (filled by the producer outside the
+    /// lock, like frame); `expected` may hold stale data whenever
+    /// is_reference is false.
+    bool is_reference = false;
+    std::vector<int> expected;
     SlotState state = SlotState::kFree;
     SlotOutcome outcome = SlotOutcome::kOk;
     std::chrono::steady_clock::time_point arrival{};
@@ -360,8 +458,10 @@ class StreamingEngine {
     TimePoint retry_at{};
   };
 
+  /// Shared admission machinery. `expected` non-null marks a reference
+  /// shot (n_qubits_ ground-truth labels copied into the slot).
   std::optional<Ticket> submit_routed(const IqTrace& frame, bool keyed,
-                                      std::uint64_t key,
+                                      std::uint64_t key, const int* expected,
                                       const TimePoint* deadline)
       MLQR_EXCLUDES(mutex_);
   /// Shared wait machinery. deadline == nullptr blocks indefinitely (and
@@ -387,6 +487,40 @@ class StreamingEngine {
   Slot& slot_of(Ticket t) MLQR_REQUIRES(mutex_) {
     return ring_[t % ring_.size()];
   }
+
+  /// Label bins tracked by the mix monitor; labels clamp into the last
+  /// bin, so any level count up to (and beyond) 3 is representable.
+  static constexpr std::size_t kDriftLabelBins = 4;
+
+  /// Baseline-then-EWMA tracker for one scalar drift signal.
+  struct SignalTrack {
+    std::uint64_t count = 0;
+    double baseline_sum = 0.0;
+    double baseline = 0.0;  ///< Mean of the first baseline_n samples.
+    double value = 0.0;     ///< EWMA, seeded from the frozen baseline.
+    bool frozen = false;
+    void update(double x, std::size_t baseline_n, double alpha);
+  };
+
+  /// Per-shard drift bookkeeping (see DriftConfig for the model).
+  struct DriftMonitor {
+    std::uint64_t samples = 0;    ///< OK shots observed.
+    std::uint64_t scored = 0;     ///< Shots with a sampled confidence.
+    std::uint64_t reference = 0;  ///< Reference shots observed.
+    SignalTrack confidence;
+    SignalTrack fidelity;
+    std::uint64_t label_count = 0;
+    bool label_frozen = false;
+    std::array<double, kDriftLabelBins> label_base_sum{};
+    std::array<double, kDriftLabelBins> label_base{};
+    std::array<double, kDriftLabelBins> label_ewma{};
+  };
+
+  /// Folds one OK (non-fallback) shot into its shard's monitor. conf < 0
+  /// means no confidence sample was taken for this shot.
+  void observe_ok_shot(const Slot& slot, float conf) MLQR_REQUIRES(mutex_);
+  /// Evaluates one monitor against cfg_.drift thresholds.
+  DriftReport report_of(const DriftMonitor& m) const MLQR_REQUIRES(mutex_);
 
   StreamingConfig cfg_;
   std::size_t n_qubits_ = 0;      ///< Immutable after construction.
@@ -432,6 +566,21 @@ class StreamingEngine {
   std::uint64_t quarantines_ MLQR_GUARDED_BY(mutex_) = 0;
   std::uint64_t probes_ MLQR_GUARDED_BY(mutex_) = 0;
   std::uint64_t recoveries_ MLQR_GUARDED_BY(mutex_) = 0;
+  /// Parallel to shards_: per-shard drift monitors (swap_shard resets the
+  /// swapped shard's entry).
+  std::vector<DriftMonitor> drift_ MLQR_GUARDED_BY(mutex_);
+  std::uint64_t reference_shots_ MLQR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t scored_shots_ MLQR_GUARDED_BY(mutex_) = 0;
+  /// Dispatcher-thread only (like core_), touched outside the lock while
+  /// the batch's slots are in dispatcher custody: confidence-scoring
+  /// scratch + label sink, the per-batch confidence samples
+  /// (index-parallel to batch_tickets_, -1 = not sampled), and the
+  /// per-shard sampling phase counters (deliberately not reset by
+  /// swap_shard — they only control sampling cadence).
+  InferenceScratch drift_scratch_;
+  std::vector<int> drift_labels_;
+  std::vector<float> batch_conf_;
+  std::vector<std::uint64_t> score_counter_;
   /// kDone-with-error tickets not yet consumed by a wait, and the earliest
   /// such shot's exception (what drain() rethrows while any remain).
   std::size_t failed_unconsumed_ MLQR_GUARDED_BY(mutex_) = 0;

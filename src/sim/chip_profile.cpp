@@ -1,5 +1,6 @@
 #include "sim/chip_profile.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -160,6 +161,68 @@ ChipProfile ChipProfile::test_two_qubit() {
   chip.n_samples = 250;
   chip.validate();
   return chip;
+}
+
+DriftSchedule DriftSchedule::constant(double v) {
+  DriftSchedule s;
+  s.add_knot(0.0, v);
+  return s;
+}
+
+DriftSchedule DriftSchedule::ramp(double t0, double v0, double t1, double v1) {
+  MLQR_CHECK_MSG(t1 >= t0, "drift ramp runs backwards (t1 " << t1 << " < t0 "
+                                                            << t0 << ')');
+  DriftSchedule s;
+  s.add_knot(t0, v0);
+  s.add_knot(t1, v1);
+  return s;
+}
+
+DriftSchedule DriftSchedule::step(double at, double before, double after) {
+  DriftSchedule s;
+  s.add_knot(at, before);
+  s.add_knot(at, after);  // Duplicate time: the later knot wins from `at` on.
+  return s;
+}
+
+void DriftSchedule::add_knot(double t, double v) {
+  const auto pos = std::upper_bound(
+      knots_.begin(), knots_.end(), t,
+      [](double lhs, const std::pair<double, double>& k) { return lhs < k.first; });
+  knots_.insert(pos, {t, v});
+}
+
+double DriftSchedule::at(double t) const {
+  if (knots_.empty()) return 0.0;
+  if (t < knots_.front().first) return knots_.front().second;
+  if (t >= knots_.back().first) return knots_.back().second;
+  // Last knot at or before t; scanning from the back makes the later of
+  // duplicate-time knots win, which is what encodes a step.
+  std::size_t i = knots_.size() - 1;
+  while (knots_[i].first > t) --i;
+  if (knots_[i].first == t || knots_[i + 1].first == knots_[i].first)
+    return knots_[i].second;
+  const double span = knots_[i + 1].first - knots_[i].first;
+  const double frac = (t - knots_[i].first) / span;
+  return knots_[i].second + frac * (knots_[i + 1].second - knots_[i].second);
+}
+
+ChipProfile ChipDrift::apply(const ChipProfile& base, double t) const {
+  ChipProfile out = base;
+  const double rad = std::numbers::pi / 180.0;
+  const std::size_t n = std::min(qubits.size(), out.qubits.size());
+  for (std::size_t q = 0; q < n; ++q) {
+    const QubitDrift& d = qubits[q];
+    QubitProfile& qp = out.qubits[q];
+    const std::complex<double> rot =
+        std::polar(1.0, d.phase_deg.at(t) * rad);
+    const double amp = 1.0 + d.amp_scale.at(t);
+    for (int l = 0; l < kNumLevels; ++l) qp.alpha[l] *= rot * amp;
+    qp.if_freq_mhz += d.if_offset_mhz.at(t);
+  }
+  out.noise_sigma *= 1.0 + noise_scale.at(t);
+  out.validate();
+  return out;
 }
 
 }  // namespace mlqr

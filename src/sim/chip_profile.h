@@ -14,6 +14,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace mlqr {
@@ -104,6 +105,65 @@ struct ChipProfile {
 
   /// Small two-qubit profile for fast unit tests.
   static ChipProfile test_two_qubit();
+};
+
+/// Piecewise-linear trajectory of one scalar drift term over wall time
+/// (units of `t` are whatever the caller uses consistently — the drift
+/// soak uses seconds). Values clamp outside the knot range and
+/// interpolate linearly inside it; with duplicate-time knots the later
+/// knot wins from that time on, which is how step() encodes a
+/// discontinuity. An empty schedule is identically 0 (no drift).
+class DriftSchedule {
+ public:
+  DriftSchedule() = default;
+
+  /// Time-independent value v.
+  static DriftSchedule constant(double v);
+  /// v0 before t0, linear to v1 over [t0, t1], v1 after (t1 >= t0).
+  static DriftSchedule ramp(double t0, double v0, double t1, double v1);
+  /// `before` for t < at, `after` from t = at on.
+  static DriftSchedule step(double at, double before, double after);
+
+  /// Inserts a knot, keeping knots sorted by time (stable for ties: a
+  /// knot added later at the same time supersedes the earlier one).
+  void add_knot(double t, double v);
+
+  /// Evaluates the trajectory at time t.
+  double at(double t) const;
+
+  bool empty() const { return knots_.empty(); }
+
+ private:
+  std::vector<std::pair<double, double>> knots_;  ///< Sorted by time.
+};
+
+/// Drift trajectories for one qubit's readout channel. All terms default
+/// to "no drift"; fractional terms apply as a (1 + value) factor.
+struct QubitDrift {
+  /// Additive rotation (degrees) of every level's resonator response —
+  /// the signature of a drifting resonator frequency relative to its
+  /// probe tone. Rotates the IQ constellation without changing SNR.
+  DriftSchedule phase_deg;
+  /// Fractional response-amplitude change (SNR drift): alpha *= 1 + v.
+  DriftSchedule amp_scale;
+  /// Additive intermediate-frequency offset in MHz (LO/resonator pulling).
+  DriftSchedule if_offset_mhz;
+};
+
+/// Chip-level drift model: per-qubit channel trajectories plus a global
+/// noise ramp. apply() materializes the drifted profile at one instant;
+/// feed it to a fresh ReadoutSimulator (the simulator precomputes its
+/// response tables at construction, so a drifted profile needs a new
+/// instance).
+struct ChipDrift {
+  /// Per-qubit trajectories; entries beyond this vector's length (or the
+  /// whole chip, when empty) are undrifted.
+  std::vector<QubitDrift> qubits;
+  /// Fractional amplifier-noise change: noise_sigma *= 1 + v.
+  DriftSchedule noise_scale;
+
+  /// The drifted profile at time t (validated before returning).
+  ChipProfile apply(const ChipProfile& base, double t) const;
 };
 
 }  // namespace mlqr

@@ -36,14 +36,27 @@ static_assert(ReadoutBackend<GaussianShotDiscriminator>);
 // be composed (a shard is just another backend).
 static_assert(ReadoutBackend<EngineBackend>);
 
-// The three OURS designs expose the batched-GEMM entry point; the
-// baseline designs stay per-shot and the engine must treat them so.
+// The three OURS designs and the FNN baseline expose the batched-GEMM
+// entry point (the FNN gained it so recalibrated FNN shards serve at
+// batched speed); HERQULES and the Gaussians stay per-shot and the engine
+// must treat them so.
 static_assert(BatchedReadoutBackend<ProposedDiscriminator>);
 static_assert(BatchedReadoutBackend<QuantizedProposedDiscriminator>);
 static_assert(BatchedReadoutBackend<Quantized8ProposedDiscriminator>);
-static_assert(!BatchedReadoutBackend<FnnDiscriminator>);
+static_assert(BatchedReadoutBackend<FnnDiscriminator>);
 static_assert(!BatchedReadoutBackend<HerqulesDiscriminator>);
 static_assert(!BatchedReadoutBackend<GaussianShotDiscriminator>);
+
+// Confidence scoring feeds the streaming drift monitors: the float designs
+// with softmax heads report it; the integer datapaths don't (their
+// fixed-point logits have no calibrated softmax) and the engine samples
+// confidence only on shards that support it.
+static_assert(ScoredReadoutBackend<ProposedDiscriminator>);
+static_assert(ScoredReadoutBackend<FnnDiscriminator>);
+static_assert(!ScoredReadoutBackend<QuantizedProposedDiscriminator>);
+static_assert(!ScoredReadoutBackend<Quantized8ProposedDiscriminator>);
+static_assert(!ScoredReadoutBackend<HerqulesDiscriminator>);
+static_assert(!ScoredReadoutBackend<GaussianShotDiscriminator>);
 
 static_assert(SnapshotableBackend<ProposedDiscriminator>);
 static_assert(SnapshotableBackend<QuantizedProposedDiscriminator>);
@@ -209,6 +222,54 @@ TEST(BackendTrait, Int16BitIdenticalAcrossBatchThreadShardGrid) {
 
 TEST(BackendTrait, Int8BitIdenticalAcrossBatchThreadShardGrid) {
   expect_bit_identical_across_knobs(Fixture::get().quantized8, "int8");
+}
+
+TEST(BackendTrait, FnnBitIdenticalAcrossBatchThreadShardGrid) {
+  expect_bit_identical_across_knobs(Fixture::get().fnn, "fnn");
+}
+
+// ---- the scored contract: same labels, confidence in (0, 1] -------------
+
+template <ScoredReadoutBackend D>
+void expect_scored_matches_classify(const D& d, const char* what) {
+  const std::vector<IqTrace>& traces = Fixture::get().ds.shots.traces;
+  InferenceScratch scratch;
+  std::vector<int> plain(d.num_qubits()), scored(d.num_qubits());
+  for (const IqTrace& trace : traces) {
+    d.classify_into(trace, scratch, plain);
+    const float conf = d.classify_scored_into(trace, scratch, scored);
+    ASSERT_EQ(scored, plain) << what;
+    ASSERT_GT(conf, 0.0f) << what;
+    ASSERT_LE(conf, 1.0f) << what;
+  }
+}
+
+TEST(BackendTrait, ProposedScoredLabelsBitIdentical) {
+  expect_scored_matches_classify(Fixture::get().proposed, "proposed");
+}
+
+TEST(BackendTrait, FnnScoredLabelsBitIdentical) {
+  expect_scored_matches_classify(Fixture::get().fnn, "fnn");
+}
+
+TEST(BackendTrait, ScoredSupportPropagatesThroughErasure) {
+  const Fixture& fx = Fixture::get();
+  EXPECT_TRUE(make_backend(fx.proposed).supports_scored());
+  EXPECT_TRUE(make_backend(fx.fnn).supports_scored());
+  EXPECT_FALSE(make_backend(fx.quantized).supports_scored());
+  EXPECT_TRUE(BackendSnapshot::wrap(fx.proposed).backend().supports_scored());
+  EXPECT_FALSE(BackendSnapshot::wrap(fx.lda).backend().supports_scored());
+
+  // Through the erased layer the score still agrees with the labels.
+  const EngineBackend backend = make_backend(fx.proposed);
+  InferenceScratch scratch;
+  std::vector<int> plain(backend.num_qubits()), scored(backend.num_qubits());
+  const IqTrace& trace = fx.ds.shots.traces.front();
+  backend.classify_into(trace, scratch, plain);
+  const float conf = backend.classify_scored_into(trace, scratch, scored);
+  EXPECT_EQ(scored, plain);
+  EXPECT_GT(conf, 0.0f);
+  EXPECT_LE(conf, 1.0f);
 }
 
 // ---- snapshot round trips for the kinds the registry gained -------------

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "common/error.h"
 #include "common/rng.h"
 
@@ -165,6 +168,123 @@ TEST(Trainer, WeightDecayShrinksWeights) {
     return acc;
   };
   EXPECT_LT(l2(m2), 0.8 * l2(m1));
+}
+
+std::string weight_bits(const Mlp& m) {
+  std::ostringstream os;
+  m.save(os);
+  return os.str();
+}
+
+// The data-parallel trainer's contract: the gradient shard partition is
+// fixed (not thread-count-dependent) and shards reduce in index order, so
+// the trained weights are bit-identical for every worker count.
+TEST(Trainer, ThreadCountBitIdentity) {
+  std::vector<float> x;
+  std::vector<int> y;
+  make_blobs(x, y, 200, 311);
+  TrainerConfig cfg;
+  cfg.epochs = 5;
+  cfg.validation_fraction = 0.0f;
+  cfg.weight_decay = 0.01f;
+
+  std::string reference;
+  for (const std::size_t workers : {1, 2, 4}) {
+    Mlp m({2, 16, 3});
+    Rng rng(42);
+    m.init_weights(rng);
+    cfg.threads = workers;
+    train_classifier(m, x, y, cfg);
+    if (workers == 1)
+      reference = weight_bits(m);
+    else
+      EXPECT_EQ(weight_bits(m), reference) << "workers=" << workers;
+  }
+  ASSERT_FALSE(reference.empty());
+}
+
+// Warm-start seam: a saved optimizer + model resumed from a checkpoint
+// must continue bit-identically with the uninterrupted run — same
+// moments, same bias-correction schedule.
+TEST(Trainer, OptimizerCheckpointResume) {
+  std::vector<float> x;
+  std::vector<int> y;
+  make_blobs(x, y, 150, 59);
+  TrainerConfig cfg;
+  cfg.epochs = 4;
+  cfg.validation_fraction = 0.0f;
+  cfg.seed = 7;
+
+  Mlp m1({2, 12, 3});
+  Rng rng(13);
+  m1.init_weights(rng);
+  AdamWOptimizer opt1;
+  train_classifier(m1, x, y, cfg, &opt1);
+  EXPECT_TRUE(opt1.initialized());
+  EXPECT_TRUE(opt1.matches(m1));
+  EXPECT_GT(opt1.step_count(), 0);
+
+  // Checkpoint: model + optimizer round-trip through their streams.
+  std::stringstream model_ckpt, opt_ckpt;
+  m1.save(model_ckpt);
+  opt1.save(opt_ckpt);
+  Mlp m2 = Mlp::load(model_ckpt);
+  AdamWOptimizer opt2 = AdamWOptimizer::load(opt_ckpt);
+  EXPECT_EQ(opt2.step_count(), opt1.step_count());
+
+  // Continue both for another leg; the resumed run must track exactly.
+  cfg.seed = 11;  // Fresh shuffle order for the second leg (both runs).
+  train_classifier(m1, x, y, cfg, &opt1);
+  train_classifier(m2, x, y, cfg, &opt2);
+  EXPECT_EQ(weight_bits(m1), weight_bits(m2));
+  EXPECT_EQ(opt1.step_count(), opt2.step_count());
+}
+
+// A warm-started continuation differs from a cold restart: the moments
+// and step count carry across, so the second leg takes different steps.
+TEST(Trainer, WarmStartDiffersFromColdRestart) {
+  std::vector<float> x;
+  std::vector<int> y;
+  make_blobs(x, y, 150, 61);
+  TrainerConfig cfg;
+  cfg.epochs = 3;
+  cfg.validation_fraction = 0.0f;
+
+  Mlp warm({2, 12, 3});
+  Rng rng(17);
+  warm.init_weights(rng);
+  AdamWOptimizer opt;
+  train_classifier(warm, x, y, cfg, &opt);
+  Mlp cold = warm;  // Same weights; cold drops the optimizer state.
+  const long steps_after_leg1 = opt.step_count();
+  train_classifier(warm, x, y, cfg, &opt);
+  train_classifier(cold, x, y, cfg, nullptr);
+  EXPECT_EQ(opt.step_count(), 2 * steps_after_leg1);
+  EXPECT_NE(weight_bits(warm), weight_bits(cold));
+}
+
+// Parallel evaluation reduces integer hit counts, so it is exactly equal
+// for every thread count — and pinned against a serial argmax sweep.
+TEST(Trainer, ParallelEvalMatchesSerial) {
+  std::vector<float> x;
+  std::vector<int> y;
+  make_blobs(x, y, 120, 211);
+  Mlp m({2, 8, 3});
+  Rng rng(3);
+  m.init_weights(rng);
+  TrainerConfig cfg;
+  cfg.epochs = 10;
+  cfg.validation_fraction = 0.0f;
+  train_classifier(m, x, y, cfg);
+
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < y.size(); ++s)
+    if (m.predict({x.data() + 2 * s, 2}) == y[s]) ++hits;
+  const double serial = static_cast<double>(hits) / static_cast<double>(y.size());
+  EXPECT_EQ(evaluate_accuracy(m, x, y, 1), serial);
+  EXPECT_EQ(evaluate_accuracy(m, x, y, 4), serial);
+  EXPECT_EQ(evaluate_balanced_accuracy(m, x, y, 1),
+            evaluate_balanced_accuracy(m, x, y, 4));
 }
 
 }  // namespace

@@ -320,6 +320,14 @@ def self_test() -> int:
         if check_pipeline_rng(root):
             failures.append("false positive: comment/include/substring Rng")
         pipeline_probe.unlink()
+        # ...the recalibration controller is explicitly NOT exempt (the
+        # retrain/hot-swap loop must stay a pure function of its inputs —
+        # this pins that the exemption set gained no new entries)...
+        recal_probe = root / "src" / "pipeline" / "recalibration.cpp"
+        recal_probe.write_text("mlqr::Rng rng(42);\n", encoding="utf-8")
+        if not check_pipeline_rng(root):
+            failures.append("pipeline Rng in recalibration.cpp not caught")
+        recal_probe.unlink()
         # ...and fault_injection.{h,cpp} stay the sanctioned site.
         for name in ("fault_injection.h", "fault_injection.cpp"):
             (root / "src" / "pipeline" / name).write_text(
